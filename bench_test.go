@@ -1,0 +1,213 @@
+// Benchmarks: one per paper table/figure plus micro-benchmarks of the core
+// operations. The per-figure benchmarks run the same experiment code as
+// cmd/pebbench at a small scale and export the measured mean I/O per query
+// as custom metrics (ios_col0, ios_col1, ...), so `go test -bench=.` both
+// exercises every experiment path and tracks the headline numbers.
+//
+// Full paper-scale figures are regenerated with:
+//
+//	go run ./cmd/pebbench -exp <id> -scale 1
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// benchScale keeps each figure benchmark to a few seconds: populations
+// floor at 1000 users and 30 queries per data point.
+var benchOptions = exp.Options{Scale: 0.02, QueryCount: 30, Parallel: 4, Seed: 1}
+
+// runExperiment executes one registered experiment and reports the mean of
+// every column as a custom metric.
+func runExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(benchOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c, name := range tbl.Columns {
+			sum := 0.0
+			for _, row := range tbl.Rows {
+				sum += row.Vals[c]
+			}
+			b.ReportMetric(sum/float64(len(tbl.Rows)), name)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure -----------------------------------
+
+func BenchmarkFig11aPreprocessUsers(b *testing.B)    { runExperiment(b, "fig11a") }
+func BenchmarkFig11bPreprocessPolicies(b *testing.B) { runExperiment(b, "fig11b") }
+func BenchmarkFig12aPRQUsers(b *testing.B)           { runExperiment(b, "fig12a") }
+func BenchmarkFig12bPkNNUsers(b *testing.B)          { runExperiment(b, "fig12b") }
+func BenchmarkFig13aPRQPolicies(b *testing.B)        { runExperiment(b, "fig13a") }
+func BenchmarkFig13bPkNNPolicies(b *testing.B)       { runExperiment(b, "fig13b") }
+func BenchmarkFig14aPRQGrouping(b *testing.B)        { runExperiment(b, "fig14a") }
+func BenchmarkFig14bPkNNGrouping(b *testing.B)       { runExperiment(b, "fig14b") }
+func BenchmarkFig15aPRQWindow(b *testing.B)          { runExperiment(b, "fig15a") }
+func BenchmarkFig15bPkNNK(b *testing.B)              { runExperiment(b, "fig15b") }
+func BenchmarkFig16aPRQNetwork(b *testing.B)         { runExperiment(b, "fig16a") }
+func BenchmarkFig16bPkNNNetwork(b *testing.B)        { runExperiment(b, "fig16b") }
+func BenchmarkFig17aPRQSpeed(b *testing.B)           { runExperiment(b, "fig17a") }
+func BenchmarkFig17bPkNNSpeed(b *testing.B)          { runExperiment(b, "fig17b") }
+func BenchmarkFig18aPRQUpdates(b *testing.B)         { runExperiment(b, "fig18a") }
+func BenchmarkFig18bPkNNUpdates(b *testing.B)        { runExperiment(b, "fig18b") }
+func BenchmarkFig19aCostModelUsers(b *testing.B)     { runExperiment(b, "fig19a") }
+func BenchmarkFig19bCostModelPolicies(b *testing.B)  { runExperiment(b, "fig19b") }
+func BenchmarkFig19cCostModelGrouping(b *testing.B)  { runExperiment(b, "fig19c") }
+func BenchmarkAblationKeyOrder(b *testing.B)         { runExperiment(b, "ablation-keyorder") }
+func BenchmarkAblationSearchOrder(b *testing.B)      { runExperiment(b, "ablation-searchorder") }
+func BenchmarkAblationCurve(b *testing.B)            { runExperiment(b, "ablation-curve") }
+
+// --- Micro-benchmarks of the core operations --------------------------------
+
+// sharedTestbed lazily builds one mid-size testbed reused by the operation
+// benchmarks so setup cost is paid once, outside the timed region.
+var (
+	tbOnce sync.Once
+	tbVal  *exp.Testbed
+	tbErr  error
+)
+
+func sharedTestbed(b *testing.B) *exp.Testbed {
+	tbOnce.Do(func() {
+		cfg := exp.DefaultConfig()
+		cfg.Workload.NumUsers = 10_000
+		cfg.Workload.PoliciesPerUser = 20
+		cfg.Workload.GroupSize = 0
+		tbVal, tbErr = exp.Build(cfg)
+	})
+	if tbErr != nil {
+		b.Fatal(tbErr)
+	}
+	return tbVal
+}
+
+func BenchmarkPEBInsert(b *testing.B) {
+	tb := sharedTestbed(b)
+	objs := tb.DS.Objects
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-inserting an existing user is delete+insert, the update path.
+		o := objs[i%len(objs)]
+		o.T += float64(i/len(objs)) * 0.001
+		if err := tb.PEB.Insert(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPEBPRQ(b *testing.B) {
+	tb := sharedTestbed(b)
+	qs := tb.DS.GenPRQueries(256, exp.DefaultWindowSide, exp.DefaultQueryTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, err := tb.PEB.PRQ(q.Issuer, q.W, q.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPEBPkNN(b *testing.B) {
+	tb := sharedTestbed(b)
+	qs := tb.DS.GenKNNQueries(256, exp.DefaultK, exp.DefaultQueryTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, err := tb.PEB.PKNN(q.Issuer, q.X, q.Y, q.K, q.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpatialPRQ(b *testing.B) {
+	tb := sharedTestbed(b)
+	qs := tb.DS.GenPRQueries(256, exp.DefaultWindowSide, exp.DefaultQueryTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, err := tb.Spatial.PRQ(q.Issuer, q.W, q.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpatialPkNN(b *testing.B) {
+	tb := sharedTestbed(b)
+	qs := tb.DS.GenKNNQueries(256, exp.DefaultK, exp.DefaultQueryTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, err := tb.Spatial.PKNN(q.Issuer, q.X, q.Y, q.K, q.T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyEncoding(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.NumUsers = 5_000
+	cfg.PoliciesPerUser = 20
+	cfg.GroupSize = 0
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Assign(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.NumUsers = 5_000
+	cfg.PoliciesPerUser = 20
+	cfg.GroupSize = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := workload.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadline reproduces the paper's headline comparison at bench
+// scale and prints the ratio once per run.
+func BenchmarkHeadline(b *testing.B) {
+	tb := sharedTestbed(b)
+	qs := tb.DS.GenPRQueries(200, exp.DefaultWindowSide, exp.DefaultQueryTime)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := tb.MeasurePRQ(qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.PEB, "peb_ios")
+		b.ReportMetric(m.Spatial, "spatial_ios")
+		if m.PEB > 0 {
+			b.ReportMetric(m.Spatial/m.PEB, "speedup")
+		}
+	}
+}

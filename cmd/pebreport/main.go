@@ -1,0 +1,54 @@
+// Command pebreport renders experiment result CSVs (written by
+// `pebbench -o dir`) as Markdown tables and ASCII charts, for terminals and
+// for inclusion in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pebreport results/fig12a.csv                 # markdown table + chart
+//	pebreport -chart-only -width 60 results/*.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		width     = flag.Int("width", 48, "chart width in characters")
+		tableOnly = flag.Bool("table-only", false, "print only the markdown table")
+		chartOnly = flag.Bool("chart-only", false, "print only the chart")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "pebreport: need at least one CSV file")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pebreport: %v\n", err)
+			os.Exit(1)
+		}
+		s, err := report.ParseCSV(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pebreport: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		name := filepath.Base(path)
+		fmt.Printf("### %s\n\n", name)
+		if !*chartOnly {
+			fmt.Println(s.Markdown())
+		}
+		if !*tableOnly {
+			fmt.Println("```")
+			fmt.Print(s.CompareChart(*width))
+			fmt.Println("```")
+		}
+		fmt.Println()
+	}
+}

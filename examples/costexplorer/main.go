@@ -1,0 +1,103 @@
+// Costexplorer: what-if exploration with the query I/O cost model (Sec. 6).
+//
+// The example calibrates Eq. 7's a1 and a2 from two measured sample points,
+// then prints predicted privacy-aware range-query costs across a grid of
+// workload parameters — including the break-even analysis the paper closes
+// Sec. 6 with: the PEB-tree stops paying off when a user is related to
+// roughly 5% of the population.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/costmodel"
+	"repro/internal/exp"
+)
+
+func main() {
+	// Measure two real sample points at different densities (small scale
+	// so the example runs in seconds).
+	fmt.Println("Calibrating Eq. 7 from two measured sample points...")
+	var baselineIO float64
+	sample := func(users int) costmodel.Sample {
+		cfg := exp.DefaultConfig()
+		cfg.Workload.NumUsers = users
+		cfg.Workload.PoliciesPerUser = 20
+		cfg.Workload.GroupSize = 0
+		cfg.QueryCount = 100
+		tb, err := exp.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs := tb.DS.GenPRQueries(cfg.QueryCount, cfg.WindowSide, cfg.QueryTime)
+		m, err := tb.MeasurePRQ(qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io := m.PEB
+		baselineIO = m.Spatial // keep the larger population's baseline
+		s := costmodel.Sample{
+			Params: costmodel.Params{
+				N:     users,
+				Np:    cfg.Workload.PoliciesPerUser,
+				Theta: cfg.Workload.GroupingFactor,
+				Nl:    tb.PEB.LeafCount(),
+				L:     cfg.Workload.Space,
+			},
+			IO: io,
+		}
+		fmt.Printf("  N=%-6d → measured %.1f I/Os (Nl=%d)\n", users, io, s.Params.Nl)
+		return s
+	}
+	model, err := costmodel.Calibrate(sample(4_000), sample(12_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  calibrated: a1=%.4g, a2=%.4g\n\n", model.A1, model.A2)
+
+	// What-if grid: predicted PRQ cost as policies per user and grouping
+	// factor vary at a fixed population.
+	const n = 12_000
+	nl := 160 // leaves at this population (from the sample above)
+	fmt.Printf("Predicted PRQ I/O at N=%d:\n", n)
+	fmt.Printf("%14s", "Np \\ θ")
+	thetas := []float64{0, 0.3, 0.5, 0.7, 0.9, 1.0}
+	for _, th := range thetas {
+		fmt.Printf("%8.1f", th)
+	}
+	fmt.Println()
+	for _, np := range []int{10, 25, 50, 100, 200} {
+		fmt.Printf("%14d", np)
+		for _, th := range thetas {
+			c, err := model.Cost(costmodel.Params{N: n, Np: np, Theta: th, Nl: nl, L: 1000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8.1f", c)
+		}
+		fmt.Println()
+	}
+
+	// Break-even analysis (end of Sec. 6): find the Np at which the
+	// PEB-tree's predicted cost reaches the spatial baseline's measured
+	// cost for the default window at this population.
+	baseline := baselineIO
+	fmt.Printf("\nBaseline (spatial index, default window, measured): %.1f I/Os\n", baseline)
+	for _, th := range []float64{0.5, 0.7, 0.9} {
+		for np := 1; np <= n; np++ {
+			c, err := model.Cost(costmodel.Params{N: n, Np: np, Theta: th, Nl: nl, L: 1000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if c >= baseline {
+				fmt.Printf("  θ=%.1f: PEB-tree stops winning at ≈ %d policies/user (%.2f%% of the population)\n",
+					th, np, 100*float64(np)/float64(n))
+				break
+			}
+			if np == n {
+				fmt.Printf("  θ=%.1f: PEB-tree wins across the whole range\n", th)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/exp"
+)
+
+// End-to-end guards on the paper's headline claims, at a size small enough
+// for CI. These complement the per-package unit tests: they run the real
+// experiment harness and assert the *relationships* the paper reports.
+
+func integrationTestbed(t *testing.T) *exp.Testbed {
+	t.Helper()
+	cfg := exp.DefaultConfig()
+	cfg.Workload.NumUsers = 8_000
+	cfg.Workload.PoliciesPerUser = 20
+	cfg.Workload.GroupSize = 0
+	cfg.QueryCount = 100
+	tb, err := exp.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// The PEB-tree must beat the spatial baseline on both query types at the
+// default setting (the paper's central claim).
+func TestHeadlinePEBBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an 8K-user testbed")
+	}
+	tb := integrationTestbed(t)
+	prq := tb.DS.GenPRQueries(100, tb.Cfg.WindowSide, tb.Cfg.QueryTime)
+	m, err := tb.MeasurePRQ(prq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PEB >= m.Spatial {
+		t.Errorf("PRQ: PEB %.1f I/Os not below baseline %.1f", m.PEB, m.Spatial)
+	}
+	knn := tb.DS.GenKNNQueries(100, tb.Cfg.K, tb.Cfg.QueryTime)
+	m, err = tb.MeasurePKNN(knn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PEB >= m.Spatial {
+		t.Errorf("PkNN: PEB %.1f I/Os not below baseline %.1f", m.PEB, m.Spatial)
+	}
+}
+
+// PEB PRQ cost must be insensitive to the window size while the baseline
+// grows (Fig. 15a's shape).
+func TestWindowInsensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an 8K-user testbed")
+	}
+	tb := integrationTestbed(t)
+	measure := func(side float64) exp.Measured {
+		qs := tb.DS.GenPRQueries(100, side, tb.Cfg.QueryTime)
+		m, err := tb.MeasurePRQ(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	small := measure(100)
+	large := measure(800)
+	if large.Spatial < small.Spatial*1.5 {
+		t.Errorf("baseline should grow with window: %.1f → %.1f", small.Spatial, large.Spatial)
+	}
+	if large.PEB > small.PEB*1.5 {
+		t.Errorf("PEB should stay near-flat: %.1f → %.1f", small.PEB, large.PEB)
+	}
+}
+
+// The SV-first key layout must beat the ZV-first ablation layout on PRQ
+// (the Sec. 5.2 design claim).
+func TestKeyOrderAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an 8K-user testbed")
+	}
+	tb := integrationTestbed(t)
+	zv, err := tb.NewPEBVariant(func(c *core.Config) { c.Layout = core.ZVFirst })
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := tb.DS.GenPRQueries(100, tb.Cfg.WindowSide, tb.Cfg.QueryTime)
+	svIO, err := exp.MeasurePRQOn(tb.PEB, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zvIO, err := exp.MeasurePRQOn(zv, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svIO >= zvIO {
+		t.Errorf("SV-first (%.1f I/Os) not below ZV-first (%.1f)", svIO, zvIO)
+	}
+}
+
+// The calibrated cost model must track measured PRQ cost within a factor
+// of two across a θ sweep (Fig. 19's "tracks the actual cost quite well").
+func TestCostModelTracksMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several testbeds")
+	}
+	base := exp.DefaultConfig()
+	base.Workload.PoliciesPerUser = 20
+	base.Workload.GroupSize = 0
+	base.QueryCount = 100
+
+	sample := func(users int) costmodel.Sample {
+		cfg := base
+		cfg.Workload.NumUsers = users
+		tb, err := exp.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := tb.DS.GenPRQueries(cfg.QueryCount, cfg.WindowSide, cfg.QueryTime)
+		io, err := exp.MeasurePRQOn(tb.PEB, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return costmodel.Sample{
+			Params: costmodel.Params{N: users, Np: cfg.Workload.PoliciesPerUser,
+				Theta: cfg.Workload.GroupingFactor, Nl: tb.PEB.LeafCount(), L: cfg.Workload.Space},
+			IO: io,
+		}
+	}
+	model, err := costmodel.Calibrate(sample(4_000), sample(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0.4, 0.8} {
+		cfg := base
+		cfg.Workload.NumUsers = 8_000
+		cfg.Workload.GroupingFactor = theta
+		tb, err := exp.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := tb.DS.GenPRQueries(cfg.QueryCount, cfg.WindowSide, cfg.QueryTime)
+		measured, err := exp.MeasurePRQOn(tb.PEB, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := model.Cost(costmodel.Params{N: 8_000, Np: 20, Theta: theta,
+			Nl: tb.PEB.LeafCount(), L: cfg.Workload.Space})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < measured/2 || est > measured*2 {
+			t.Errorf("θ=%g: model %.1f vs measured %.1f (off by >2×)", theta, est, measured)
+		}
+	}
+}

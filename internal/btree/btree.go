@@ -1,0 +1,218 @@
+// Package btree implements a disk-based B+-tree over the paged store in
+// internal/store. It is the common substrate of the Bx-tree (internal/bxtree)
+// and the PEB-tree (internal/core): "The PEB-tree is based on the Bx-tree,
+// which in turn is based on the B+-tree" (Sec. 5.2).
+//
+// Keys are composite (uint64 index key, uint32 user id); payloads are fixed
+// 40-byte records. All node accesses go through the buffer pool, so query
+// I/O cost is observable as buffer misses, matching the paper's metric.
+//
+// The tree is not safe for concurrent use.
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Tree is a disk-based B+-tree.
+type Tree struct {
+	pool      *store.BufferPool
+	root      store.PageID
+	height    int // 1 = root is a leaf
+	size      int // total entries
+	leafCount int // total leaf pages (Nl in the cost model)
+}
+
+// New creates an empty tree whose nodes live in pool.
+func New(pool *store.BufferPool) (*Tree, error) {
+	p, err := pool.NewPage()
+	if err != nil {
+		return nil, fmt.Errorf("btree: allocate root: %w", err)
+	}
+	writeLeaf(p, nil, store.InvalidPageID)
+	id := p.ID()
+	if err := pool.Unpin(id, true); err != nil {
+		return nil, err
+	}
+	return &Tree{pool: pool, root: id, height: 1, leafCount: 1}, nil
+}
+
+// Size returns the number of entries.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (1 = single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// LeafCount returns the number of leaf pages; the cost model's Nl.
+func (t *Tree) LeafCount() int { return t.leafCount }
+
+// Pool exposes the underlying buffer pool (for I/O statistics).
+func (t *Tree) Pool() *store.BufferPool { return t.pool }
+
+// Get returns the payload stored under kv.
+func (t *Tree) Get(kv KV) (Payload, bool, error) {
+	pid := t.root
+	for {
+		p, err := t.pool.Fetch(pid)
+		if err != nil {
+			return Payload{}, false, err
+		}
+		if pageType(p) == internalType {
+			in := readInternal(p)
+			next := in.children[childIndex(in, kv)]
+			if err := t.pool.Unpin(pid, false); err != nil {
+				return Payload{}, false, err
+			}
+			pid = next
+			continue
+		}
+		entries, _ := readLeaf(p)
+		if err := t.pool.Unpin(pid, false); err != nil {
+			return Payload{}, false, err
+		}
+		idx, ok := searchLeaf(entries, kv)
+		if !ok {
+			return Payload{}, false, nil
+		}
+		return entries[idx].payload, true, nil
+	}
+}
+
+// Insert stores payload under kv, replacing any existing entry with the
+// same composite key.
+func (t *Tree) Insert(kv KV, payload Payload) error {
+	split, sep, right, replaced, err := t.insertRec(t.root, kv, payload)
+	if err != nil {
+		return err
+	}
+	if !replaced {
+		t.size++
+	}
+	if !split {
+		return nil
+	}
+	// Grow a new root above the old one.
+	p, err := t.pool.NewPage()
+	if err != nil {
+		return fmt.Errorf("btree: allocate new root: %w", err)
+	}
+	writeInternal(p, internalNode{
+		seps:     []KV{sep},
+		children: []store.PageID{t.root, right},
+	})
+	newRoot := p.ID()
+	if err := t.pool.Unpin(newRoot, true); err != nil {
+		return err
+	}
+	t.root = newRoot
+	t.height++
+	return nil
+}
+
+// insertRec descends to the leaf for kv and inserts. On overflow it splits
+// the node and reports the separator and new right sibling to the caller.
+func (t *Tree) insertRec(pid store.PageID, kv KV, payload Payload) (split bool, sep KV, right store.PageID, replaced bool, err error) {
+	p, err := t.pool.Fetch(pid)
+	if err != nil {
+		return false, KV{}, store.InvalidPageID, false, err
+	}
+
+	if pageType(p) == leafType {
+		entries, next := readLeaf(p)
+		idx, exact := searchLeaf(entries, kv)
+		if exact {
+			entries[idx].payload = payload
+			writeLeaf(p, entries, next)
+			err = t.pool.Unpin(pid, true)
+			return false, KV{}, store.InvalidPageID, true, err
+		}
+		entries = append(entries, leafEntry{})
+		copy(entries[idx+1:], entries[idx:])
+		entries[idx] = leafEntry{kv: kv, payload: payload}
+
+		if len(entries) <= LeafCapacity {
+			writeLeaf(p, entries, next)
+			err = t.pool.Unpin(pid, true)
+			return false, KV{}, store.InvalidPageID, false, err
+		}
+
+		// Split: left keeps the first half, right takes the rest.
+		mid := len(entries) / 2
+		rp, nerr := t.pool.NewPage()
+		if nerr != nil {
+			_ = t.pool.Unpin(pid, false)
+			return false, KV{}, store.InvalidPageID, false, fmt.Errorf("btree: allocate leaf: %w", nerr)
+		}
+		writeLeaf(rp, entries[mid:], next)
+		writeLeaf(p, entries[:mid], rp.ID())
+		t.leafCount++
+		sep = entries[mid].kv
+		right = rp.ID()
+		if err := t.pool.Unpin(rp.ID(), true); err != nil {
+			_ = t.pool.Unpin(pid, true)
+			return false, KV{}, store.InvalidPageID, false, err
+		}
+		err = t.pool.Unpin(pid, true)
+		return true, sep, right, false, err
+	}
+
+	// Internal node.
+	in := readInternal(p)
+	ci := childIndex(in, kv)
+	child := in.children[ci]
+	// Release the parent while recursing; re-fetch to apply a child split.
+	if err := t.pool.Unpin(pid, false); err != nil {
+		return false, KV{}, store.InvalidPageID, false, err
+	}
+	csplit, csep, cright, creplaced, err := t.insertRec(child, kv, payload)
+	if err != nil || !csplit {
+		return false, KV{}, store.InvalidPageID, creplaced, err
+	}
+
+	p, err = t.pool.Fetch(pid)
+	if err != nil {
+		return false, KV{}, store.InvalidPageID, creplaced, err
+	}
+	in = readInternal(p)
+	// The child set cannot have changed (single-threaded), so ci is stable.
+	in.seps = append(in.seps, KV{})
+	copy(in.seps[ci+1:], in.seps[ci:])
+	in.seps[ci] = csep
+	in.children = append(in.children, store.InvalidPageID)
+	copy(in.children[ci+2:], in.children[ci+1:])
+	in.children[ci+1] = cright
+
+	if len(in.seps) <= InternalCapacity {
+		writeInternal(p, in)
+		err = t.pool.Unpin(pid, true)
+		return false, KV{}, store.InvalidPageID, creplaced, err
+	}
+
+	// Split the internal node: the middle separator moves up.
+	mid := len(in.seps) / 2
+	upSep := in.seps[mid]
+	rightNode := internalNode{
+		seps:     append([]KV(nil), in.seps[mid+1:]...),
+		children: append([]store.PageID(nil), in.children[mid+1:]...),
+	}
+	leftNode := internalNode{
+		seps:     in.seps[:mid],
+		children: in.children[:mid+1],
+	}
+	rp, nerr := t.pool.NewPage()
+	if nerr != nil {
+		_ = t.pool.Unpin(pid, false)
+		return false, KV{}, store.InvalidPageID, creplaced, fmt.Errorf("btree: allocate internal: %w", nerr)
+	}
+	writeInternal(rp, rightNode)
+	writeInternal(p, leftNode)
+	right = rp.ID()
+	if err := t.pool.Unpin(rp.ID(), true); err != nil {
+		_ = t.pool.Unpin(pid, true)
+		return false, KV{}, store.InvalidPageID, creplaced, err
+	}
+	err = t.pool.Unpin(pid, true)
+	return true, upSep, right, creplaced, err
+}

@@ -1,0 +1,155 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Check validates the structural invariants of the tree and returns the
+// first violation found. It is used by tests and is also handy when
+// debugging index corruption:
+//
+//   - every entry and separator is in strictly ascending (Key, UID) order,
+//   - separators correctly bound the keys of their subtrees,
+//   - all leaves are at the same depth,
+//   - non-root nodes respect minimum occupancy,
+//   - the leaf sibling chain visits every leaf in order,
+//   - Size() and LeafCount() match the actual contents.
+func (t *Tree) Check() error {
+	stats := &checkStats{}
+	var min, max *KV
+	if err := t.checkNode(t.root, 1, min, max, stats); err != nil {
+		return err
+	}
+	if stats.entries != t.size {
+		return fmt.Errorf("btree: Size()=%d but tree holds %d entries", t.size, stats.entries)
+	}
+	if stats.leaves != t.leafCount {
+		return fmt.Errorf("btree: LeafCount()=%d but tree has %d leaves", t.leafCount, stats.leaves)
+	}
+	if stats.depth != t.height {
+		return fmt.Errorf("btree: Height()=%d but leaves at depth %d", t.height, stats.depth)
+	}
+	return t.checkChain(stats)
+}
+
+type checkStats struct {
+	entries   int
+	leaves    int
+	depth     int
+	firstLeaf store.PageID
+}
+
+func (t *Tree) checkNode(pid store.PageID, depth int, min, max *KV, stats *checkStats) error {
+	p, err := t.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = t.pool.Unpin(pid, false) }()
+
+	switch pageType(p) {
+	case leafType:
+		if stats.depth == 0 {
+			stats.depth = depth
+			stats.firstLeaf = pid
+		} else if stats.depth != depth {
+			return fmt.Errorf("btree: leaf %d at depth %d, expected %d", pid, depth, stats.depth)
+		}
+		entries, _ := readLeaf(p)
+		if pid != t.root && len(entries) < minLeafEntries {
+			return fmt.Errorf("btree: leaf %d underfull (%d < %d)", pid, len(entries), minLeafEntries)
+		}
+		stats.leaves++
+		stats.entries += len(entries)
+		for i, e := range entries {
+			if i > 0 && !entries[i-1].kv.Less(e.kv) {
+				return fmt.Errorf("btree: leaf %d entries out of order at %d", pid, i)
+			}
+			if min != nil && e.kv.Less(*min) {
+				return fmt.Errorf("btree: leaf %d entry %v below bound %v", pid, e.kv, *min)
+			}
+			if max != nil && !e.kv.Less(*max) {
+				return fmt.Errorf("btree: leaf %d entry %v at or above bound %v", pid, e.kv, *max)
+			}
+		}
+		return nil
+
+	case internalType:
+		in := readInternal(p)
+		if pid != t.root && len(in.seps) < minInternalEntries {
+			return fmt.Errorf("btree: internal %d underfull (%d < %d)", pid, len(in.seps), minInternalEntries)
+		}
+		if pid == t.root && len(in.seps) == 0 && t.height > 1 {
+			return fmt.Errorf("btree: internal root with no separators")
+		}
+		for i, s := range in.seps {
+			if i > 0 && !in.seps[i-1].Less(s) {
+				return fmt.Errorf("btree: internal %d separators out of order at %d", pid, i)
+			}
+			if min != nil && s.Less(*min) {
+				return fmt.Errorf("btree: internal %d separator %v below bound %v", pid, s, *min)
+			}
+			if max != nil && !s.Less(*max) {
+				return fmt.Errorf("btree: internal %d separator %v at or above bound %v", pid, s, *max)
+			}
+		}
+		for i, child := range in.children {
+			cmin, cmax := min, max
+			if i > 0 {
+				cmin = &in.seps[i-1]
+			}
+			if i < len(in.seps) {
+				cmax = &in.seps[i]
+			}
+			if err := t.checkNode(child, depth+1, cmin, cmax, stats); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("btree: page %d has unknown type %d", pid, pageType(p))
+	}
+}
+
+// checkChain verifies the leaf sibling chain covers all leaves in order.
+func (t *Tree) checkChain(stats *checkStats) error {
+	pid := stats.firstLeaf
+	var prev *KV
+	leaves, entries := 0, 0
+	for pid != store.InvalidPageID {
+		p, err := t.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		if pageType(p) != leafType {
+			_ = t.pool.Unpin(pid, false)
+			return fmt.Errorf("btree: sibling chain reached non-leaf page %d", pid)
+		}
+		es, next := readLeaf(p)
+		if err := t.pool.Unpin(pid, false); err != nil {
+			return err
+		}
+		leaves++
+		entries += len(es)
+		for i := range es {
+			if prev != nil && !prev.Less(es[i].kv) {
+				return fmt.Errorf("btree: sibling chain out of order at page %d entry %d", pid, i)
+			}
+			kv := es[i].kv
+			prev = &kv
+		}
+		pid = next
+		if leaves > stats.leaves {
+			return fmt.Errorf("btree: sibling chain longer than leaf count %d", stats.leaves)
+		}
+	}
+	if leaves != stats.leaves {
+		return fmt.Errorf("btree: sibling chain visits %d leaves, tree has %d", leaves, stats.leaves)
+	}
+	if entries != stats.entries {
+		return fmt.Errorf("btree: sibling chain sees %d entries, tree has %d", entries, stats.entries)
+	}
+	return nil
+}

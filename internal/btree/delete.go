@@ -1,0 +1,200 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Delete removes the entry with the given composite key. It returns false
+// if no such entry exists. Underfull nodes are rebalanced by redistribution
+// with a sibling or by merging, and the root collapses when it has a single
+// child, so the tree keeps B+-tree occupancy invariants under the heavy
+// delete+insert churn of moving-object updates.
+func (t *Tree) Delete(kv KV) (bool, error) {
+	found, _, err := t.deleteRec(t.root, kv)
+	if err != nil {
+		return false, err
+	}
+	if found {
+		t.size--
+	}
+	// Collapse the root while it is an internal node with one child.
+	for t.height > 1 {
+		p, err := t.pool.Fetch(t.root)
+		if err != nil {
+			return found, err
+		}
+		if pageType(p) != internalType || pageCount(p) > 0 {
+			if err := t.pool.Unpin(t.root, false); err != nil {
+				return found, err
+			}
+			break
+		}
+		in := readInternal(p)
+		child := in.children[0]
+		if err := t.pool.FreePage(t.root); err != nil {
+			return found, err
+		}
+		t.root = child
+		t.height--
+	}
+	return found, nil
+}
+
+// deleteRec removes kv from the subtree rooted at pid. underflow reports
+// whether the node at pid dropped below its minimum occupancy; the caller
+// is responsible for rebalancing it.
+func (t *Tree) deleteRec(pid store.PageID, kv KV) (found, underflow bool, err error) {
+	p, err := t.pool.Fetch(pid)
+	if err != nil {
+		return false, false, err
+	}
+
+	if pageType(p) == leafType {
+		entries, next := readLeaf(p)
+		idx, exact := searchLeaf(entries, kv)
+		if !exact {
+			err = t.pool.Unpin(pid, false)
+			return false, false, err
+		}
+		entries = append(entries[:idx], entries[idx+1:]...)
+		writeLeaf(p, entries, next)
+		err = t.pool.Unpin(pid, true)
+		return true, len(entries) < minLeafEntries, err
+	}
+
+	in := readInternal(p)
+	ci := childIndex(in, kv)
+	child := in.children[ci]
+	if err := t.pool.Unpin(pid, false); err != nil {
+		return false, false, err
+	}
+
+	found, childUnder, err := t.deleteRec(child, kv)
+	if err != nil || !childUnder {
+		return found, false, err
+	}
+
+	// Rebalance the underfull child against a sibling.
+	p, err = t.pool.Fetch(pid)
+	if err != nil {
+		return found, false, err
+	}
+	in = readInternal(p)
+	if err := t.rebalanceChild(p, &in, ci); err != nil {
+		_ = t.pool.Unpin(pid, true)
+		return found, false, err
+	}
+	writeInternal(p, in)
+	underflow = len(in.seps) < minInternalEntries
+	err = t.pool.Unpin(pid, true)
+	return found, underflow, err
+}
+
+// rebalanceChild restores occupancy of in.children[ci] by redistributing
+// entries with an adjacent sibling or merging the pair. It mutates *in
+// (the parent's separators/children); the caller writes the parent back.
+func (t *Tree) rebalanceChild(parent *store.Page, in *internalNode, ci int) error {
+	// Normalize to the adjacent pair (li, li+1) with separator index li.
+	li := ci
+	if li == len(in.children)-1 {
+		li = ci - 1
+	}
+	if li < 0 || len(in.children) < 2 {
+		return nil // root's only child: nothing to rebalance against
+	}
+	leftID, rightID := in.children[li], in.children[li+1]
+
+	lp, err := t.pool.Fetch(leftID)
+	if err != nil {
+		return err
+	}
+	rp, err := t.pool.Fetch(rightID)
+	if err != nil {
+		_ = t.pool.Unpin(leftID, false)
+		return err
+	}
+
+	if pageType(lp) != pageType(rp) {
+		_ = t.pool.Unpin(leftID, false)
+		_ = t.pool.Unpin(rightID, false)
+		return fmt.Errorf("btree: sibling type mismatch at pages %d/%d", leftID, rightID)
+	}
+
+	if pageType(lp) == leafType {
+		le, _ := readLeaf(lp)
+		re, rnext := readLeaf(rp)
+		if len(le)+len(re) <= LeafCapacity {
+			// Merge right into left.
+			merged := append(le, re...)
+			writeLeaf(lp, merged, rnext)
+			if err := t.pool.Unpin(leftID, true); err != nil {
+				_ = t.pool.Unpin(rightID, false)
+				return err
+			}
+			if err := t.pool.FreePage(rightID); err != nil {
+				return err
+			}
+			t.leafCount--
+			in.seps = append(in.seps[:li], in.seps[li+1:]...)
+			in.children = append(in.children[:li+1], in.children[li+2:]...)
+			return nil
+		}
+		// Redistribute evenly; the new separator is right's first key.
+		all := append(le, re...)
+		mid := len(all) / 2
+		// writeLeaf(lp, ...) keeps left's existing next pointer = rightID.
+		writeLeaf(lp, all[:mid], rightID)
+		writeLeaf(rp, all[mid:], rnext)
+		in.seps[li] = all[mid].kv
+		if err := t.pool.Unpin(leftID, true); err != nil {
+			_ = t.pool.Unpin(rightID, true)
+			return err
+		}
+		return t.pool.Unpin(rightID, true)
+	}
+
+	// Internal siblings: pull the parent separator down between them.
+	ln := readInternal(lp)
+	rn := readInternal(rp)
+	combinedSeps := make([]KV, 0, len(ln.seps)+1+len(rn.seps))
+	combinedSeps = append(combinedSeps, ln.seps...)
+	combinedSeps = append(combinedSeps, in.seps[li])
+	combinedSeps = append(combinedSeps, rn.seps...)
+	combinedKids := make([]store.PageID, 0, len(ln.children)+len(rn.children))
+	combinedKids = append(combinedKids, ln.children...)
+	combinedKids = append(combinedKids, rn.children...)
+
+	if len(combinedSeps) <= InternalCapacity {
+		// Merge into the left node.
+		writeInternal(lp, internalNode{seps: combinedSeps, children: combinedKids})
+		if err := t.pool.Unpin(leftID, true); err != nil {
+			_ = t.pool.Unpin(rightID, false)
+			return err
+		}
+		if err := t.pool.FreePage(rightID); err != nil {
+			return err
+		}
+		in.seps = append(in.seps[:li], in.seps[li+1:]...)
+		in.children = append(in.children[:li+1], in.children[li+2:]...)
+		return nil
+	}
+
+	// Redistribute: the middle separator returns to the parent.
+	mid := len(combinedSeps) / 2
+	writeInternal(lp, internalNode{
+		seps:     append([]KV(nil), combinedSeps[:mid]...),
+		children: append([]store.PageID(nil), combinedKids[:mid+1]...),
+	})
+	writeInternal(rp, internalNode{
+		seps:     append([]KV(nil), combinedSeps[mid+1:]...),
+		children: append([]store.PageID(nil), combinedKids[mid+1:]...),
+	})
+	in.seps[li] = combinedSeps[mid]
+	if err := t.pool.Unpin(leftID, true); err != nil {
+		_ = t.pool.Unpin(rightID, true)
+		return err
+	}
+	return t.pool.Unpin(rightID, true)
+}

@@ -1,0 +1,116 @@
+package btree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// Failure injection: disk faults at arbitrary points must surface as
+// errors (never panics) and must not leak page pins, so the buffer pool
+// stays usable after the fault clears.
+
+func TestInsertSurvivesDiskFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		fd := &store.FaultDisk{Inner: store.NewMemDisk(), FailAfter: 1 << 30}
+		pool := store.NewBufferPool(fd, 8)
+		tr, err := New(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build a healthy tree first.
+		for i := 0; i < 500; i++ {
+			if err := tr.Insert(KV{Key: rng.Uint64() % 10_000}, Payload{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Arm the fault and keep inserting until it fires.
+		fd.FailAfter = rng.Intn(20)
+		var faultErr error
+		for i := 0; i < 1000 && faultErr == nil; i++ {
+			faultErr = tr.Insert(KV{Key: rng.Uint64() % 10_000}, Payload{})
+		}
+		if faultErr == nil {
+			t.Fatalf("trial %d: fault never fired", trial)
+		}
+		if !errors.Is(faultErr, store.ErrInjected) {
+			// The pool may wrap the error; unwrapping via Is must work.
+			t.Logf("trial %d: got wrapped error %v", trial, faultErr)
+		}
+		if n := pool.PinnedPages(); n != 0 {
+			t.Fatalf("trial %d: %d pages pinned after fault", trial, n)
+		}
+	}
+}
+
+func TestQueryAfterFaultClears(t *testing.T) {
+	fd := &store.FaultDisk{Inner: store.NewMemDisk(), FailAfter: 1 << 30}
+	pool := store.NewBufferPool(fd, 8)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if err := tr.Insert(KV{Key: i}, Payload{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fault during a scan.
+	fd.FailAfter = 2
+	err = tr.RangeScan(KV{}, KV{Key: 999, UID: ^uint32(0)}, func(KV, Payload) bool { return true })
+	if err == nil {
+		t.Fatal("scan did not surface the injected fault")
+	}
+	if n := pool.PinnedPages(); n != 0 {
+		t.Fatalf("%d pages pinned after failed scan", n)
+	}
+	// Clear the fault: the tree must be fully readable again.
+	fd.FailAfter = 1 << 30
+	count := 0
+	err = tr.RangeScan(KV{}, KV{Key: ^uint64(0), UID: ^uint32(0)}, func(KV, Payload) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("scan after fault cleared: %v", err)
+	}
+	if count != 1000 {
+		t.Fatalf("scan found %d entries, want 1000", count)
+	}
+}
+
+func TestDeleteSurvivesDiskFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		fd := &store.FaultDisk{Inner: store.NewMemDisk(), FailAfter: 1 << 30}
+		pool := store.NewBufferPool(fd, 8)
+		tr, err := New(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]uint64, 0, 800)
+		for i := 0; i < 800; i++ {
+			k := rng.Uint64() % 5_000
+			keys = append(keys, k)
+			if err := tr.Insert(KV{Key: k}, Payload{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fd.FailAfter = rng.Intn(15)
+		var faultErr error
+		for _, k := range keys {
+			if _, faultErr = tr.Delete(KV{Key: k}); faultErr != nil {
+				break
+			}
+		}
+		if faultErr == nil {
+			t.Fatalf("trial %d: fault never fired", trial)
+		}
+		if n := pool.PinnedPages(); n != 0 {
+			t.Fatalf("trial %d: %d pages pinned after fault", trial, n)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Meta captures the tree's root linkage and counters, everything needed to
+// re-attach a Tree to its pages after a process restart. Callers persist
+// Meta out of band (the page store holds only node pages).
+type Meta struct {
+	Root      store.PageID
+	Height    int
+	Size      int
+	LeafCount int
+}
+
+// Meta returns the tree's current persistence record. The caller must
+// flush the buffer pool before persisting it, or the pages it points at
+// may not be on disk yet.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Height: t.height, Size: t.size, LeafCount: t.leafCount}
+}
+
+// Open re-attaches a tree to existing pages in pool using a Meta record
+// produced by Meta. The root page is validated: it must be a leaf when
+// Height is 1 and an internal node otherwise.
+func Open(pool *store.BufferPool, m Meta) (*Tree, error) {
+	if m.Root == store.InvalidPageID || m.Height < 1 || m.Size < 0 || m.LeafCount < 1 {
+		return nil, fmt.Errorf("btree: invalid meta %+v", m)
+	}
+	p, err := pool.Fetch(m.Root)
+	if err != nil {
+		return nil, fmt.Errorf("btree: open root: %w", err)
+	}
+	typ := pageType(p)
+	if err := pool.Unpin(m.Root, false); err != nil {
+		return nil, err
+	}
+	wantLeaf := m.Height == 1
+	if wantLeaf && typ != leafType || !wantLeaf && typ != internalType {
+		return nil, fmt.Errorf("btree: root page %d has type %d, inconsistent with height %d",
+			m.Root, typ, m.Height)
+	}
+	return &Tree{pool: pool, root: m.Root, height: m.Height, size: m.Size, leafCount: m.LeafCount}, nil
+}

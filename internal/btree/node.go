@@ -1,0 +1,188 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Page layout
+//
+// Every node occupies one 4 KB page:
+//
+//	byte 0      node type (leafType or internalType)
+//	byte 1      reserved
+//	bytes 2-3   entry count (uint16)
+//	bytes 4-7   leaf: right-sibling page id; internal: leftmost child page id
+//	bytes 8-11  reserved
+//	bytes 12-   entries
+//
+// A leaf entry is (key uint64, uid uint32, payload [PayloadSize]byte).
+// An internal entry is (sepKey uint64, sepUID uint32, child PageID); the
+// separator at index i is the smallest KV reachable through child i+1.
+const (
+	leafType     = 1
+	internalType = 2
+
+	headerSize = 12
+
+	// PayloadSize is the fixed number of payload bytes stored with every
+	// key. 40 bytes holds a moving-object state (x, y, vx, vy, t as
+	// float64), the leaf record format of Sec. 5.2.
+	PayloadSize = 40
+
+	leafEntrySize     = 8 + 4 + PayloadSize
+	internalEntrySize = 8 + 4 + 4
+
+	// LeafCapacity and InternalCapacity are the per-node fanouts implied
+	// by the 4 KB page size. The cost model (Sec. 6) uses LeafCapacity to
+	// estimate the leaf count Nl.
+	LeafCapacity     = (store.PageSize - headerSize) / leafEntrySize
+	InternalCapacity = (store.PageSize - headerSize) / internalEntrySize
+
+	minLeafEntries     = LeafCapacity / 2
+	minInternalEntries = InternalCapacity / 2
+)
+
+// KV is the composite key of every tree entry: the index key (a Bx or PEB
+// key value) plus the user id, which disambiguates users that share a key.
+type KV struct {
+	Key uint64
+	UID uint32
+}
+
+// Less orders KVs lexicographically by (Key, UID).
+func (a KV) Less(b KV) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.UID < b.UID
+}
+
+// String implements fmt.Stringer.
+func (a KV) String() string { return fmt.Sprintf("(%d,%d)", a.Key, a.UID) }
+
+// Payload is the fixed-size record stored with each leaf entry.
+type Payload [PayloadSize]byte
+
+// leafEntry is the in-memory form of a leaf slot.
+type leafEntry struct {
+	kv      KV
+	payload Payload
+}
+
+// pageType reads the node type byte.
+func pageType(p *store.Page) byte { return p.Data()[0] }
+
+// pageCount reads the entry count.
+func pageCount(p *store.Page) int { return int(p.Uint16(2)) }
+
+// readLeaf decodes a leaf page into entries plus its right-sibling pointer.
+func readLeaf(p *store.Page) ([]leafEntry, store.PageID) {
+	n := pageCount(p)
+	entries := make([]leafEntry, n)
+	for i := 0; i < n; i++ {
+		off := headerSize + i*leafEntrySize
+		entries[i].kv.Key = p.Uint64(off)
+		entries[i].kv.UID = p.Uint32(off + 8)
+		copy(entries[i].payload[:], p.Data()[off+12:off+12+PayloadSize])
+	}
+	return entries, store.PageID(p.Uint32(4))
+}
+
+// writeLeaf encodes entries into a leaf page.
+func writeLeaf(p *store.Page, entries []leafEntry, next store.PageID) {
+	if len(entries) > LeafCapacity {
+		panic(fmt.Sprintf("btree: writing %d entries to leaf (cap %d)", len(entries), LeafCapacity))
+	}
+	d := p.Data()
+	d[0] = leafType
+	d[1] = 0
+	p.PutUint16(2, uint16(len(entries)))
+	p.PutUint32(4, uint32(next))
+	p.PutUint32(8, 0)
+	for i, e := range entries {
+		off := headerSize + i*leafEntrySize
+		p.PutUint64(off, e.kv.Key)
+		p.PutUint32(off+8, e.kv.UID)
+		copy(d[off+12:off+12+PayloadSize], e.payload[:])
+	}
+	p.MarkDirty()
+}
+
+// internalNode is the in-memory form of an internal page: len(children) is
+// always len(seps)+1, and seps[i] separates children[i] from children[i+1].
+type internalNode struct {
+	seps     []KV
+	children []store.PageID
+}
+
+// readInternal decodes an internal page.
+func readInternal(p *store.Page) internalNode {
+	n := pageCount(p)
+	in := internalNode{
+		seps:     make([]KV, n),
+		children: make([]store.PageID, n+1),
+	}
+	in.children[0] = store.PageID(p.Uint32(4))
+	for i := 0; i < n; i++ {
+		off := headerSize + i*internalEntrySize
+		in.seps[i].Key = p.Uint64(off)
+		in.seps[i].UID = p.Uint32(off + 8)
+		in.children[i+1] = store.PageID(p.Uint32(off + 12))
+	}
+	return in
+}
+
+// writeInternal encodes an internal node into its page.
+func writeInternal(p *store.Page, in internalNode) {
+	if len(in.children) != len(in.seps)+1 {
+		panic(fmt.Sprintf("btree: internal node with %d seps, %d children", len(in.seps), len(in.children)))
+	}
+	if len(in.seps) > InternalCapacity {
+		panic(fmt.Sprintf("btree: writing %d seps to internal (cap %d)", len(in.seps), InternalCapacity))
+	}
+	d := p.Data()
+	d[0] = internalType
+	d[1] = 0
+	p.PutUint16(2, uint16(len(in.seps)))
+	p.PutUint32(4, uint32(in.children[0]))
+	p.PutUint32(8, 0)
+	for i, s := range in.seps {
+		off := headerSize + i*internalEntrySize
+		p.PutUint64(off, s.Key)
+		p.PutUint32(off+8, s.UID)
+		p.PutUint32(off+12, uint32(in.children[i+1]))
+	}
+	p.MarkDirty()
+}
+
+// searchLeaf returns the index of the first entry >= kv and whether that
+// entry equals kv exactly.
+func searchLeaf(entries []leafEntry, kv KV) (int, bool) {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].kv.Less(kv) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(entries) && entries[lo].kv == kv
+}
+
+// childIndex returns which child of in covers kv: the number of separators
+// <= kv (entries equal to a separator live in the right child).
+func childIndex(in internalNode, kv KV) int {
+	lo, hi := 0, len(in.seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kv.Less(in.seps[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,186 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// These tests drive the tree tall enough (height ≥ 3) that deletions
+// exercise internal-node redistribution and merging, not just leaf-level
+// rebalancing.
+
+func buildSequential(t *testing.T, n int) (*Tree, *store.BufferPool) {
+	t.Helper()
+	pool := store.NewBufferPool(store.NewMemDisk(), 64)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(KV{Key: uint64(i)}, Payload{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, pool
+}
+
+func TestTallTreeSequentialDeleteAscending(t *testing.T) {
+	const n = 25_000
+	tr, _ := buildSequential(t, n)
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d, want >= 3 (grow n)", tr.Height())
+	}
+	for i := 0; i < n; i++ {
+		found, err := tr.Delete(KV{Key: uint64(i)})
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if !found {
+			t.Fatalf("delete %d: not found", i)
+		}
+		if i%5000 == 4999 {
+			if err := tr.Check(); err != nil {
+				t.Fatalf("invariants broken after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Size() != 0 || tr.Height() != 1 {
+		t.Fatalf("after full delete: size=%d height=%d", tr.Size(), tr.Height())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTallTreeSequentialDeleteDescending(t *testing.T) {
+	const n = 25_000
+	tr, _ := buildSequential(t, n)
+	for i := n - 1; i >= 0; i-- {
+		if _, err := tr.Delete(KV{Key: uint64(i)}); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if i%5000 == 0 {
+			if err := tr.Check(); err != nil {
+				t.Fatalf("invariants broken at %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}
+
+func TestTallTreeDeleteMiddleThenScan(t *testing.T) {
+	const n = 25_000
+	tr, _ := buildSequential(t, n)
+	// Carve out the middle 60%: stresses merges whose parents then
+	// underflow and must themselves rebalance.
+	lo, hi := n/5, n*4/5
+	for i := lo; i < hi; i++ {
+		if _, err := tr.Delete(KV{Key: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The survivors must be exactly [0, lo) ∪ [hi, n).
+	want := uint64(0)
+	err := tr.RangeScan(KV{}, KV{Key: ^uint64(0), UID: ^uint32(0)}, func(kv KV, _ Payload) bool {
+		if kv.Key != want {
+			t.Fatalf("scan: got key %d, want %d", kv.Key, want)
+		}
+		want++
+		if want == uint64(lo) {
+			want = uint64(hi)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != uint64(n) {
+		t.Fatalf("scan ended at %d, want %d", want, n)
+	}
+}
+
+func TestTallTreeRandomChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pool := store.NewBufferPool(store.NewMemDisk(), 64)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[uint64]bool)
+	// Alternate heavy insert and heavy delete phases to push the height up
+	// and back down repeatedly.
+	for phase := 0; phase < 6; phase++ {
+		if phase%2 == 0 {
+			for i := 0; i < 8000; i++ {
+				k := rng.Uint64() % 200_000
+				if err := tr.Insert(KV{Key: k}, Payload{}); err != nil {
+					t.Fatal(err)
+				}
+				live[k] = true
+			}
+		} else {
+			for k := range live {
+				if rng.Intn(100) < 70 {
+					found, err := tr.Delete(KV{Key: k})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !found {
+						t.Fatalf("live key %d missing", k)
+					}
+					delete(live, k)
+				}
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		if tr.Size() != len(live) {
+			t.Fatalf("phase %d: size %d, model %d", phase, tr.Size(), len(live))
+		}
+	}
+	// Spot-check membership.
+	for k := range live {
+		if _, ok, err := tr.Get(KV{Key: k}); err != nil || !ok {
+			t.Fatalf("live key %d: ok=%v err=%v", k, ok, err)
+		}
+	}
+	if pool.PinnedPages() != 0 {
+		t.Fatalf("%d pages pinned after churn", pool.PinnedPages())
+	}
+}
+
+func TestDeleteFromEmptyAndMissing(t *testing.T) {
+	pool := store.NewBufferPool(store.NewMemDisk(), 8)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := tr.Delete(KV{Key: 42})
+	if err != nil || found {
+		t.Fatalf("delete from empty = %v, %v", found, err)
+	}
+	if err := tr.Insert(KV{Key: 1}, Payload{}); err != nil {
+		t.Fatal(err)
+	}
+	found, err = tr.Delete(KV{Key: 1, UID: 9}) // same key, different uid
+	if err != nil || found {
+		t.Fatalf("delete wrong uid = %v, %v", found, err)
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}
+
+func TestKVStringer(t *testing.T) {
+	if got := (KV{Key: 5, UID: 7}).String(); got != "(5,7)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,133 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestScanLeavesSuperset: ScanLeaves must deliver every entry RangeScan
+// delivers, touch the same number of pages, and only add entries from the
+// boundary leaves.
+func TestScanLeavesSuperset(t *testing.T) {
+	pool := store.NewBufferPool(store.NewMemDisk(), 8)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 100_000
+		if err := tr.Insert(KV{Key: keys[i], UID: uint32(i)}, Payload{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		lo := KV{Key: rng.Uint64() % 100_000}
+		hi := KV{Key: lo.Key + rng.Uint64()%5_000, UID: ^uint32(0)}
+
+		base := pool.Stats().Accesses()
+		var ranged []KV
+		if err := tr.RangeScan(lo, hi, func(kv KV, _ Payload) bool {
+			ranged = append(ranged, kv)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		rangedIO := pool.Stats().Accesses() - base
+
+		base = pool.Stats().Accesses()
+		var leaves []KV
+		if err := tr.ScanLeaves(lo, hi, func(kv KV, _ Payload) bool {
+			leaves = append(leaves, kv)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		leavesIO := pool.Stats().Accesses() - base
+
+		// Page-access parity: same tree walk, same leaf chain.
+		if leavesIO > rangedIO {
+			t.Fatalf("trial %d: ScanLeaves accesses %d > RangeScan %d", trial, leavesIO, rangedIO)
+		}
+
+		// Every ranged entry appears in the leaves scan, in order.
+		inLeaves := make(map[KV]bool, len(leaves))
+		for _, kv := range leaves {
+			inLeaves[kv] = true
+		}
+		for _, kv := range ranged {
+			if !inLeaves[kv] {
+				t.Fatalf("trial %d: entry %v missing from ScanLeaves", trial, kv)
+			}
+		}
+		// Extra entries may only come from the boundary leaves: each is
+		// either < lo or > hi, never strictly inside without being ranged.
+		for _, kv := range leaves {
+			if (lo.Less(kv) || kv == lo) && (kv.Less(hi) || kv == hi) && !contains(ranged, kv) {
+				t.Fatalf("trial %d: in-range entry %v from ScanLeaves missing in RangeScan", trial, kv)
+			}
+		}
+	}
+}
+
+func contains(kvs []KV, kv KV) bool {
+	for _, k := range kvs {
+		if k == kv {
+			return true
+		}
+	}
+	return false
+}
+
+func TestScanLeavesEmptyAndReversed(t *testing.T) {
+	pool := store.NewBufferPool(store.NewMemDisk(), 8)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed range: no-op.
+	if err := tr.ScanLeaves(KV{Key: 10}, KV{Key: 5}, func(KV, Payload) bool {
+		t.Fatal("callback on reversed range")
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty tree: no entries, no error.
+	calls := 0
+	if err := tr.ScanLeaves(KV{}, KV{Key: ^uint64(0)}, func(KV, Payload) bool {
+		calls++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("empty tree produced %d callbacks", calls)
+	}
+}
+
+func TestScanLeavesEarlyStop(t *testing.T) {
+	pool := store.NewBufferPool(store.NewMemDisk(), 8)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if err := tr.Insert(KV{Key: i}, Payload{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := 0
+	if err := tr.ScanLeaves(KV{}, KV{Key: 499}, func(KV, Payload) bool {
+		calls++
+		return calls < 7
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Fatalf("early stop after %d callbacks, want 7", calls)
+	}
+}

@@ -1,0 +1,136 @@
+// Package bxtree implements the Bx-tree of Jensen, Lin, and Ooi [13], the
+// moving-object index the paper builds on (Sec. 2.1) and the substrate of
+// both the PEB-tree (internal/core) and the spatial-index baseline
+// (internal/spatialidx).
+//
+// The Bx-tree linearizes an object's predicted position as of a label
+// timestamp with a Z-curve and stores the value, prefixed by a rotating
+// time-partition id, in a disk B+-tree:
+//
+//	BxKey = [partition]₂ ⊕ [ZV]₂
+//
+// Range queries enlarge the query window per partition by the maximum
+// object speed times the query-to-label time gap (Fig. 2), decompose the
+// enlarged window into Z-value intervals, scan them, and refine candidates
+// against their extrapolated positions at the query time. kNN queries run
+// range queries with incrementally enlarged windows until k neighbors are
+// guaranteed (Sec. 2.1 and [13]).
+//
+// The tree is not safe for concurrent use.
+package bxtree
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/motion"
+	"repro/internal/store"
+)
+
+// Tree is a Bx-tree over a paged B+-tree.
+type Tree struct {
+	cfg  Config
+	tree *btree.Tree
+
+	// cur tracks each user's live index entry so Update and Delete can
+	// locate it; real deployments obtain the old key from the update
+	// message, which carries the previous position [13].
+	cur map[motion.UserID]btree.KV
+	// parts tracks which label timestamps hold objects, so queries visit
+	// exactly the active partitions.
+	parts *PartitionTracker
+}
+
+// New creates an empty Bx-tree whose pages live in pool.
+func New(cfg Config, pool *store.BufferPool) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bt, err := btree.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		cfg:   cfg,
+		tree:  bt,
+		cur:   make(map[motion.UserID]btree.KV),
+		parts: NewPartitionTracker(cfg),
+	}, nil
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Size returns the number of indexed objects.
+func (t *Tree) Size() int { return len(t.cur) }
+
+// LeafCount returns the number of B+-tree leaf pages (the cost model's Nl).
+func (t *Tree) LeafCount() int { return t.tree.LeafCount() }
+
+// Pool returns the underlying buffer pool, for I/O accounting.
+func (t *Tree) Pool() *store.BufferPool { return t.tree.Pool() }
+
+// keyFor computes the object's Bx key: its position is advanced to the
+// label timestamp (Eq. 3) and Z-encoded, then prefixed with the partition.
+func (t *Tree) keyFor(o motion.Object) (btree.KV, int64) {
+	li := t.cfg.LabelIndex(o.T)
+	x, y := o.PositionAt(t.cfg.LabelTime(li))
+	zv := t.cfg.CurveValue(x, y)
+	return btree.KV{Key: t.cfg.Key(t.cfg.PartitionOf(li), zv), UID: uint32(o.UID)}, li
+}
+
+// Insert adds or replaces the index entry for o.UID. Replacement implements
+// a location update: the old entry is removed and the new state is indexed
+// as of its own label timestamp.
+func (t *Tree) Insert(o motion.Object) error {
+	if old, ok := t.cur[o.UID]; ok {
+		if err := t.removeEntry(o.UID, old); err != nil {
+			return err
+		}
+	}
+	kv, li := t.keyFor(o)
+	if err := t.tree.Insert(kv, motion.EncodePayload(o)); err != nil {
+		return fmt.Errorf("bxtree: insert u%d: %w", o.UID, err)
+	}
+	t.cur[o.UID] = kv
+	t.parts.Set(o.UID, li)
+	return nil
+}
+
+// Update is a synonym for Insert that documents intent at call sites.
+func (t *Tree) Update(o motion.Object) error { return t.Insert(o) }
+
+// Delete removes uid's entry. Deleting an absent user is an error.
+func (t *Tree) Delete(uid motion.UserID) error {
+	kv, ok := t.cur[uid]
+	if !ok {
+		return fmt.Errorf("bxtree: delete of unknown user %d", uid)
+	}
+	return t.removeEntry(uid, kv)
+}
+
+// Get returns uid's current object state.
+func (t *Tree) Get(uid motion.UserID) (motion.Object, bool, error) {
+	kv, ok := t.cur[uid]
+	if !ok {
+		return motion.Object{}, false, nil
+	}
+	payload, found, err := t.tree.Get(kv)
+	if err != nil || !found {
+		return motion.Object{}, found, err
+	}
+	return motion.DecodePayload(uid, payload), true, nil
+}
+
+func (t *Tree) removeEntry(uid motion.UserID, kv btree.KV) error {
+	found, err := t.tree.Delete(kv)
+	if err != nil {
+		return fmt.Errorf("bxtree: delete u%d: %w", uid, err)
+	}
+	if !found {
+		return fmt.Errorf("bxtree: entry for u%d missing from tree", uid)
+	}
+	t.parts.Remove(uid)
+	delete(t.cur, uid)
+	return nil
+}

@@ -1,0 +1,408 @@
+package bxtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/motion"
+	"repro/internal/store"
+)
+
+func newTestTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	pool := store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages)
+	tr, err := New(cfg, pool)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.DeltaTmu = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero ∆tmu accepted")
+	}
+	bad = DefaultConfig()
+	bad.Partitions = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	bad = DefaultConfig()
+	bad.MaxSpeed = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative speed accepted")
+	}
+	bad = DefaultConfig()
+	bad.Grid.Order = 31 // 62 ZV bits
+	bad.Partitions = 7  // 3 TID bits → 65 > 64
+	if err := bad.Validate(); err == nil {
+		t.Error("overflowing key layout accepted")
+	}
+}
+
+func TestLabelIndexPaperExample(t *testing.T) {
+	// Paper Sec. 2.1: ∆tmu with n = 2 → label duration 60. Objects updated
+	// between time 0 and 60 are indexed as of time 120 (index 2), whose
+	// partition is (2−1) mod 3 = 1.
+	cfg := DefaultConfig() // ∆tmu = 120, n = 2
+	for _, tu := range []float64{0.5, 30, 59.9, 60} {
+		li := cfg.LabelIndex(tu)
+		if li != 2 {
+			t.Errorf("LabelIndex(%g) = %d, want 2", tu, li)
+		}
+		if p := cfg.PartitionOf(li); p != 1 {
+			t.Errorf("PartitionOf(2) = %d, want 1", p)
+		}
+	}
+	// Updates in (60, 120] land at label 180, partition (3−1) mod 3 = 2.
+	if li := cfg.LabelIndex(90); li != 3 {
+		t.Errorf("LabelIndex(90) = %d, want 3", li)
+	}
+	if p := cfg.PartitionOf(3); p != 2 {
+		t.Errorf("PartitionOf(3) = %d, want 2", p)
+	}
+	// Partitions rotate with period n+1 = 3.
+	if p := cfg.PartitionOf(4); p != 0 {
+		t.Errorf("PartitionOf(4) = %d, want 0", p)
+	}
+}
+
+func TestPartitionOfNonNegative(t *testing.T) {
+	cfg := DefaultConfig()
+	for li := int64(-5); li < 10; li++ {
+		p := cfg.PartitionOf(li)
+		if p > uint64(cfg.Partitions) {
+			t.Errorf("PartitionOf(%d) = %d out of range", li, p)
+		}
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig())
+	o := motion.Object{UID: 7, X: 100, Y: 200, VX: 1, VY: -1, T: 10}
+	if err := tr.Insert(o); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	got, ok, err := tr.Get(7)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	if got != o {
+		t.Errorf("Get = %+v, want %+v", got, o)
+	}
+	if tr.Size() != 1 {
+		t.Errorf("Size = %d, want 1", tr.Size())
+	}
+	if err := tr.Delete(7); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok, _ := tr.Get(7); ok {
+		t.Error("Get after Delete found entry")
+	}
+	if err := tr.Delete(7); err == nil {
+		t.Error("double Delete succeeded")
+	}
+}
+
+func TestUpdateReplaces(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig())
+	if err := tr.Insert(motion.Object{UID: 1, X: 10, Y: 10, T: 0}); err != nil {
+		t.Fatal(err)
+	}
+	upd := motion.Object{UID: 1, X: 900, Y: 900, VX: 2, T: 50}
+	if err := tr.Update(upd); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("Size after update = %d, want 1", tr.Size())
+	}
+	got, ok, err := tr.Get(1)
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if got != upd {
+		t.Errorf("Get = %+v, want %+v", got, upd)
+	}
+	// Old label slot must be vacated: only one active label remains.
+	if tr.parts.LabelCount() != 1 {
+		t.Errorf("LabelCount = %d, want 1", tr.parts.LabelCount())
+	}
+}
+
+// randomObjects creates n objects with positions in [0, side) and speeds in
+// [0, maxSpeed], all updated at times in [0, tmax).
+func randomObjects(rng *rand.Rand, n int, side, maxSpeed, tmax float64) []motion.Object {
+	out := make([]motion.Object, n)
+	for i := range out {
+		speed := rng.Float64() * maxSpeed
+		dir := rng.Float64() * 2 * math.Pi
+		out[i] = motion.Object{
+			UID: motion.UserID(i + 1),
+			X:   rng.Float64() * side,
+			Y:   rng.Float64() * side,
+			VX:  speed * math.Cos(dir),
+			VY:  speed * math.Sin(dir),
+			T:   rng.Float64() * tmax,
+		}
+	}
+	return out
+}
+
+// bruteRange is the oracle: every object whose extrapolated position at tq
+// is inside w.
+func bruteRange(objs []motion.Object, w Window, tq float64) map[motion.UserID]bool {
+	out := make(map[motion.UserID]bool)
+	for _, o := range objs {
+		if x, y := o.PositionAt(tq); w.Contains(x, y) {
+			out[o.UID] = true
+		}
+	}
+	return out
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(42))
+	objs := randomObjects(rng, 500, cfg.Grid.Side, cfg.MaxSpeed, 60)
+	tr := newTestTree(t, cfg)
+	for _, o := range objs {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		cx := rng.Float64() * cfg.Grid.Side
+		cy := rng.Float64() * cfg.Grid.Side
+		r := 20 + rng.Float64()*150
+		w := Square(cx, cy, r)
+		tq := rng.Float64() * 70
+		got, err := tr.RangeQuery(w, tq)
+		if err != nil {
+			t.Fatalf("RangeQuery: %v", err)
+		}
+		want := bruteRange(objs, w, tq)
+		gotSet := make(map[motion.UserID]bool, len(got))
+		for _, o := range got {
+			if gotSet[o.UID] {
+				t.Errorf("trial %d: duplicate uid %d", trial, o.UID)
+			}
+			gotSet[o.UID] = true
+		}
+		if len(gotSet) != len(want) {
+			t.Errorf("trial %d: got %d results, want %d (w=%v tq=%g)", trial, len(gotSet), len(want), w, tq)
+			continue
+		}
+		for uid := range want {
+			if !gotSet[uid] {
+				t.Errorf("trial %d: missing uid %d", trial, uid)
+			}
+		}
+	}
+}
+
+func TestRangeQueryInvalidWindow(t *testing.T) {
+	tr := newTestTree(t, DefaultConfig())
+	if _, err := tr.RangeQuery(Window{MinX: 10, MaxX: 0, MinY: 0, MaxY: 10}, 0); err == nil {
+		t.Error("invalid window accepted")
+	}
+}
+
+func TestRangeQueryOutsideSpace(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := newTestTree(t, cfg)
+	if err := tr.Insert(motion.Object{UID: 1, X: 500, Y: 500, T: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.RangeQuery(Window{MinX: -500, MinY: -500, MaxX: -100, MaxY: -100}, 0)
+	if err != nil {
+		t.Fatalf("RangeQuery: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("window outside space returned %d objects", len(got))
+	}
+}
+
+func bruteKNN(objs []motion.Object, qx, qy float64, k int, tq float64) []motion.UserID {
+	type cand struct {
+		uid  motion.UserID
+		dist float64
+	}
+	cands := make([]cand, len(objs))
+	for i, o := range objs {
+		cands[i] = cand{o.UID, o.DistanceAt(tq, qx, qy)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].uid < cands[j].uid
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]motion.UserID, len(cands))
+	for i, c := range cands {
+		out[i] = c.uid
+	}
+	return out
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(7))
+	objs := randomObjects(rng, 400, cfg.Grid.Side, cfg.MaxSpeed, 60)
+	tr := newTestTree(t, cfg)
+	for _, o := range objs {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		qx := rng.Float64() * cfg.Grid.Side
+		qy := rng.Float64() * cfg.Grid.Side
+		k := 1 + rng.Intn(10)
+		tq := rng.Float64() * 70
+		got, err := tr.KNN(qx, qy, k, tq)
+		if err != nil {
+			t.Fatalf("KNN: %v", err)
+		}
+		want := bruteKNN(objs, qx, qy, k, tq)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d neighbors, want %d", trial, len(got), len(want))
+		}
+		// Distances must match the oracle's (uid ties can differ only at
+		// exactly equal distances, which the tie-break rules out here).
+		for i := range want {
+			if got[i].Object.UID != want[i] {
+				t.Errorf("trial %d: neighbor %d = u%d, want u%d (dist %g)",
+					trial, i, got[i].Object.UID, want[i], got[i].Dist)
+			}
+		}
+		// Results must be sorted by distance.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Errorf("trial %d: results not sorted at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := newTestTree(t, cfg)
+	// Empty index.
+	got, err := tr.KNN(500, 500, 3, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty KNN = %v, %v", got, err)
+	}
+	// k <= 0.
+	if got, _ := tr.KNN(500, 500, 0, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	// Fewer objects than k: return all.
+	for i := 1; i <= 3; i++ {
+		if err := tr.Insert(motion.Object{UID: motion.UserID(i), X: float64(i * 100), Y: 500, T: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err = tr.KNN(0, 500, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("KNN with k>size returned %d, want 3", len(got))
+	}
+	if got[0].Object.UID != 1 || got[2].Object.UID != 3 {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestEstimateDk(t *testing.T) {
+	// k = n: Dk = 2L/√π (the full-coverage estimate).
+	want := 2 / math.SqrtPi * 1000
+	if got := EstimateDk(100, 100, 1000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("EstimateDk(n=k) = %g, want %g", got, want)
+	}
+	// Monotone in k.
+	prev := 0.0
+	for k := 1; k <= 50; k++ {
+		d := EstimateDk(k, 1000, 1000)
+		if d <= prev {
+			t.Fatalf("EstimateDk not increasing at k=%d: %g <= %g", k, d, prev)
+		}
+		prev = d
+	}
+	if EstimateDk(0, 100, 1000) != 0 || EstimateDk(5, 0, 1000) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestUpdatesPreserveQueryCorrectness(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(99))
+	objs := randomObjects(rng, 200, cfg.Grid.Side, cfg.MaxSpeed, 30)
+	tr := newTestTree(t, cfg)
+	for _, o := range objs {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Update every object to a fresh position/time, as the experiment in
+	// Sec. 7.9 does, then re-check query correctness.
+	for round := 0; round < 2; round++ {
+		base := 30 + float64(round)*60
+		for i := range objs {
+			objs[i].X = rng.Float64() * cfg.Grid.Side
+			objs[i].Y = rng.Float64() * cfg.Grid.Side
+			objs[i].T = base + rng.Float64()*30
+			if err := tr.Update(objs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tq := base + 40
+		w := Square(500, 500, 200)
+		got, err := tr.RangeQuery(w, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteRange(objs, w, tq)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: got %d, want %d", round, len(got), len(want))
+		}
+	}
+	if tr.Size() != 200 {
+		t.Errorf("Size = %d, want 200", tr.Size())
+	}
+}
+
+func TestNoPinLeaks(t *testing.T) {
+	cfg := DefaultConfig()
+	pool := store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages)
+	tr, err := New(cfg, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, o := range randomObjects(rng, 300, cfg.Grid.Side, cfg.MaxSpeed, 60) {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.RangeQuery(Square(500, 500, 100), 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.KNN(500, 500, 5, 60); err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.PinnedPages(); n != 0 {
+		t.Errorf("%d pages still pinned after queries", n)
+	}
+}

@@ -1,0 +1,185 @@
+package bxtree
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/zcurve"
+)
+
+// Config fixes the Bx-tree parameters. The defaults mirror the settings the
+// paper takes "from the literature [13]" (Sec. 7.1): space 1000 × 1000,
+// 2^10 grid cells per axis, maximum update interval 120, n = 2 partitions.
+type Config struct {
+	// Grid maps continuous space onto the Z-curve grid.
+	Grid zcurve.Grid
+	// DeltaTmu is the maximum update interval ∆tmu: every object issues an
+	// update at least this often (Sec. 2.1).
+	DeltaTmu float64
+	// Partitions is n, the number of sub-partitions of ∆tmu. The time axis
+	// carries n+1 rotating index partitions.
+	Partitions int
+	// MaxSpeed bounds object speed per axis; query windows are enlarged by
+	// MaxSpeed times the query-to-label time gap (Fig. 2).
+	MaxSpeed float64
+	// MaxIntervals caps the Z-curve decomposition size per query window.
+	// Zero means DefaultMaxIntervals.
+	MaxIntervals int
+	// Curve selects the space-filling curve used to linearize locations.
+	// The paper uses the Z-curve; the Hilbert curve is provided for an
+	// ablation study, since the clustering analysis the paper cites [22]
+	// concerns the Hilbert curve.
+	Curve CurveKind
+}
+
+// CurveKind selects a space-filling curve.
+type CurveKind int
+
+const (
+	// CurveZ is the Z-order (Morton) curve the paper uses.
+	CurveZ CurveKind = iota
+	// CurveHilbert is the Hilbert curve (ablation alternative).
+	CurveHilbert
+)
+
+// String implements fmt.Stringer.
+func (k CurveKind) String() string {
+	switch k {
+	case CurveZ:
+		return "z-order"
+	case CurveHilbert:
+		return "hilbert"
+	default:
+		return fmt.Sprintf("CurveKind(%d)", int(k))
+	}
+}
+
+// Default parameter values (Sec. 7.1 and [13]).
+const (
+	DefaultSpaceSide    = 1000.0
+	DefaultGridOrder    = 10
+	DefaultDeltaTmu     = 120.0
+	DefaultPartitions   = 2
+	DefaultMaxSpeed     = 3.0
+	DefaultMaxIntervals = 16
+)
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig() Config {
+	g, err := zcurve.NewGrid(DefaultSpaceSide, DefaultGridOrder)
+	if err != nil {
+		panic(err) // constants are valid
+	}
+	return Config{
+		Grid:         g,
+		DeltaTmu:     DefaultDeltaTmu,
+		Partitions:   DefaultPartitions,
+		MaxSpeed:     DefaultMaxSpeed,
+		MaxIntervals: DefaultMaxIntervals,
+	}
+}
+
+// Validate checks the configuration and fills defaulted fields.
+func (c *Config) Validate() error {
+	if c.Grid.Side <= 0 || c.Grid.Order <= 0 {
+		return fmt.Errorf("bxtree: grid not initialized: %+v", c.Grid)
+	}
+	if c.DeltaTmu <= 0 || math.IsNaN(c.DeltaTmu) || math.IsInf(c.DeltaTmu, 0) {
+		return fmt.Errorf("bxtree: invalid ∆tmu %g", c.DeltaTmu)
+	}
+	if c.Partitions < 1 {
+		return fmt.Errorf("bxtree: partitions %d < 1", c.Partitions)
+	}
+	if c.MaxSpeed < 0 {
+		return fmt.Errorf("bxtree: negative max speed %g", c.MaxSpeed)
+	}
+	if c.MaxIntervals == 0 {
+		c.MaxIntervals = DefaultMaxIntervals
+	}
+	if c.MaxIntervals < 1 {
+		return fmt.Errorf("bxtree: max intervals %d < 1", c.MaxIntervals)
+	}
+	if c.Curve != CurveZ && c.Curve != CurveHilbert {
+		return fmt.Errorf("bxtree: unknown curve %d", int(c.Curve))
+	}
+	if c.TIDBits()+2*c.Grid.Order > 64 {
+		return fmt.Errorf("bxtree: key layout overflows 64 bits (tid %d + zv %d)",
+			c.TIDBits(), 2*c.Grid.Order)
+	}
+	return nil
+}
+
+// LabelDuration returns the label-timestamp spacing ∆tmu/n.
+func (c Config) LabelDuration() float64 { return c.DeltaTmu / float64(c.Partitions) }
+
+// TIDBits returns the key bits needed for the partition id (0..n).
+func (c Config) TIDBits() int { return bits.Len(uint(c.Partitions)) }
+
+// LabelIndex returns the label-timestamp index an update at time tu is
+// stored under: tlab = ⌈tu + ∆tmu/n⌉_l, expressed as an integer multiple of
+// the label duration (Sec. 2.1). For n = 2, ∆tmu = 120: updates in (0, 60]
+// get label index 2 (time 120), matching the paper's example.
+func (c Config) LabelIndex(tu float64) int64 {
+	d := c.LabelDuration()
+	return int64(math.Ceil((tu + d) / d))
+}
+
+// LabelTime returns the timestamp of label index li.
+func (c Config) LabelTime(li int64) float64 { return float64(li) * c.LabelDuration() }
+
+// PartitionOf returns the rotating index-partition id of label index li:
+// (tlab/(∆tmu/n) − 1) mod (n+1) (Eq. 2).
+func (c Config) PartitionOf(li int64) uint64 {
+	m := int64(c.Partitions) + 1
+	return uint64(((li-1)%m + m) % m)
+}
+
+// Key assembles a Bx key: [partition]₂ ⊕ [zv]₂ (Eq. 1).
+func (c Config) Key(partition, zv uint64) uint64 {
+	return partition<<(2*c.Grid.Order) | zv
+}
+
+// KeyRange returns the key interval covering partition × [zlo, zhi].
+func (c Config) KeyRange(partition, zlo, zhi uint64) (uint64, uint64) {
+	return c.Key(partition, zlo), c.Key(partition, zhi)
+}
+
+// CurveValue linearizes a continuous point with the configured curve.
+func (c Config) CurveValue(x, y float64) uint64 {
+	if c.Curve == CurveHilbert {
+		return c.Grid.HilbertValue(x, y)
+	}
+	return c.Grid.ZValue(x, y)
+}
+
+// DecomposeRect converts a grid rectangle into covering curve-value
+// intervals under the configured curve (the ZVconvert step of Fig. 7).
+func (c Config) DecomposeRect(r zcurve.Rect) ([]zcurve.Interval, error) {
+	if c.Curve == CurveHilbert {
+		return zcurve.HilbertDecompose(r, c.Grid.Order, c.MaxIntervals)
+	}
+	return zcurve.Decompose(r, c.Grid.Order, c.MaxIntervals)
+}
+
+// CoverInterval returns the single curve-value interval spanning the
+// rectangle — "the one interval formed by the minimum and maximum
+// 1-dimensional values of the query range" (Sec. 5.4). For the Z-curve,
+// component-wise monotonicity puts the extremes at the rectangle's corners;
+// for the Hilbert curve the decomposition is coalesced to one interval.
+func (c Config) CoverInterval(r zcurve.Rect) (zcurve.Interval, error) {
+	if c.Curve == CurveHilbert {
+		ivs, err := zcurve.HilbertDecompose(r, c.Grid.Order, 1)
+		if err != nil {
+			return zcurve.Interval{}, err
+		}
+		if len(ivs) == 0 {
+			return zcurve.Interval{}, fmt.Errorf("bxtree: empty hilbert cover for %+v", r)
+		}
+		return ivs[0], nil
+	}
+	return zcurve.Interval{
+		Lo: zcurve.Encode(r.MinX, r.MinY),
+		Hi: zcurve.Encode(r.MaxX, r.MaxY),
+	}, nil
+}

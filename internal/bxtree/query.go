@@ -1,0 +1,194 @@
+package bxtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/motion"
+	"repro/internal/zcurve"
+)
+
+// Window is an axis-aligned query rectangle in continuous space.
+type Window struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the window is well ordered.
+func (w Window) Valid() bool { return w.MinX <= w.MaxX && w.MinY <= w.MaxY }
+
+// Contains reports whether (x, y) lies in the window (closed).
+func (w Window) Contains(x, y float64) bool {
+	return w.MinX <= x && x <= w.MaxX && w.MinY <= y && y <= w.MaxY
+}
+
+// Enlarge grows the window by d on every side (Fig. 2's query enlargement).
+func (w Window) Enlarge(d float64) Window {
+	return Window{MinX: w.MinX - d, MinY: w.MinY - d, MaxX: w.MaxX + d, MaxY: w.MaxY + d}
+}
+
+// Square returns the window centered at (x, y) with half-side r.
+func Square(x, y, r float64) Window {
+	return Window{MinX: x - r, MinY: y - r, MaxX: x + r, MaxY: y + r}
+}
+
+// String implements fmt.Stringer.
+func (w Window) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]", w.MinX, w.MaxX, w.MinY, w.MaxY)
+}
+
+// RangeQuery returns all objects whose extrapolated position at time tq
+// lies inside w. Per active partition, the window is enlarged by
+// MaxSpeed·|tq − tlab|, decomposed into Z-value intervals, and scanned;
+// candidates are refined against their exact positions at tq.
+func (t *Tree) RangeQuery(w Window, tq float64) ([]motion.Object, error) {
+	if !w.Valid() {
+		return nil, fmt.Errorf("bxtree: invalid query window %v", w)
+	}
+	var out []motion.Object
+	err := t.ScanWindow(w, tq, nil, func(o motion.Object) {
+		if x, y := o.PositionAt(tq); w.Contains(x, y) {
+			out = append(out, o)
+		}
+	})
+	return out, err
+}
+
+// ScanWindow runs the partition-wise enlarged-window scan delivering every
+// stored object whose index key falls in the window's Z intervals. When
+// scanned is non-nil it records covered key intervals per partition and
+// skips ranges already covered (used by kNN's incremental enlargement).
+func (t *Tree) ScanWindow(w Window, tq float64, scanned map[uint64]*zcurve.IntervalSet, emit func(motion.Object)) error {
+	for _, pr := range t.parts.Active(tq) {
+		ew := w.Enlarge(t.cfg.MaxSpeed * pr.Gap)
+		rect, ok := t.cfg.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+		if !ok {
+			continue // window entirely outside the space
+		}
+		ivs, err := t.cfg.DecomposeRect(rect)
+		if err != nil {
+			return err
+		}
+		todo := ivs
+		if scanned != nil {
+			set := scanned[pr.TID]
+			if set == nil {
+				set = &zcurve.IntervalSet{}
+				scanned[pr.TID] = set
+			}
+			todo = todo[:0:0]
+			for _, iv := range ivs {
+				todo = append(todo, set.Subtract(iv)...)
+			}
+			for _, iv := range ivs {
+				set.Add(iv)
+			}
+		}
+		for _, iv := range todo {
+			loK, hiK := t.cfg.KeyRange(pr.TID, iv.Lo, iv.Hi)
+			lo := btree.KV{Key: loK, UID: 0}
+			hi := btree.KV{Key: hiK, UID: ^uint32(0)}
+			err := t.tree.RangeScan(lo, hi, func(kv btree.KV, p btree.Payload) bool {
+				emit(motion.DecodePayload(motion.UserID(kv.UID), p))
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	Object motion.Object
+	Dist   float64 // distance from the query point at query time
+}
+
+// EstimateDk returns the estimated distance from a query point to its k'th
+// nearest neighbor among n uniformly distributed users in a square space of
+// side L (Tao et al. [33], scaled from the unit square):
+//
+//	Dk = 2/√π · (1 − √(1 − (k/n)^½)) · L
+func EstimateDk(k, n int, L float64) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(k) / float64(n))
+	if frac > 1 {
+		frac = 1
+	}
+	return 2 / math.SqrtPi * (1 - math.Sqrt(1-frac)) * L
+}
+
+// KNN returns the k objects nearest to (qx, qy) at time tq, sorted by
+// ascending distance (ties by user id). Fewer than k objects are returned
+// only when the index holds fewer than k.
+//
+// The algorithm follows [13] (Sec. 2.1): a square window with radius
+// rq = Dk/k is searched and repeatedly extended by rq; each round scans
+// only the newly covered key ranges, and the search stops once k objects
+// lie within the current guaranteed radius.
+func (t *Tree) KNN(qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	n := t.Size()
+	if n == 0 {
+		return nil, nil
+	}
+	want := k
+	if want > n {
+		want = n
+	}
+	L := t.cfg.Grid.Side
+	rq := EstimateDk(k, n, L) / float64(k)
+	if rq <= 0 || math.IsNaN(rq) {
+		rq = L / 64
+	}
+
+	scanned := make(map[uint64]*zcurve.IntervalSet)
+	cands := make(map[motion.UserID]Neighbor)
+	for round := 1; ; round++ {
+		radius := rq * float64(round)
+		w := Square(qx, qy, radius)
+		err := t.ScanWindow(w, tq, scanned, func(o motion.Object) {
+			if _, ok := cands[o.UID]; ok {
+				return
+			}
+			cands[o.UID] = Neighbor{Object: o, Dist: o.DistanceAt(tq, qx, qy)}
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Every object within `radius` of q at tq is guaranteed found: the
+		// enlarged windows cover all index positions it could be stored at.
+		within := 0
+		for _, c := range cands {
+			if c.Dist <= radius {
+				within++
+			}
+		}
+		covered := w.MinX <= 0 && w.MinY <= 0 && w.MaxX >= L && w.MaxY >= L
+		if within >= want || covered {
+			break
+		}
+	}
+
+	out := make([]Neighbor, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Object.UID < out[j].Object.UID
+	})
+	if len(out) > want {
+		out = out[:want]
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAccessorsAndStringers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := buildFixture(t, rng, DefaultConfig(), 30, 2)
+	if f.tree.Config().SV.Bits != DefaultSVBits {
+		t.Error("Config mismatch")
+	}
+	if f.tree.Policies() != f.pol {
+		t.Error("Policies mismatch")
+	}
+	if f.tree.LeafCount() < 1 {
+		t.Error("LeafCount < 1")
+	}
+	if _, ok := f.tree.SV(f.objs[0].UID); !ok {
+		t.Error("SV missing for indexed user")
+	}
+	if _, ok := f.tree.SV(99999); ok {
+		t.Error("SV present for unknown user")
+	}
+	if SVFirst.String() != "sv-first" || ZVFirst.String() != "zv-first" {
+		t.Error("KeyLayout.String mismatch")
+	}
+	if KeyLayout(7).String() == "" {
+		t.Error("unknown KeyLayout should stringify")
+	}
+	if Triangular.String() != "triangular" || ColumnMajor.String() != "column-major" {
+		t.Error("SearchOrder.String mismatch")
+	}
+	if SearchOrder(7).String() == "" {
+		t.Error("unknown SearchOrder should stringify")
+	}
+}
+
+func TestConfigRejectsBadSearchOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PKNNOrder = SearchOrder(9)
+	if err := cfg.Validate(); err == nil {
+		t.Error("bogus search order accepted")
+	}
+}
+
+// TestPKNNColumnMajorCorrect: the ablation traversal must return the same
+// answers as the triangular order.
+func TestPKNNColumnMajorCorrect(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PKNNOrder = ColumnMajor
+	rng := rand.New(rand.NewSource(61))
+	f := buildFixture(t, rng, cfg, 150, 6)
+	for trial := 0; trial < 15; trial++ {
+		issuer := f.objs[rng.Intn(150)].UID
+		qx := rng.Float64() * cfg.Base.Grid.Side
+		qy := rng.Float64() * cfg.Base.Grid.Side
+		k := 1 + rng.Intn(5)
+		tq := rng.Float64() * 80
+		got, err := f.tree.PKNN(issuer, qx, qy, k, tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.brutePKNN(issuer, qx, qy, k, tq)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Object.UID != want[i] {
+				t.Errorf("trial %d: neighbor %d = u%d, want u%d", trial, i, got[i].Object.UID, want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bxtree"
+	"repro/internal/motion"
+)
+
+// The Hilbert-curve ablation must preserve query correctness: only the
+// linearization changes, not the answer sets.
+
+func TestPRQMatchesBruteForceHilbert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Base.Curve = bxtree.CurveHilbert
+	rng := rand.New(rand.NewSource(51))
+	f := buildFixture(t, rng, cfg, 150, 6)
+	for trial := 0; trial < 25; trial++ {
+		issuer := motion.UserID(1 + rng.Intn(150))
+		cx := rng.Float64() * cfg.Base.Grid.Side
+		cy := rng.Float64() * cfg.Base.Grid.Side
+		w := bxtree.Square(cx, cy, 50+rng.Float64()*250)
+		tq := rng.Float64() * 80
+		got, err := f.tree.PRQ(issuer, w, tq)
+		if err != nil {
+			t.Fatalf("PRQ: %v", err)
+		}
+		want := f.brutePRQ(issuer, w, tq)
+		if len(got) != len(want) {
+			t.Errorf("trial %d: got %d, want %d", trial, len(got), len(want))
+			continue
+		}
+		for _, o := range got {
+			if !want[o.UID] {
+				t.Errorf("trial %d: unexpected u%d", trial, o.UID)
+			}
+		}
+	}
+}
+
+func TestPKNNMatchesBruteForceHilbert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Base.Curve = bxtree.CurveHilbert
+	rng := rand.New(rand.NewSource(52))
+	f := buildFixture(t, rng, cfg, 150, 6)
+	for trial := 0; trial < 20; trial++ {
+		issuer := motion.UserID(1 + rng.Intn(150))
+		qx := rng.Float64() * cfg.Base.Grid.Side
+		qy := rng.Float64() * cfg.Base.Grid.Side
+		k := 1 + rng.Intn(5)
+		tq := rng.Float64() * 80
+		got, err := f.tree.PKNN(issuer, qx, qy, k, tq)
+		if err != nil {
+			t.Fatalf("PKNN: %v", err)
+		}
+		want := f.brutePKNN(issuer, qx, qy, k, tq)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Object.UID != want[i] {
+				t.Errorf("trial %d: neighbor %d = u%d, want u%d", trial, i, got[i].Object.UID, want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package core implements the PEB-tree (Policy-Embedded Bx-tree), the
+// paper's primary contribution (Sec. 5). The PEB-tree indexes moving users
+// by a composite key that concatenates a time-partition id, a privacy-policy
+// sequence value, and a Z-curve location value:
+//
+//	PEB key = [TID]₂ ⊕ [SV]₂ ⊕ [ZV]₂    (Eq. 5)
+//
+// Users who tend to be allowed to see each other's locations (compatible
+// policies ⇒ nearby sequence values) and who are spatially close (nearby
+// Z values) receive nearby keys and therefore land on nearby disk pages.
+// The privacy-aware range query (PRQ, Sec. 5.3) and k-nearest-neighbor
+// query (PkNN, Sec. 5.4) exploit this to prune by policy compatibility and
+// location simultaneously.
+//
+// The tree is not safe for concurrent use.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/bxtree"
+	"repro/internal/motion"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// Tree is a PEB-tree over a paged B+-tree.
+type Tree struct {
+	cfg      Config
+	tree     *btree.Tree
+	policies *policy.Store
+
+	// svEnc holds each user's fixed-point sequence value; it is the output
+	// of the offline policy-encoding phase (Sec. 5.1) that key generation
+	// embeds into every index entry.
+	svEnc map[motion.UserID]uint64
+
+	cur   map[motion.UserID]btree.KV
+	parts *bxtree.PartitionTracker
+}
+
+// New creates an empty PEB-tree whose pages live in pool. policies supplies
+// policy evaluation during queries; assignment supplies the sequence values
+// computed by policy.AssignSequenceValues.
+func New(cfg Config, pool *store.BufferPool, policies *policy.Store, assignment policy.Assignment) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policies == nil {
+		return nil, fmt.Errorf("core: nil policy store")
+	}
+	bt, err := btree.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:      cfg,
+		tree:     bt,
+		policies: policies,
+		svEnc:    make(map[motion.UserID]uint64, len(assignment.SV)),
+		cur:      make(map[motion.UserID]btree.KV),
+		parts:    bxtree.NewPartitionTracker(cfg.Base),
+	}
+	for uid, sv := range assignment.SV {
+		if err := t.SetSV(motion.UserID(uid), sv); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Policies returns the policy store the tree evaluates queries against.
+func (t *Tree) Policies() *policy.Store { return t.policies }
+
+// Size returns the number of indexed objects.
+func (t *Tree) Size() int { return len(t.cur) }
+
+// LeafCount returns the number of B+-tree leaf pages (the cost model's Nl).
+func (t *Tree) LeafCount() int { return t.tree.LeafCount() }
+
+// Pool returns the underlying buffer pool, for I/O accounting.
+func (t *Tree) Pool() *store.BufferPool { return t.tree.Pool() }
+
+// SetSV registers or updates uid's sequence value. Policy encoding is an
+// offline phase (Sec. 5.1); re-registering a user that is currently indexed
+// is rejected — delete and re-insert to move an entry.
+func (t *Tree) SetSV(uid motion.UserID, sv float64) error {
+	if _, indexed := t.cur[uid]; indexed {
+		return fmt.Errorf("core: cannot change SV of indexed user %d", uid)
+	}
+	enc, err := t.cfg.SV.Encode(sv)
+	if err != nil {
+		return err
+	}
+	t.svEnc[uid] = enc
+	return nil
+}
+
+// SV returns uid's registered fixed-point sequence value.
+func (t *Tree) SV(uid motion.UserID) (uint64, bool) {
+	v, ok := t.svEnc[uid]
+	return v, ok
+}
+
+// keyFor computes the object's PEB key: position advanced to the label
+// timestamp, Z-encoded, combined with the user's sequence value (Eq. 5).
+func (t *Tree) keyFor(o motion.Object) (btree.KV, int64, error) {
+	sv, ok := t.svEnc[o.UID]
+	if !ok {
+		return btree.KV{}, 0, fmt.Errorf("core: user %d has no sequence value", o.UID)
+	}
+	li := t.cfg.Base.LabelIndex(o.T)
+	x, y := o.PositionAt(t.cfg.Base.LabelTime(li))
+	zv := t.cfg.Base.CurveValue(x, y)
+	key := t.cfg.Key(t.cfg.Base.PartitionOf(li), sv, zv)
+	return btree.KV{Key: key, UID: uint32(o.UID)}, li, nil
+}
+
+// Insert adds or replaces the index entry for o.UID. The user must have a
+// sequence value registered (SetSV or the construction-time assignment).
+func (t *Tree) Insert(o motion.Object) error {
+	kv, li, err := t.keyFor(o)
+	if err != nil {
+		return err
+	}
+	if old, ok := t.cur[o.UID]; ok {
+		if err := t.removeEntry(o.UID, old); err != nil {
+			return err
+		}
+	}
+	if err := t.tree.Insert(kv, motion.EncodePayload(o)); err != nil {
+		return fmt.Errorf("core: insert u%d: %w", o.UID, err)
+	}
+	t.cur[o.UID] = kv
+	t.parts.Set(o.UID, li)
+	return nil
+}
+
+// Update is a synonym for Insert that documents intent at call sites.
+func (t *Tree) Update(o motion.Object) error { return t.Insert(o) }
+
+// Delete removes uid's entry. Deleting an absent user is an error.
+func (t *Tree) Delete(uid motion.UserID) error {
+	kv, ok := t.cur[uid]
+	if !ok {
+		return fmt.Errorf("core: delete of unknown user %d", uid)
+	}
+	return t.removeEntry(uid, kv)
+}
+
+// Get returns uid's current object state.
+func (t *Tree) Get(uid motion.UserID) (motion.Object, bool, error) {
+	kv, ok := t.cur[uid]
+	if !ok {
+		return motion.Object{}, false, nil
+	}
+	payload, found, err := t.tree.Get(kv)
+	if err != nil || !found {
+		return motion.Object{}, found, err
+	}
+	return motion.DecodePayload(uid, payload), true, nil
+}
+
+func (t *Tree) removeEntry(uid motion.UserID, kv btree.KV) error {
+	found, err := t.tree.Delete(kv)
+	if err != nil {
+		return fmt.Errorf("core: delete u%d: %w", uid, err)
+	}
+	if !found {
+		return fmt.Errorf("core: entry for u%d missing from tree", uid)
+	}
+	t.parts.Remove(uid)
+	delete(t.cur, uid)
+	return nil
+}
+
+// svGroup is one distinct encoded sequence value and the query issuer's
+// friends that share it (distinct users can quantize to the same value).
+type svGroup struct {
+	sv   uint64
+	uids []motion.UserID
+}
+
+// friendGroups returns the issuer's grantors — "the set of users who may
+// allow the query issuer to see their locations" (Upol, Sec. 5.3 step 2) —
+// grouped by encoded sequence value, ascending. Grantors without a
+// registered sequence value cannot appear in the index and are skipped.
+func (t *Tree) friendGroups(issuer motion.UserID) []svGroup {
+	grantors := t.policies.Grantors(policy.UserID(issuer))
+	byVal := make(map[uint64][]motion.UserID, len(grantors))
+	for _, g := range grantors {
+		uid := motion.UserID(g)
+		if uid == issuer {
+			continue
+		}
+		sv, ok := t.svEnc[uid]
+		if !ok {
+			continue
+		}
+		byVal[sv] = append(byVal[sv], uid)
+	}
+	out := make([]svGroup, 0, len(byVal))
+	for sv, uids := range byVal {
+		out = append(out, svGroup{sv: sv, uids: uids})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sv < out[j].sv })
+	return out
+}
+
+// qualifies applies the policy predicate of Definitions 2–3: the candidate's
+// exact position at tq must fall inside a policy region open to the issuer
+// during tq. The location predicate (range window or kNN distance) is the
+// caller's concern.
+func (t *Tree) qualifies(candidate motion.Object, issuer motion.UserID, tq float64) bool {
+	x, y := candidate.PositionAt(tq)
+	return t.policies.Allows(policy.UserID(candidate.UID), policy.UserID(issuer), x, y, tq)
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bxtree"
+	"repro/internal/motion"
+	"repro/internal/zcurve"
+)
+
+// Neighbor is one PkNN result; it reuses the Bx-tree's result shape.
+type Neighbor = bxtree.Neighbor
+
+// pknnSearch carries the state of one PkNN execution over the search matrix
+// of Fig. 8: rows are the issuer's friends in ascending SV order, columns
+// are window enlargement rounds, and each cell is the key range
+// [TID ⊕ SV ⊕ ZVs, TID ⊕ SV ⊕ ZVe] for that friend and round.
+type pknnSearch struct {
+	t          *Tree
+	issuer     motion.UserID
+	qx, qy, tq float64
+	rq         float64 // per-round radius increment (Dk/k)
+
+	groups []svGroup
+	// scanned[row][tid] is the single, monotonically growing key-range
+	// chain already scanned for that friend and partition. Windows are all
+	// centered at the query point, so their Z intervals form a chain and
+	// one interval per (row, partition) suffices.
+	scanned []map[uint64]zcurve.Interval
+	// rowDone[row] is set once every friend in the row has been located
+	// (the scans are leaf-opportunistic, so this usually happens on the
+	// row's first visit); done rows are skipped thereafter — the paper's
+	// skip rule, and the mechanism that bounds query cost by the number of
+	// users related to the issuer (Sec. 6).
+	rowDone []bool
+
+	processed map[motion.UserID]bool     // decoded and policy-checked once
+	found     map[motion.UserID]Neighbor // qualified candidates
+}
+
+// allRowsDone reports whether every friend row has been resolved.
+func (s *pknnSearch) allRowsDone() bool {
+	for _, d := range s.rowDone {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshRow recomputes rowDone[r] from the processed set.
+func (s *pknnSearch) refreshRow(r int) {
+	if s.rowDone[r] {
+		return
+	}
+	for _, uid := range s.groups[r].uids {
+		if !s.processed[uid] {
+			return
+		}
+	}
+	s.rowDone[r] = true
+}
+
+// PKNN answers the privacy-aware k-nearest-neighbor query (Definition 3):
+// the k users nearest to (qx, qy) at tq among those whose policies let
+// issuer see them there and then, sorted by ascending distance.
+//
+// Following Sec. 5.4, the search space is a matrix of friend SVs × window
+// enlargement rounds, visited in triangular (anti-diagonal) order so cells
+// that are close in either policy compatibility or space are checked early
+// (Fig. 9). Each cell scans only the key ranges not already covered by
+// earlier rounds for that friend. Once k qualified candidates are known, a
+// final vertical pass re-checks every friend within the window clamped to
+// twice the k'th candidate distance (Sec. 5.4's last step), which
+// guarantees no closer qualified user was missed.
+func (t *Tree) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if t.cfg.Layout == ZVFirst {
+		return t.pknnZVFirst(issuer, qx, qy, k, tq)
+	}
+	groups := t.friendGroups(issuer)
+	if len(groups) == 0 {
+		return nil, nil
+	}
+
+	s := &pknnSearch{
+		t:      t,
+		issuer: issuer,
+		qx:     qx,
+		qy:     qy,
+		tq:     tq,
+		rq:     t.roundRadius(k),
+		groups: groups,
+
+		scanned:   make([]map[uint64]zcurve.Interval, len(groups)),
+		rowDone:   make([]bool, len(groups)),
+		processed: make(map[motion.UserID]bool),
+		found:     make(map[motion.UserID]Neighbor),
+	}
+	for i := range s.scanned {
+		s.scanned[i] = make(map[uint64]zcurve.Interval)
+	}
+
+	// The last useful column: once the (unenlarged) window covers the whole
+	// space, later columns add nothing.
+	coverCol := s.coverColumn()
+
+	m := len(groups)
+	done := false
+	visit := func(r, c int) (bool, error) {
+		if err := s.scanCell(r, c); err != nil {
+			return false, err
+		}
+		if len(s.found) >= k {
+			if err := s.finalScan(k); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		// All friends located but fewer than k qualified: nothing left to
+		// search — every possible result is already in hand.
+		return s.allRowsDone(), nil
+	}
+	switch t.cfg.PKNNOrder {
+	case ColumnMajor:
+		// Ablation order: exhaust every friend per round before enlarging.
+		for c := 0; c <= coverCol && !done; c++ {
+			for r := 0; r < m; r++ {
+				var err error
+				if done, err = visit(r, c); err != nil {
+					return nil, err
+				}
+				if done {
+					break
+				}
+			}
+		}
+	default:
+		// Triangular search order (Fig. 9): anti-diagonals, row 0 first.
+		maxDiag := m - 1 + coverCol
+		for d := 0; d <= maxDiag && !done; d++ {
+			for r := 0; r <= d && r < m; r++ {
+				c := d - r
+				if c > coverCol {
+					continue
+				}
+				var err error
+				if done, err = visit(r, c); err != nil {
+					return nil, err
+				}
+				if done {
+					break
+				}
+			}
+		}
+	}
+
+	out := make([]Neighbor, 0, len(s.found))
+	for _, nb := range s.found {
+		out = append(out, nb)
+	}
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// roundRadius returns the per-round window radius increment rq = Dk/k
+// (Sec. 5.4), with a floor that keeps degenerate estimates from stalling
+// the search.
+func (t *Tree) roundRadius(k int) float64 {
+	L := t.cfg.Base.Grid.Side
+	rq := bxtree.EstimateDk(k, t.Size(), L) / float64(k)
+	if rq <= 0 || math.IsNaN(rq) || math.IsInf(rq, 0) {
+		rq = L / 64
+	}
+	return rq
+}
+
+// coverColumn returns the smallest column index whose window covers the
+// entire space from the query point.
+func (s *pknnSearch) coverColumn() int {
+	L := s.t.cfg.Base.Grid.Side
+	r := math.Max(math.Max(s.qx, L-s.qx), math.Max(s.qy, L-s.qy))
+	if r <= 0 {
+		return 0
+	}
+	return int(math.Ceil(r/s.rq)) - 1
+}
+
+// cellInterval returns the single Z interval of the round-c window for
+// partition pr — "the one interval formed by the minimum and maximum
+// 1-dimensional values of the query range" (Sec. 5.4) — and whether the
+// window intersects the space at all. Component-wise monotonicity of the
+// Z-curve makes Encode(MinX, MinY) and Encode(MaxX, MaxY) the exact
+// extremes over the rectangle.
+func (s *pknnSearch) cellInterval(c int, pr bxtree.PartitionRef) (zcurve.Interval, bool) {
+	radius := s.rq * float64(c+1)
+	w := bxtree.Square(s.qx, s.qy, radius).Enlarge(s.t.cfg.Base.MaxSpeed * pr.Gap)
+	rect, ok := s.t.cfg.Base.Grid.RectOf(w.MinX, w.MinY, w.MaxX, w.MaxY)
+	if !ok {
+		return zcurve.Interval{}, false
+	}
+	iv, err := s.t.cfg.Base.CoverInterval(rect)
+	if err != nil {
+		return zcurve.Interval{}, false
+	}
+	return iv, true
+}
+
+// scanCell scans matrix cell (row r, column c): friend group r's key range
+// for the round-c window, minus ranges covered by earlier columns. Rows
+// whose friends have all been located are skipped.
+func (s *pknnSearch) scanCell(r, c int) error {
+	if s.rowDone[r] {
+		return nil
+	}
+	g := s.groups[r]
+	for _, pr := range s.t.parts.Active(s.tq) {
+		iv, ok := s.cellInterval(c, pr)
+		if !ok {
+			continue
+		}
+		if err := s.scanDelta(r, g.sv, pr.TID, iv); err != nil {
+			return err
+		}
+	}
+	s.refreshRow(r)
+	return nil
+}
+
+// scanDelta scans the parts of iv not yet covered for (row, tid) and
+// extends the covered chain. Intervals for a given row and partition are
+// nested across columns, so the uncovered parts are at most two ranges.
+func (s *pknnSearch) scanDelta(r int, sv, tid uint64, iv zcurve.Interval) error {
+	prev, has := s.scanned[r][tid]
+	var todo []zcurve.Interval
+	switch {
+	case !has:
+		todo = []zcurve.Interval{iv}
+	default:
+		if iv.Lo < prev.Lo {
+			todo = append(todo, zcurve.Interval{Lo: iv.Lo, Hi: prev.Lo - 1})
+		}
+		if iv.Hi > prev.Hi {
+			todo = append(todo, zcurve.Interval{Lo: prev.Hi + 1, Hi: iv.Hi})
+		}
+		// Keep the widest extent seen (the chain property guarantees
+		// iv ⊇ prev or iv ⊆ prev; union handles both).
+		if prev.Lo < iv.Lo {
+			iv.Lo = prev.Lo
+		}
+		if prev.Hi > iv.Hi {
+			iv.Hi = prev.Hi
+		}
+	}
+	s.scanned[r][tid] = iv
+	for _, d := range todo {
+		loK, hiK := s.t.cfg.SVRange(tid, sv, d.Lo, d.Hi)
+		// Leaf-opportunistic: every entry on the fetched pages is
+		// considered, so the row's friend is located the first time any
+		// page of its SV band is read.
+		err := s.t.scanLeafRange(loK, hiK, func(o motion.Object) { s.consider(o) })
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// consider policy-checks a scanned candidate once and records it if it
+// qualifies (the Add_to_result verification of Fig. 10).
+func (s *pknnSearch) consider(o motion.Object) {
+	if s.processed[o.UID] {
+		return
+	}
+	s.processed[o.UID] = true
+	if o.UID == s.issuer {
+		return
+	}
+	if !s.t.qualifies(o, s.issuer, s.tq) {
+		return
+	}
+	s.found[o.UID] = Neighbor{Object: o, Dist: o.DistanceAt(s.tq, s.qx, s.qy)}
+}
+
+// kthDist returns the distance of the k'th nearest qualified candidate.
+func (s *pknnSearch) kthDist(k int) float64 {
+	ds := make([]float64, 0, len(s.found))
+	for _, nb := range s.found {
+		ds = append(ds, nb.Dist)
+	}
+	sort.Float64s(ds)
+	return ds[k-1]
+}
+
+// finalScan is the vertical pass of Sec. 5.4: with k candidates in hand,
+// every friend's remaining range inside the window of radius d_k (the
+// query square "with twice the distance to the k'th nearest candidate as
+// its side length") is checked, so any unexamined closer user is found.
+func (s *pknnSearch) finalScan(k int) error {
+	dk := s.kthDist(k)
+	for r := range s.groups {
+		if s.rowDone[r] {
+			continue // the row's friends are all located and verified
+		}
+		g := s.groups[r]
+		for _, pr := range s.t.parts.Active(s.tq) {
+			w := bxtree.Square(s.qx, s.qy, dk).Enlarge(s.t.cfg.Base.MaxSpeed * pr.Gap)
+			rect, ok := s.t.cfg.Base.Grid.RectOf(w.MinX, w.MinY, w.MaxX, w.MaxY)
+			if !ok {
+				continue
+			}
+			iv, err := s.t.cfg.Base.CoverInterval(rect)
+			if err != nil {
+				return err
+			}
+			if err := s.scanDelta(r, g.sv, pr.TID, iv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pknnZVFirst answers PkNN on the ablation layout: the friend dimension
+// cannot prune the scan, so windows are enlarged round by round scanning
+// the full SV span, exactly like a privacy-unaware kNN with post-filtering.
+func (t *Tree) pknnZVFirst(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+	friends := t.friendSet(issuer)
+	if len(friends) == 0 {
+		return nil, nil
+	}
+	rq := t.roundRadius(k)
+	L := t.cfg.Base.Grid.Side
+	scanned := make(map[uint64]zcurve.Interval)
+	processed := make(map[motion.UserID]bool)
+	found := make(map[motion.UserID]Neighbor)
+
+	for round := 1; ; round++ {
+		radius := rq * float64(round)
+		w := bxtree.Square(qx, qy, radius)
+		for _, pr := range t.parts.Active(tq) {
+			ew := w.Enlarge(t.cfg.Base.MaxSpeed * pr.Gap)
+			rect, ok := t.cfg.Base.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+			if !ok {
+				continue
+			}
+			iv, err := t.cfg.Base.CoverInterval(rect)
+			if err != nil {
+				return nil, err
+			}
+			prev, has := scanned[pr.TID]
+			var todo []zcurve.Interval
+			if !has {
+				todo = []zcurve.Interval{iv}
+			} else {
+				if iv.Lo < prev.Lo {
+					todo = append(todo, zcurve.Interval{Lo: iv.Lo, Hi: prev.Lo - 1})
+				}
+				if iv.Hi > prev.Hi {
+					todo = append(todo, zcurve.Interval{Lo: prev.Hi + 1, Hi: iv.Hi})
+				}
+				if prev.Lo < iv.Lo {
+					iv.Lo = prev.Lo
+				}
+				if prev.Hi > iv.Hi {
+					iv.Hi = prev.Hi
+				}
+			}
+			scanned[pr.TID] = iv
+			for _, d := range todo {
+				loK, hiK := t.cfg.ZVRange(pr.TID, d.Lo, d.Hi)
+				err := t.scanRange(loK, hiK, func(o motion.Object) {
+					if processed[o.UID] {
+						return
+					}
+					processed[o.UID] = true
+					if o.UID == issuer || !friends[o.UID] {
+						return
+					}
+					if !t.qualifies(o, issuer, tq) {
+						return
+					}
+					found[o.UID] = Neighbor{Object: o, Dist: o.DistanceAt(tq, qx, qy)}
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		within := 0
+		for _, nb := range found {
+			if nb.Dist <= radius {
+				within++
+			}
+		}
+		covered := w.MinX <= 0 && w.MinY <= 0 && w.MaxX >= L && w.MaxY >= L
+		if within >= k || covered {
+			break
+		}
+	}
+
+	out := make([]Neighbor, 0, len(found))
+	for _, nb := range found {
+		out = append(out, nb)
+	}
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// sortNeighbors orders by ascending distance, ties by user id.
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].Object.UID < ns[j].Object.UID
+	})
+}

@@ -1,0 +1,123 @@
+// Package costmodel implements the query I/O cost model of Sec. 6: the
+// grouping-only estimate C1 (Eq. 6) and the density-calibrated estimate C
+// (Eq. 7) for privacy-aware range queries on the PEB-tree.
+//
+// The model's reasoning: sequence values dominate PEB keys, so query cost
+// is governed by how well the sequence-value assignment groups the issuer's
+// related users. Np (policies per user) bounds the number of leaves a query
+// may touch, the grouping factor θ discounts it by Np^θ (well-grouped users
+// share leaves), Nl caps it (there are only that many leaves), and the
+// object density N/L² scales it linearly (larger populations spread related
+// users across more distinct sequence-value bands).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes one workload point for the cost model.
+type Params struct {
+	N     int     // total number of users
+	Np    int     // policies per user
+	Theta float64 // grouping factor θ ∈ [0, 1]
+	Nl    int     // number of leaf nodes in the PEB-tree
+	L     float64 // side length of the space
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("costmodel: N = %d", p.N)
+	}
+	if p.Np < 0 {
+		return fmt.Errorf("costmodel: Np = %d", p.Np)
+	}
+	if p.Theta < 0 || p.Theta > 1 {
+		return fmt.Errorf("costmodel: θ = %g outside [0,1]", p.Theta)
+	}
+	if p.Nl <= 0 {
+		return fmt.Errorf("costmodel: Nl = %d", p.Nl)
+	}
+	if p.L <= 0 {
+		return fmt.Errorf("costmodel: L = %g", p.L)
+	}
+	return nil
+}
+
+// groupingTerm returns Np − Np^θ capped by the leaf count: the estimated
+// number of leaf nodes holding the issuer's related users (Eq. 6's varying
+// term). θ = 1 collapses it to 0 (everyone shares the anchor's leaves);
+// θ = 0 leaves Np − 1 (no grouping at all).
+func (p Params) groupingTerm() float64 {
+	base := float64(p.Np)
+	if p.Np > p.Nl {
+		base = float64(p.Nl)
+	}
+	return base - math.Pow(float64(p.Np), p.Theta)
+}
+
+// C1 estimates the PRQ I/O cost from grouping alone (Eq. 6).
+func C1(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return 1 + p.groupingTerm(), nil
+}
+
+// Model is the calibrated cost function C (Eq. 7):
+//
+//	C = 1 + (a1·N/L² + a2) · (min(Np, Nl) − Np^θ)
+//
+// A1 and A2 are obtained from two sample measurements on datasets with the
+// same location distribution (Sec. 6 quotes a1 = 10, a2 = 0.3 for uniform).
+type Model struct {
+	A1, A2 float64
+}
+
+// Cost evaluates the model at p.
+func (m Model) Cost(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	density := float64(p.N) / (p.L * p.L)
+	c := 1 + (m.A1*density+m.A2)*p.groupingTerm()
+	if c < 1 {
+		c = 1 // a query touches at least one leaf
+	}
+	return c, nil
+}
+
+// Sample is one calibration observation: a workload point and the measured
+// mean query I/O cost at that point.
+type Sample struct {
+	Params Params
+	IO     float64
+}
+
+// Calibrate solves for A1 and A2 from two samples (Sec. 6: "parameters a1
+// and a2 are obtained by taking as input any two sample points"). Writing
+// g = min(Np, Nl) − Np^θ and d = N/L², each sample yields a linear
+// equation (IO − 1)/g = a1·d + a2; two samples with distinct densities
+// determine the line.
+func Calibrate(s1, s2 Sample) (Model, error) {
+	for _, s := range []Sample{s1, s2} {
+		if err := s.Params.Validate(); err != nil {
+			return Model{}, err
+		}
+		if s.Params.groupingTerm() <= 0 {
+			return Model{}, fmt.Errorf("costmodel: sample at θ=%g has no grouping signal (term %g)",
+				s.Params.Theta, s.Params.groupingTerm())
+		}
+	}
+	d1 := float64(s1.Params.N) / (s1.Params.L * s1.Params.L)
+	d2 := float64(s2.Params.N) / (s2.Params.L * s2.Params.L)
+	if d1 == d2 {
+		return Model{}, fmt.Errorf("costmodel: calibration samples share density %g; need two distinct N/L²", d1)
+	}
+	y1 := (s1.IO - 1) / s1.Params.groupingTerm()
+	y2 := (s2.IO - 1) / s2.Params.groupingTerm()
+	a1 := (y2 - y1) / (d2 - d1)
+	a2 := y1 - a1*d1
+	return Model{A1: a1, A2: a2}, nil
+}

@@ -1,0 +1,186 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validParams() Params {
+	return Params{N: 60_000, Np: 50, Theta: 0.7, Nl: 800, L: 1000}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"N=0", func(p *Params) { p.N = 0 }},
+		{"Np<0", func(p *Params) { p.Np = -1 }},
+		{"theta>1", func(p *Params) { p.Theta = 1.1 }},
+		{"Nl=0", func(p *Params) { p.Nl = 0 }},
+		{"L=0", func(p *Params) { p.L = 0 }},
+	}
+	for _, tc := range cases {
+		p := validParams()
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestC1Endpoints(t *testing.T) {
+	// θ = 1: perfect grouping, C1 = 1 + Np − Np = 1.
+	p := validParams()
+	p.Theta = 1
+	got, err := C1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("C1(θ=1) = %g, want 1", got)
+	}
+	// θ = 0: no grouping, C1 = 1 + Np − 1 = Np.
+	p.Theta = 0
+	got, err = C1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(p.Np) {
+		t.Errorf("C1(θ=0) = %g, want %d", got, p.Np)
+	}
+}
+
+func TestC1LeafCap(t *testing.T) {
+	// Np > Nl: the leaf count caps the varying term (Eq. 6, second case).
+	p := validParams()
+	p.Np = 2000
+	p.Nl = 100
+	p.Theta = 0.5
+	got, err := C1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 100 - math.Pow(2000, 0.5)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("C1 = %g, want %g", got, want)
+	}
+}
+
+func TestC1MonotoneInTheta(t *testing.T) {
+	prev := math.Inf(1)
+	for theta := 0.0; theta <= 1.0; theta += 0.1 {
+		p := validParams()
+		p.Theta = theta
+		c, err := C1(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > prev {
+			t.Fatalf("C1 not non-increasing in θ at %g: %g > %g", theta, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestModelCostMonotoneInN(t *testing.T) {
+	m := Model{A1: 10, A2: 0.3} // the paper's uniform-distribution values
+	prev := 0.0
+	for n := 10_000; n <= 100_000; n += 10_000 {
+		p := validParams()
+		p.N = n
+		c, err := m.Cost(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Fatalf("Cost not increasing in N at %d: %g <= %g", n, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestModelCostFloor(t *testing.T) {
+	// Negative calibration must not push the estimate below one page.
+	m := Model{A1: -100, A2: -100}
+	c, err := m.Cost(validParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 1 {
+		t.Errorf("Cost = %g < 1", c)
+	}
+}
+
+func TestCalibrateRecoversModel(t *testing.T) {
+	truth := Model{A1: 10, A2: 0.3}
+	p1 := validParams()
+	p1.N = 20_000
+	p2 := validParams()
+	p2.N = 80_000
+	io1, err := truth.Cost(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io2, err := truth.Cost(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Calibrate(Sample{p1, io1}, Sample{p2, io2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A1-truth.A1) > 1e-9 || math.Abs(got.A2-truth.A2) > 1e-9 {
+		t.Errorf("Calibrate = %+v, want %+v", got, truth)
+	}
+}
+
+func TestCalibrateRejectsDegenerate(t *testing.T) {
+	p := validParams()
+	if _, err := Calibrate(Sample{p, 10}, Sample{p, 20}); err == nil {
+		t.Error("same-density samples accepted")
+	}
+	p1 := validParams()
+	p1.Theta = 1 // no grouping signal: term = 0
+	p2 := validParams()
+	p2.N = 2 * p1.N
+	if _, err := Calibrate(Sample{p1, 10}, Sample{p2, 20}); err == nil {
+		t.Error("zero grouping term accepted")
+	}
+}
+
+// Property: calibration through any two generated points reproduces both
+// exactly (the model is linear in density for fixed grouping term).
+func TestCalibrateRoundTripProperty(t *testing.T) {
+	f := func(a1Raw, a2Raw uint8, n1Raw, n2Raw uint16) bool {
+		a1 := float64(a1Raw)/10 + 0.1
+		a2 := float64(a2Raw) / 100
+		n1 := int(n1Raw)%50_000 + 1_000
+		n2 := n1 + int(n2Raw)%50_000 + 1_000 // distinct density
+		truth := Model{A1: a1, A2: a2}
+		p1, p2 := validParams(), validParams()
+		p1.N, p2.N = n1, n2
+		io1, err1 := truth.Cost(p1)
+		io2, err2 := truth.Cost(p2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if io1 <= 1 || io2 <= 1 {
+			return true // floor clipped; not invertible, skip
+		}
+		m, err := Calibrate(Sample{p1, io1}, Sample{p2, io2})
+		if err != nil {
+			return false
+		}
+		r1, _ := m.Cost(p1)
+		r2, _ := m.Cost(p2)
+		return math.Abs(r1-io1) < 1e-6 && math.Abs(r2-io2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"repro/internal/bxtree"
+	"repro/internal/core"
+)
+
+// Ablation experiments isolate the PEB-tree's design choices that Sec. 5
+// argues for: SV-above-ZV key ordering, the triangular search order, and
+// the choice of space-filling curve.
+
+var expAblationKeyOrder = Experiment{
+	ID:      "ablation-keyorder",
+	Title:   "Key layout ablation: SV-first (paper) vs. ZV-first keys",
+	XLabel:  "users",
+	Columns: []string{"svfirst_prq", "zvfirst_prq", "svfirst_pknn", "zvfirst_pknn"},
+	Run: func(o Options) (*Table, error) {
+		o.normalize()
+		paperNs := []int{10_000, 30_000, 60_000}
+		rows := make([]Row, len(paperNs))
+		err := forEachPoint(o.Parallel, len(paperNs), func(i int) error {
+			cfg := o.baseConfig()
+			cfg.Workload.NumUsers = o.users(paperNs[i])
+			tb, err := Build(cfg)
+			if err != nil {
+				return err
+			}
+			zvTree, err := tb.NewPEBVariant(func(c *core.Config) { c.Layout = core.ZVFirst })
+			if err != nil {
+				return err
+			}
+			prqs := tb.DS.GenPRQueries(cfg.QueryCount, cfg.WindowSide, cfg.QueryTime)
+			knns := tb.DS.GenKNNQueries(cfg.QueryCount, cfg.K, cfg.QueryTime)
+			svPRQ, err := MeasurePRQOn(tb.PEB, prqs)
+			if err != nil {
+				return err
+			}
+			zvPRQ, err := MeasurePRQOn(zvTree, prqs)
+			if err != nil {
+				return err
+			}
+			svKNN, err := MeasurePKNNOn(tb.PEB, knns)
+			if err != nil {
+				return err
+			}
+			zvKNN, err := MeasurePKNNOn(zvTree, knns)
+			if err != nil {
+				return err
+			}
+			o.logf("ablation-keyorder N=%d: prq %.1f vs %.1f, pknn %.1f vs %.1f",
+				cfg.Workload.NumUsers, svPRQ, zvPRQ, svKNN, zvKNN)
+			rows[i] = Row{X: float64(cfg.Workload.NumUsers), Vals: []float64{svPRQ, zvPRQ, svKNN, zvKNN}}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Table{ID: "ablation-keyorder", Title: "Key layout ablation: SV-first (paper) vs. ZV-first keys",
+			XLabel: "users", Columns: []string{"svfirst_prq", "zvfirst_prq", "svfirst_pknn", "zvfirst_pknn"}, Rows: rows}, nil
+	},
+}
+
+var expAblationSearchOrder = Experiment{
+	ID:      "ablation-searchorder",
+	Title:   "PkNN search-order ablation: triangular (Fig. 9) vs. column-major",
+	XLabel:  "k",
+	Columns: []string{"triangular_io", "columnmajor_io"},
+	Run: func(o Options) (*Table, error) {
+		o.normalize()
+		tb, err := Build(o.baseConfig())
+		if err != nil {
+			return nil, err
+		}
+		cmTree, err := tb.NewPEBVariant(func(c *core.Config) { c.PKNNOrder = core.ColumnMajor })
+		if err != nil {
+			return nil, err
+		}
+		ks := []int{1, 3, 5, 7, 10}
+		rows := make([]Row, 0, len(ks))
+		for _, k := range ks {
+			qs := tb.DS.GenKNNQueries(tb.Cfg.QueryCount, k, tb.Cfg.QueryTime)
+			tri, err := MeasurePKNNOn(tb.PEB, qs)
+			if err != nil {
+				return nil, err
+			}
+			cm, err := MeasurePKNNOn(cmTree, qs)
+			if err != nil {
+				return nil, err
+			}
+			o.logf("ablation-searchorder k=%d: triangular=%.1f column-major=%.1f", k, tri, cm)
+			rows = append(rows, Row{X: float64(k), Vals: []float64{tri, cm}})
+		}
+		return &Table{ID: "ablation-searchorder", Title: "PkNN search-order ablation: triangular (Fig. 9) vs. column-major",
+			XLabel: "k", Columns: []string{"triangular_io", "columnmajor_io"}, Rows: rows}, nil
+	},
+}
+
+var expAblationCurve = Experiment{
+	ID:      "ablation-curve",
+	Title:   "Space-filling-curve ablation: Z-order (paper) vs. Hilbert",
+	XLabel:  "window_side",
+	Columns: []string{"zcurve_io", "hilbert_io"},
+	Run: func(o Options) (*Table, error) {
+		o.normalize()
+		tb, err := Build(o.baseConfig())
+		if err != nil {
+			return nil, err
+		}
+		hilTree, err := tb.NewPEBVariant(func(c *core.Config) { c.Base.Curve = bxtree.CurveHilbert })
+		if err != nil {
+			return nil, err
+		}
+		sides := []float64{100, 200, 400, 600, 800, 1000}
+		rows := make([]Row, 0, len(sides))
+		for _, side := range sides {
+			qs := tb.DS.GenPRQueries(tb.Cfg.QueryCount, side, tb.Cfg.QueryTime)
+			z, err := MeasurePRQOn(tb.PEB, qs)
+			if err != nil {
+				return nil, err
+			}
+			h, err := MeasurePRQOn(hilTree, qs)
+			if err != nil {
+				return nil, err
+			}
+			o.logf("ablation-curve side=%g: z=%.1f hilbert=%.1f", side, z, h)
+			rows = append(rows, Row{X: side, Vals: []float64{z, h}})
+		}
+		return &Table{ID: "ablation-curve", Title: "Space-filling-curve ablation: Z-order (paper) vs. Hilbert",
+			XLabel: "window_side", Columns: []string{"zcurve_io", "hilbert_io"}, Rows: rows}, nil
+	},
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one data point of a result table: the sweep value plus one value
+// per column.
+type Row struct {
+	X    float64
+	Vals []float64
+}
+
+// Table is the result of one experiment: a sweep with one or more measured
+// series, printable as aligned text or CSV.
+type Table struct {
+	ID      string
+	Title   string
+	XLabel  string
+	Columns []string
+	Rows    []Row
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	headers := append([]string{t.XLabel}, t.Columns...)
+	widths := make([]int, len(headers))
+	cells := make([][]string, len(t.Rows))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(headers))
+		cells[r][0] = formatNum(row.X)
+		for c, v := range row.Vals {
+			cells[r][c+1] = formatNum(v)
+		}
+		for c, s := range cells[r] {
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for i, h := range headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header line.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(formatNum(row.X))
+		for _, v := range row.Vals {
+			b.WriteByte(',')
+			b.WriteString(formatNum(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

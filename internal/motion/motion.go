@@ -1,0 +1,88 @@
+// Package motion defines the linear moving-object model shared by the
+// Bx-tree (internal/bxtree), the PEB-tree (internal/core), and the workload
+// generators (internal/workload).
+//
+// Following the paper (Sec. 2.1) and the moving-object literature it builds
+// on [13, 27, 31, 32], an object's position is a linear function of time:
+//
+//	x⃗(t) = x⃗ + v⃗·(t − tu)
+//
+// where x⃗ and v⃗ are the position and velocity recorded at the most recent
+// update time tu. An object is the triple (x⃗, v⃗, tu).
+package motion
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/btree"
+)
+
+// UserID identifies a moving user. It is the same 32-bit id space as
+// policy.UserID and the btree KV.UID component.
+type UserID uint32
+
+// Object is a moving object's most recent update record.
+type Object struct {
+	UID    UserID
+	X, Y   float64 // position at time T
+	VX, VY float64 // velocity
+	T      float64 // update time tu
+}
+
+// PositionAt returns the object's predicted position at time t by linear
+// extrapolation from the last update.
+func (o Object) PositionAt(t float64) (x, y float64) {
+	dt := t - o.T
+	return o.X + o.VX*dt, o.Y + o.VY*dt
+}
+
+// Speed returns the object's scalar speed.
+func (o Object) Speed() float64 { return math.Hypot(o.VX, o.VY) }
+
+// DistanceAt returns the Euclidean distance between the object's predicted
+// position at time t and the point (qx, qy).
+func (o Object) DistanceAt(t, qx, qy float64) float64 {
+	x, y := o.PositionAt(t)
+	return math.Hypot(x-qx, y-qy)
+}
+
+// String implements fmt.Stringer.
+func (o Object) String() string {
+	return fmt.Sprintf("u%d@(%.2f,%.2f)+(%.2f,%.2f)t=%.2f", o.UID, o.X, o.Y, o.VX, o.VY, o.T)
+}
+
+// Payload layout: the object state packs exactly into the btree's fixed
+// 40-byte payload as five big-endian float64 fields (x, y, vx, vy, t).
+// The UID travels in the composite key, not the payload.
+const (
+	offX  = 0
+	offY  = 8
+	offVX = 16
+	offVY = 24
+	offT  = 32
+)
+
+// EncodePayload packs the object state (without UID) into a tree payload.
+func EncodePayload(o Object) btree.Payload {
+	var p btree.Payload
+	binary.BigEndian.PutUint64(p[offX:], math.Float64bits(o.X))
+	binary.BigEndian.PutUint64(p[offY:], math.Float64bits(o.Y))
+	binary.BigEndian.PutUint64(p[offVX:], math.Float64bits(o.VX))
+	binary.BigEndian.PutUint64(p[offVY:], math.Float64bits(o.VY))
+	binary.BigEndian.PutUint64(p[offT:], math.Float64bits(o.T))
+	return p
+}
+
+// DecodePayload unpacks a tree payload into an object with the given UID.
+func DecodePayload(uid UserID, p btree.Payload) Object {
+	return Object{
+		UID: uid,
+		X:   math.Float64frombits(binary.BigEndian.Uint64(p[offX:])),
+		Y:   math.Float64frombits(binary.BigEndian.Uint64(p[offY:])),
+		VX:  math.Float64frombits(binary.BigEndian.Uint64(p[offVX:])),
+		VY:  math.Float64frombits(binary.BigEndian.Uint64(p[offVY:])),
+		T:   math.Float64frombits(binary.BigEndian.Uint64(p[offT:])),
+	}
+}

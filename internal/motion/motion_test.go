@@ -1,0 +1,78 @@
+package motion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionAt(t *testing.T) {
+	o := Object{UID: 7, X: 10, Y: 20, VX: 1, VY: -2, T: 5}
+	tests := []struct {
+		t, wantX, wantY float64
+	}{
+		{5, 10, 20},     // at update time
+		{6, 11, 18},     // one unit later
+		{10, 15, 10},    // five units later
+		{4, 9, 22},      // extrapolating backwards
+		{5.5, 10.5, 19}, // fractional
+	}
+	for _, tc := range tests {
+		x, y := o.PositionAt(tc.t)
+		if x != tc.wantX || y != tc.wantY {
+			t.Errorf("PositionAt(%g) = (%g,%g), want (%g,%g)", tc.t, x, y, tc.wantX, tc.wantY)
+		}
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	o := Object{VX: 3, VY: 4}
+	if got := o.Speed(); got != 5 {
+		t.Errorf("Speed() = %g, want 5", got)
+	}
+	if got := (Object{}).Speed(); got != 0 {
+		t.Errorf("zero object Speed() = %g, want 0", got)
+	}
+}
+
+func TestDistanceAt(t *testing.T) {
+	o := Object{X: 0, Y: 0, VX: 1, VY: 0, T: 0}
+	// At t=3 the object is at (3,0); distance to (3,4) is 4.
+	if got := o.DistanceAt(3, 3, 4); got != 4 {
+		t.Errorf("DistanceAt = %g, want 4", got)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	o := Object{UID: 42, X: 123.456, Y: -789.25, VX: 0.125, VY: 3, T: 99.5}
+	got := DecodePayload(o.UID, EncodePayload(o))
+	if got != o {
+		t.Errorf("round trip = %+v, want %+v", got, o)
+	}
+}
+
+func TestPayloadRoundTripProperty(t *testing.T) {
+	f := func(uid uint32, x, y, vx, vy, tu float64) bool {
+		o := Object{UID: UserID(uid), X: x, Y: y, VX: vx, VY: vy, T: tu}
+		got := DecodePayload(o.UID, EncodePayload(o))
+		// NaN != NaN, so compare bit patterns.
+		eq := func(a, b float64) bool {
+			return math.Float64bits(a) == math.Float64bits(b)
+		}
+		return got.UID == o.UID && eq(got.X, o.X) && eq(got.Y, o.Y) &&
+			eq(got.VX, o.VX) && eq(got.VY, o.VY) && eq(got.T, o.T)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadSpecialValues(t *testing.T) {
+	for _, v := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		o := Object{UID: 1, X: v, Y: v, VX: v, VY: v, T: v}
+		got := DecodePayload(1, EncodePayload(o))
+		if math.Float64bits(got.X) != math.Float64bits(v) {
+			t.Errorf("special value %v not preserved: got %v", v, got.X)
+		}
+	}
+}

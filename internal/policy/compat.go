@@ -1,0 +1,73 @@
+package policy
+
+// This file implements the policy-comparison phase of Sec. 5.1: the score
+// α ∈ [0,1] and the compatibility degree C(u1, u2) of Eq. 4.
+
+// Alpha computes the α score between u1 and u2 and reports whether the two
+// policies are "simultaneous" (the paper's P1→2 ↔ P2→1 case: the users can
+// sometimes see each other at the same time, i.e., their locr and tint
+// overlap).
+//
+// Cases (Sec. 5.1):
+//   - no policy either way: α = 0.
+//   - both policies exist and their regions and intervals overlap:
+//     α = O(locr1,locr2)/S · D(tint1,tint2)/T, mutual = true.
+//   - both exist but never simultaneously visible, or only one exists:
+//     α = ½(|locr1|/S·|tint1|/T + |locr2|/S·|tint2|/T), with the missing
+//     term omitted; mutual = false. This α never exceeds 0.5.
+func (s *Store) Alpha(u1, u2 UserID) (alpha float64, mutual bool) {
+	if u2 < u1 {
+		// Canonical argument order keeps floating-point summation order —
+		// and therefore the result — exactly symmetric.
+		u1, u2 = u2, u1
+	}
+	p12, ok12 := s.PolicyFor(u1, u2)
+	p21, ok21 := s.PolicyFor(u2, u1)
+	S := s.space.Area()
+	T := s.dayLen
+
+	if !ok12 && !ok21 {
+		return 0, false
+	}
+	if ok12 && ok21 {
+		O := p12.Locr.OverlapArea(p21.Locr)
+		D := p12.Tint.OverlapDuration(p21.Tint, T)
+		if O > 0 && D > 0 {
+			return O / S * D / T, true
+		}
+	}
+	a := 0.0
+	if ok12 {
+		a += p12.Locr.Area() / S * p12.Tint.Duration(T) / T
+	}
+	if ok21 {
+		a += p21.Locr.Area() / S * p21.Tint.Duration(T) / T
+	}
+	return a / 2, false
+}
+
+// Compatibility returns C(u1, u2) per Eq. 4:
+//
+//	C = (1 + α)/2   when the users can sometimes see each other
+//	                simultaneously (always > 0.5),
+//	C = α           when they cannot (never exceeds 0.5),
+//	C = 0           when they are unrelated.
+//
+// Users with C > 0 are "related"; higher values mean the pair is more
+// likely to appear in each other's query results, so they should be stored
+// closer together.
+func (s *Store) Compatibility(u1, u2 UserID) float64 {
+	alpha, mutual := s.Alpha(u1, u2)
+	if alpha == 0 && !mutual {
+		return 0
+	}
+	if mutual {
+		return (1 + alpha) / 2
+	}
+	return alpha
+}
+
+// Related reports whether C(u1, u2) > 0.
+func (s *Store) Related(u1, u2 UserID) bool {
+	return s.Compatibility(u1, u2) > 0
+}

@@ -1,0 +1,55 @@
+package policy
+
+import "testing"
+
+func TestForEachGrant(t *testing.T) {
+	s, err := NewStore(Region{MaxX: 100, MaxY: 100}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Region{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	day := TimeInterval{Start: 0, End: 24}
+
+	// u1 grants "f" to u2 and u3; u2 grants "g" to u1. u4 has a relation
+	// but no policy for its role, so it must not be visited.
+	s.SetRelation(1, 2, "f")
+	s.SetRelation(1, 3, "f")
+	s.SetRelation(2, 1, "g")
+	s.SetRelation(4, 1, "h")
+	if err := s.AddPolicy(1, Policy{Role: "f", Locr: all, Tint: day}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPolicy(2, Policy{Role: "g", Locr: all, Tint: day}); err != nil {
+		t.Fatal(err)
+	}
+
+	type pair struct{ o, v UserID }
+	got := make(map[pair]Role)
+	s.ForEachGrant(func(owner, viewer UserID, p Policy) bool {
+		got[pair{owner, viewer}] = p.Role
+		return true
+	})
+	want := map[pair]Role{
+		{1, 2}: "f",
+		{1, 3}: "f",
+		{2, 1}: "g",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for k, r := range want {
+		if got[k] != r {
+			t.Errorf("grant %v = %q, want %q", k, got[k], r)
+		}
+	}
+
+	// Early stop.
+	calls := 0
+	s.ForEachGrant(func(UserID, UserID, Policy) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop made %d calls", calls)
+	}
+}

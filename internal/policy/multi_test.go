@@ -1,0 +1,194 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// newRandFromSeed and randomTestPolicy are local helpers for the
+// property-based tests in this file.
+func newRandFromSeed(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func randomTestPolicy(rng *rand.Rand, role Role) Policy {
+	w := rng.Float64() * 100
+	h := rng.Float64() * 100
+	x := rng.Float64() * (100 - w)
+	y := rng.Float64() * (100 - h)
+	start := rng.Float64() * 100
+	end := rng.Float64() * 100
+	return Policy{
+		Role: role,
+		Locr: Region{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h},
+		Tint: TimeInterval{Start: start, End: end},
+	}
+}
+
+func multiStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(Region{MaxX: 100, MaxY: 100}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// With exactly one policy per direction, AlphaMulti must equal Alpha.
+func TestAlphaMultiReducesToAlpha(t *testing.T) {
+	s := multiStore(t)
+	s.SetRelation(1, 2, "f")
+	s.SetRelation(2, 1, "g")
+	addPol := func(owner UserID, role Role, r Region, iv TimeInterval) {
+		t.Helper()
+		if err := s.AddPolicy(owner, Policy{Role: role, Locr: r, Tint: iv}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addPol(1, "f", Region{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50}, TimeInterval{Start: 0, End: 60})
+	addPol(2, "g", Region{MinX: 25, MinY: 25, MaxX: 75, MaxY: 75}, TimeInterval{Start: 30, End: 90})
+
+	a1, m1 := s.Alpha(1, 2)
+	a2, m2 := s.AlphaMulti(1, 2)
+	if a1 != a2 || m1 != m2 {
+		t.Errorf("single policy: Alpha=(%g,%v) AlphaMulti=(%g,%v)", a1, m1, a2, m2)
+	}
+	if s.Compatibility(1, 2) != s.CompatibilityMulti(1, 2) {
+		t.Error("compatibility degrees diverge on a single policy pair")
+	}
+}
+
+// A second policy that adds overlap must increase α; Alpha (single-policy)
+// cannot see it.
+func TestAlphaMultiSeesSecondPolicy(t *testing.T) {
+	s := multiStore(t)
+	s.SetRelation(1, 2, "f")
+	s.SetRelation(2, 1, "g")
+	// First pair: disjoint in time → not mutual under single-policy α.
+	if err := s.AddPolicy(1, Policy{Role: "f",
+		Locr: Region{MaxX: 100, MaxY: 100}, Tint: TimeInterval{Start: 0, End: 40}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPolicy(2, Policy{Role: "g",
+		Locr: Region{MaxX: 100, MaxY: 100}, Tint: TimeInterval{Start: 50, End: 90}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, mutual := s.Alpha(1, 2); mutual {
+		t.Fatal("single-policy α should see disjoint windows")
+	}
+	// u1 adds a second policy overlapping u2's window.
+	if err := s.AddPolicy(1, Policy{Role: "f",
+		Locr: Region{MaxX: 100, MaxY: 100}, Tint: TimeInterval{Start: 50, End: 70}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, mutual := s.Alpha(1, 2); mutual {
+		t.Fatal("single-policy α must still read only the first policy")
+	}
+	alpha, mutual := s.AlphaMulti(1, 2)
+	if !mutual {
+		t.Fatal("multi-policy α missed the overlapping second policy")
+	}
+	// Overlap is 20/100 of time over the full space.
+	if math.Abs(alpha-0.2) > 1e-12 {
+		t.Errorf("α = %g, want 0.2", alpha)
+	}
+	if c := s.CompatibilityMulti(1, 2); math.Abs(c-0.6) > 1e-12 {
+		t.Errorf("C = %g, want 0.6", c)
+	}
+}
+
+// α must stay within [0, 1] no matter how many policies pile up.
+func TestAlphaMultiCapped(t *testing.T) {
+	s := multiStore(t)
+	s.SetRelation(1, 2, "f")
+	s.SetRelation(2, 1, "g")
+	full := Region{MaxX: 100, MaxY: 100}
+	allDay := TimeInterval{Start: 0, End: 100}
+	for i := 0; i < 5; i++ {
+		if err := s.AddPolicy(1, Policy{Role: "f", Locr: full, Tint: allDay}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddPolicy(2, Policy{Role: "g", Locr: full, Tint: allDay}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alpha, mutual := s.AlphaMulti(1, 2)
+	if !mutual || alpha != 1 {
+		t.Errorf("stacked full policies: α = %g (mutual %v), want capped 1", alpha, mutual)
+	}
+	if c := s.CompatibilityMulti(1, 2); c != 1 {
+		t.Errorf("C = %g, want 1", c)
+	}
+}
+
+// Property: CompatibilityMulti obeys the same bounds as Eq. 4 — in [0, 1],
+// > 0.5 exactly for mutual pairs — and is symmetric.
+func TestCompatibilityMultiBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := NewStore(Region{MaxX: 100, MaxY: 100}, 100)
+		if err != nil {
+			return false
+		}
+		rng := newRandFromSeed(seed)
+		s.SetRelation(1, 2, "f")
+		s.SetRelation(2, 1, "g")
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			s.AddPolicy(1, randomTestPolicy(rng, "f"))
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			s.AddPolicy(2, randomTestPolicy(rng, "g"))
+		}
+		c12 := s.CompatibilityMulti(1, 2)
+		c21 := s.CompatibilityMulti(2, 1)
+		if c12 != c21 {
+			return false
+		}
+		if c12 < 0 || c12 > 1 {
+			return false
+		}
+		// Mutual pairs sit strictly above 0.5 mathematically; with a
+		// vanishing overlap (1+α)/2 rounds to exactly 0.5 in float64, so
+		// the boundary itself is allowed on both sides.
+		_, mutual := s.AlphaMulti(1, 2)
+		if mutual && c12 < 0.5 {
+			return false
+		}
+		if !mutual && c12 > 0.5 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Multi-policy assignment runs end to end and honors the band invariants.
+func TestAssignWithMultiPolicy(t *testing.T) {
+	s := multiStore(t)
+	users := []UserID{1, 2, 3, 4}
+	for _, pair := range [][2]UserID{{1, 2}, {2, 3}} {
+		s.SetRelation(pair[0], pair[1], "f")
+		if err := s.AddPolicy(pair[0], Policy{Role: "f",
+			Locr: Region{MaxX: 100, MaxY: 100}, Tint: TimeInterval{Start: 0, End: 50}}); err != nil {
+			t.Fatal(err)
+		}
+		// A second policy for the same role widens the time window.
+		if err := s.AddPolicy(pair[0], Policy{Role: "f",
+			Locr: Region{MaxX: 100, MaxY: 100}, Tint: TimeInterval{Start: 50, End: 80}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := AssignSequenceValues(s, users, AssignOptions{MultiPolicy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.SV) != 4 {
+		t.Fatalf("assigned %d SVs", len(a.SV))
+	}
+	for _, u := range users {
+		if a.SV[u] <= 1 {
+			t.Errorf("SV(%d) = %g", u, a.SV[u])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Persistence: policies are the slowly-changing state of the system (the
+// paper notes "policy updates are usually infrequent", Sec. 5.1), so a
+// deployment snapshots the policy store and rebuilds indexes from live
+// movement data. The format is a gob stream of a versioned snapshot;
+// iteration orders are canonicalized so identical stores serialize
+// identically.
+
+const snapshotVersion = 1
+
+// snapshot is the serialized form of a Store.
+type snapshot struct {
+	Version   int
+	Space     Region
+	DayLen    float64
+	Relations []relationRec
+	Policies  []policyRec
+}
+
+type relationRec struct {
+	Owner, Peer UserID
+	Role        Role
+}
+
+type policyRec struct {
+	Owner  UserID
+	Policy Policy
+}
+
+// Save writes the store's full state to w.
+func (s *Store) Save(w io.Writer) error {
+	snap := snapshot{
+		Version: snapshotVersion,
+		Space:   s.space,
+		DayLen:  s.dayLen,
+	}
+	for owner, peers := range s.relations {
+		for peer, role := range peers {
+			snap.Relations = append(snap.Relations, relationRec{Owner: owner, Peer: peer, Role: role})
+		}
+	}
+	sort.Slice(snap.Relations, func(i, j int) bool {
+		a, b := snap.Relations[i], snap.Relations[j]
+		if a.Owner != b.Owner {
+			return a.Owner < b.Owner
+		}
+		return a.Peer < b.Peer
+	})
+	for owner, byRole := range s.policies {
+		roles := make([]Role, 0, len(byRole))
+		for r := range byRole {
+			roles = append(roles, r)
+		}
+		sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
+		for _, r := range roles {
+			for _, p := range byRole[r] { // insertion order preserved
+				snap.Policies = append(snap.Policies, policyRec{Owner: owner, Policy: p})
+			}
+		}
+	}
+	sort.SliceStable(snap.Policies, func(i, j int) bool {
+		return snap.Policies[i].Owner < snap.Policies[j].Owner
+	})
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("policy: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and reconstructs the store.
+func Load(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("policy: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("policy: snapshot version %d not supported (want %d)",
+			snap.Version, snapshotVersion)
+	}
+	s, err := NewStore(snap.Space, snap.DayLen)
+	if err != nil {
+		return nil, fmt.Errorf("policy: load: %w", err)
+	}
+	// Policies first so relation re-indexing sees them; AddPolicy also
+	// handles the reverse order, so this is belt and braces.
+	for _, pr := range snap.Policies {
+		if err := s.AddPolicy(pr.Owner, pr.Policy); err != nil {
+			return nil, fmt.Errorf("policy: load: %w", err)
+		}
+	}
+	for _, rr := range snap.Relations {
+		s.SetRelation(rr.Owner, rr.Peer, rr.Role)
+	}
+	return s, nil
+}

@@ -1,0 +1,134 @@
+package policy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func buildRandomStore(t *testing.T, seed int64, n, policies int) *Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s, err := NewStore(Region{MaxX: 1000, MaxY: 1000}, 1440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		owner := UserID(i)
+		for p := 0; p < policies; p++ {
+			peer := UserID(rng.Intn(n) + 1)
+			if peer == owner {
+				continue
+			}
+			role := Role(rune('a' + p%5))
+			s.SetRelation(owner, peer, role)
+			pol := Policy{
+				Role: role,
+				Locr: Region{
+					MinX: rng.Float64() * 500, MinY: rng.Float64() * 500,
+					MaxX: 500 + rng.Float64()*500, MaxY: 500 + rng.Float64()*500,
+				},
+				Tint: TimeInterval{Start: rng.Float64() * 1440, End: rng.Float64() * 1440},
+			}
+			if err := s.AddPolicy(owner, pol); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := buildRandomStore(t, 3, 60, 6)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Space() != s.Space() || got.DayLength() != s.DayLength() {
+		t.Fatal("domain parameters not preserved")
+	}
+	if got.NumPolicies() != s.NumPolicies() {
+		t.Fatalf("policies = %d, want %d", got.NumPolicies(), s.NumPolicies())
+	}
+	// Behavioral equivalence: Allows, Compatibility, and Grantors agree.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		a := UserID(rng.Intn(60) + 1)
+		b := UserID(rng.Intn(60) + 1)
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		tm := rng.Float64() * 1440
+		if s.Allows(a, b, x, y, tm) != got.Allows(a, b, x, y, tm) {
+			t.Fatalf("Allows(%d,%d) diverges", a, b)
+		}
+		if s.Compatibility(a, b) != got.Compatibility(a, b) {
+			t.Fatalf("Compatibility(%d,%d) diverges", a, b)
+		}
+	}
+	for u := UserID(1); u <= 60; u++ {
+		g1, g2 := s.Grantors(u), got.Grantors(u)
+		if len(g1) != len(g2) {
+			t.Fatalf("Grantors(%d): %d vs %d", u, len(g1), len(g2))
+		}
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("Grantors(%d) diverge at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	s := buildRandomStore(t, 5, 40, 4)
+	var b1, b2 bytes.Buffer
+	if err := s.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("two saves of the same store differ")
+	}
+}
+
+func TestSequenceValuesSurviveRoundTrip(t *testing.T) {
+	s := buildRandomStore(t, 7, 50, 5)
+	users := make([]UserID, 50)
+	for i := range users {
+		users[i] = UserID(i + 1)
+	}
+	a1, err := AssignSequenceValues(s, users, AssignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AssignSequenceValues(loaded, users, AssignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users {
+		if a1.SV[u] != a2.SV[u] {
+			t.Fatalf("SV(%d) = %g vs %g after round trip", u, a1.SV[u], a2.SV[u])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

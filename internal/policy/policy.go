@@ -1,0 +1,141 @@
+// Package policy implements the location-privacy-policy model of the paper
+// (Sec. 3 Def. 1 and Sec. 5.1): policies ⟨role, locr, tint⟩, the pairwise
+// score α, the compatibility degree C(u1,u2) (Eq. 4), and the
+// sequence-value assignment algorithm (Fig. 5) whose output is embedded in
+// PEB-tree keys.
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// UserID identifies a service user.
+type UserID uint32
+
+// Role names the relationship a policy applies to ("friend", "colleague").
+// A policy of owner o with role r grants every user u with
+// Relation(o, u) = r the right to see o's location under the policy's
+// spatio-temporal conditions.
+type Role string
+
+// Region is an axis-aligned rectangle in the service space; the locr
+// component of a policy and also the shape of range queries.
+type Region struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the region is well formed (possibly empty).
+func (r Region) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// Area returns the region's area.
+func (r Region) Area() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	return (r.MaxX - r.MinX) * (r.MaxY - r.MinY)
+}
+
+// Contains reports whether point (x, y) lies in the region (closed).
+func (r Region) Contains(x, y float64) bool {
+	return r.MinX <= x && x <= r.MaxX && r.MinY <= y && y <= r.MaxY
+}
+
+// Intersect returns the overlap of two regions and whether it is non-empty.
+func (r Region) Intersect(o Region) (Region, bool) {
+	out := Region{
+		MinX: math.Max(r.MinX, o.MinX),
+		MinY: math.Max(r.MinY, o.MinY),
+		MaxX: math.Min(r.MaxX, o.MaxX),
+		MaxY: math.Min(r.MaxY, o.MaxY),
+	}
+	if out.MinX > out.MaxX || out.MinY > out.MaxY {
+		return Region{}, false
+	}
+	return out, true
+}
+
+// OverlapArea returns the area of the intersection of two regions
+// (the O(locr1, locr2) term of Sec. 5.1).
+func (r Region) OverlapArea(o Region) float64 {
+	iv, ok := r.Intersect(o)
+	if !ok {
+		return 0
+	}
+	return iv.Area()
+}
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// TimeInterval is a half-open daily time window [Start, End) in the same
+// unit as query timestamps, taken modulo the day length; the tint component
+// of a policy. Start may exceed End to wrap midnight.
+type TimeInterval struct {
+	Start, End float64
+}
+
+// Duration returns the interval's length within a day of length dayLen.
+func (t TimeInterval) Duration(dayLen float64) float64 {
+	if t.Start == t.End {
+		return 0
+	}
+	if t.Start < t.End {
+		return t.End - t.Start
+	}
+	return dayLen - t.Start + t.End
+}
+
+// Contains reports whether clock time tm (taken mod dayLen) falls inside.
+func (t TimeInterval) Contains(tm, dayLen float64) bool {
+	tm = math.Mod(tm, dayLen)
+	if tm < 0 {
+		tm += dayLen
+	}
+	if t.Start <= t.End {
+		return t.Start <= tm && tm < t.End
+	}
+	return tm >= t.Start || tm < t.End
+}
+
+// OverlapDuration returns the length of the intersection of two intervals
+// within a day of length dayLen (the D(tint1, tint2) term of Sec. 5.1).
+func (t TimeInterval) OverlapDuration(o TimeInterval, dayLen float64) float64 {
+	// Split wrapping intervals into at most two linear segments each.
+	segs := func(iv TimeInterval) [][2]float64 {
+		if iv.Start == iv.End {
+			return nil
+		}
+		if iv.Start < iv.End {
+			return [][2]float64{{iv.Start, iv.End}}
+		}
+		return [][2]float64{{iv.Start, dayLen}, {0, iv.End}}
+	}
+	total := 0.0
+	for _, a := range segs(t) {
+		for _, b := range segs(o) {
+			lo := math.Max(a[0], b[0])
+			hi := math.Min(a[1], b[1])
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+// Policy is a location-privacy policy ⟨role, locr, tint⟩ (Def. 1): users
+// related to the owner by Role may see the owner's location while the
+// owner is inside Locr during Tint.
+type Policy struct {
+	Role Role
+	Locr Region
+	Tint TimeInterval
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	return fmt.Sprintf("<%s, %s, [%g,%g)>", p.Role, p.Locr, p.Tint.Start, p.Tint.End)
+}

@@ -1,0 +1,505 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const day = 1440.0 // minutes
+
+func testStore(t testing.TB) *Store {
+	t.Helper()
+	s, err := NewStore(Region{0, 0, 1000, 1000}, day)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+// pairPolicy wires a one-directional policy owner→viewer with a dedicated
+// role, the "one policy per particular user" setting of Sec. 7.4.
+func pairPolicy(t testing.TB, s *Store, owner, viewer UserID, locr Region, tint TimeInterval) {
+	t.Helper()
+	role := Role(string(rune('A'+owner)) + "->" + string(rune('A'+viewer)))
+	s.SetRelation(owner, viewer, role)
+	if err := s.AddPolicy(owner, Policy{Role: role, Locr: locr, Tint: tint}); err != nil {
+		t.Fatalf("AddPolicy: %v", err)
+	}
+}
+
+func TestRegionBasics(t *testing.T) {
+	r := Region{0, 0, 10, 20}
+	if r.Area() != 200 {
+		t.Errorf("Area = %g", r.Area())
+	}
+	if !r.Contains(0, 0) || !r.Contains(10, 20) || r.Contains(11, 5) {
+		t.Errorf("Contains wrong")
+	}
+	if (Region{5, 5, 1, 1}).Area() != 0 {
+		t.Errorf("invalid region has nonzero area")
+	}
+	o := Region{5, 10, 15, 30}
+	if got := r.OverlapArea(o); got != 50 {
+		t.Errorf("OverlapArea = %g, want 50", got)
+	}
+	if got := r.OverlapArea(Region{100, 100, 200, 200}); got != 0 {
+		t.Errorf("disjoint OverlapArea = %g", got)
+	}
+	// Touching edges overlap with zero area.
+	if got := r.OverlapArea(Region{10, 0, 20, 20}); got != 0 {
+		t.Errorf("edge OverlapArea = %g", got)
+	}
+}
+
+func TestTimeIntervalLinear(t *testing.T) {
+	iv := TimeInterval{480, 1020} // 8:00–17:00
+	if iv.Duration(day) != 540 {
+		t.Errorf("Duration = %g", iv.Duration(day))
+	}
+	if !iv.Contains(480, day) || iv.Contains(1020, day) || !iv.Contains(700, day) {
+		t.Errorf("Contains wrong")
+	}
+	if iv.Contains(100, day) {
+		t.Errorf("Contains(100) true")
+	}
+	// Modulo behavior: next day's 9:00.
+	if !iv.Contains(day+540, day) {
+		t.Errorf("mod-day Contains failed")
+	}
+}
+
+func TestTimeIntervalWrapping(t *testing.T) {
+	iv := TimeInterval{1320, 360} // 22:00–06:00
+	if iv.Duration(day) != 480 {
+		t.Errorf("Duration = %g", iv.Duration(day))
+	}
+	if !iv.Contains(1380, day) || !iv.Contains(100, day) || iv.Contains(720, day) {
+		t.Errorf("wrapping Contains wrong")
+	}
+	// Overlap of a wrapping with a linear interval.
+	other := TimeInterval{300, 600}
+	if got := iv.OverlapDuration(other, day); got != 60 {
+		t.Errorf("OverlapDuration = %g, want 60", got)
+	}
+	// Overlap of two wrapping intervals.
+	o2 := TimeInterval{1400, 60}
+	want := 40.0 + 60.0 // [1400,1440) plus [0,60)
+	if got := iv.OverlapDuration(o2, day); math.Abs(got-want) > 1e-9 {
+		t.Errorf("wrap-wrap OverlapDuration = %g, want %g", got, want)
+	}
+}
+
+func TestTimeIntervalOverlapSymmetric(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint16) bool {
+		a := TimeInterval{float64(a0 % 1440), float64(a1 % 1440)}
+		b := TimeInterval{float64(b0 % 1440), float64(b1 % 1440)}
+		return math.Abs(a.OverlapDuration(b, day)-b.OverlapDuration(a, day)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRelationsAndPolicies(t *testing.T) {
+	s := testStore(t)
+	s.SetRelation(1, 2, "colleague")
+	if err := s.AddPolicy(1, Policy{
+		Role: "colleague",
+		Locr: Region{0, 0, 500, 500},
+		Tint: TimeInterval{480, 1020},
+	}); err != nil {
+		t.Fatalf("AddPolicy: %v", err)
+	}
+
+	if _, ok := s.PolicyFor(1, 2); !ok {
+		t.Fatalf("PolicyFor(1,2) missing")
+	}
+	if _, ok := s.PolicyFor(2, 1); ok {
+		t.Fatalf("PolicyFor(2,1) exists")
+	}
+	if _, ok := s.PolicyFor(1, 3); ok {
+		t.Fatalf("PolicyFor(1,3) exists without relation")
+	}
+
+	// Bob's example: colleagues see him in town during work hours.
+	if !s.Allows(1, 2, 100, 100, 600) {
+		t.Errorf("Allows in-region in-hours = false")
+	}
+	if s.Allows(1, 2, 600, 100, 600) {
+		t.Errorf("Allows out-of-region = true")
+	}
+	if s.Allows(1, 2, 100, 100, 100) {
+		t.Errorf("Allows out-of-hours = true")
+	}
+	if s.Allows(1, 3, 100, 100, 600) {
+		t.Errorf("Allows unrelated viewer = true")
+	}
+}
+
+func TestAllowsConsultsAllPoliciesOfRole(t *testing.T) {
+	s := testStore(t)
+	s.SetRelation(1, 2, "friend")
+	_ = s.AddPolicy(1, Policy{Role: "friend", Locr: Region{0, 0, 10, 10}, Tint: TimeInterval{0, 100}})
+	_ = s.AddPolicy(1, Policy{Role: "friend", Locr: Region{500, 500, 600, 600}, Tint: TimeInterval{0, 100}})
+	if !s.Allows(1, 2, 550, 550, 50) {
+		t.Errorf("second policy of role ignored")
+	}
+}
+
+func TestGrantorsIndex(t *testing.T) {
+	s := testStore(t)
+	pairPolicy(t, s, 3, 1, Region{0, 0, 100, 100}, TimeInterval{0, 720})
+	pairPolicy(t, s, 5, 1, Region{0, 0, 100, 100}, TimeInterval{0, 720})
+	pairPolicy(t, s, 1, 5, Region{0, 0, 100, 100}, TimeInterval{0, 720})
+
+	g := s.Grantors(1)
+	if len(g) != 2 || g[0] != 3 || g[1] != 5 {
+		t.Fatalf("Grantors(1) = %v, want [3 5]", g)
+	}
+	if !s.HasGrantor(5, 1) || s.HasGrantor(3, 1) {
+		t.Errorf("HasGrantor wrong")
+	}
+
+	// Relation set before policy must still index once the policy lands.
+	s.SetRelation(7, 1, "late")
+	if s.HasGrantor(1, 7) {
+		t.Fatalf("grantor before policy exists")
+	}
+	_ = s.AddPolicy(7, Policy{Role: "late", Locr: Region{0, 0, 1, 1}, Tint: TimeInterval{0, 1}})
+	if !s.HasGrantor(1, 7) {
+		t.Fatalf("grantor index not refreshed by AddPolicy")
+	}
+}
+
+func TestAlphaMutualOverlap(t *testing.T) {
+	s := testStore(t)
+	// Quarter-space regions overlapping in 250000/4 = large area; both
+	// intervals overlap for 360 min.
+	pairPolicy(t, s, 1, 2, Region{0, 0, 500, 500}, TimeInterval{0, 720})
+	pairPolicy(t, s, 2, 1, Region{250, 250, 750, 750}, TimeInterval{360, 1080})
+
+	alpha, mutual := s.Alpha(1, 2)
+	if !mutual {
+		t.Fatalf("mutual = false")
+	}
+	wantO := 250.0 * 250.0 / 1e6 // overlap area / S
+	wantD := 360.0 / day
+	if math.Abs(alpha-wantO*wantD) > 1e-12 {
+		t.Fatalf("alpha = %g, want %g", alpha, wantO*wantD)
+	}
+	// C > 0.5 for the simultaneous case.
+	if c := s.Compatibility(1, 2); c <= 0.5 || math.Abs(c-(1+alpha)/2) > 1e-12 {
+		t.Fatalf("C = %g", c)
+	}
+}
+
+func TestAlphaDisjointPolicies(t *testing.T) {
+	s := testStore(t)
+	// Disjoint regions: never simultaneously visible.
+	pairPolicy(t, s, 1, 2, Region{0, 0, 100, 100}, TimeInterval{0, 720})
+	pairPolicy(t, s, 2, 1, Region{500, 500, 600, 600}, TimeInterval{0, 720})
+
+	alpha, mutual := s.Alpha(1, 2)
+	if mutual {
+		t.Fatalf("mutual = true for disjoint regions")
+	}
+	term := (100.0 * 100.0 / 1e6) * (720.0 / day)
+	if math.Abs(alpha-term) > 1e-12 { // ½(term + term) = term
+		t.Fatalf("alpha = %g, want %g", alpha, term)
+	}
+	if alpha > 0.5 {
+		t.Fatalf("disjoint alpha %g exceeds 0.5", alpha)
+	}
+	if c := s.Compatibility(1, 2); c != alpha {
+		t.Fatalf("C = %g, want alpha %g", c, alpha)
+	}
+}
+
+func TestAlphaOneSided(t *testing.T) {
+	s := testStore(t)
+	pairPolicy(t, s, 1, 2, Region{0, 0, 200, 200}, TimeInterval{0, 360})
+
+	alpha, mutual := s.Alpha(1, 2)
+	if mutual {
+		t.Fatalf("one-sided policy reported mutual")
+	}
+	want := 0.5 * (200.0 * 200.0 / 1e6) * (360.0 / day)
+	if math.Abs(alpha-want) > 1e-12 {
+		t.Fatalf("alpha = %g, want %g", want, alpha)
+	}
+	// Symmetric regardless of argument order.
+	a2, _ := s.Alpha(2, 1)
+	if math.Abs(alpha-a2) > 1e-12 {
+		t.Fatalf("Alpha not symmetric: %g vs %g", alpha, a2)
+	}
+}
+
+func TestAlphaUnrelated(t *testing.T) {
+	s := testStore(t)
+	alpha, mutual := s.Alpha(8, 9)
+	if alpha != 0 || mutual {
+		t.Fatalf("unrelated alpha = %g mutual=%v", alpha, mutual)
+	}
+	if s.Compatibility(8, 9) != 0 || s.Related(8, 9) {
+		t.Fatalf("unrelated users reported related")
+	}
+}
+
+func TestCompatibilityBoundsQuick(t *testing.T) {
+	s := testStore(t)
+	// Random pair policies; C must stay in [0,1], and mutual pairs > 0.5.
+	f := func(ax, ay, bx, by uint16, t0, t1 uint16, oneSided bool) bool {
+		s2 := testStore(t)
+		r1 := Region{float64(ax % 500), float64(ay % 500),
+			float64(ax%500) + 100, float64(ay%500) + 100}
+		r2 := Region{float64(bx % 500), float64(by % 500),
+			float64(bx%500) + 100, float64(by%500) + 100}
+		iv1 := TimeInterval{float64(t0 % 1440), float64(t1 % 1440)}
+		pairPolicy(t, s2, 1, 2, r1, iv1)
+		if !oneSided {
+			pairPolicy(t, s2, 2, 1, r2, TimeInterval{float64(t1 % 1440), float64(t0 % 1440)})
+		}
+		c := s2.Compatibility(1, 2)
+		if c < 0 || c > 1 {
+			return false
+		}
+		_, mutual := s2.Alpha(1, 2)
+		if mutual && c <= 0.5 {
+			return false
+		}
+		if !mutual && c > 0.5 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+}
+
+// TestSequenceValuesWorkedExample replays the 6-user example of Sec. 5.1:
+// C(u2,u1)=0.4, C(u4,u1)=0.9, C(u4,u3)=0.8, C(u5,u3)=0.2, C(u6,u3)=0.6,
+// expecting the published values u3=2, u4=2.2, u5=2.8, u6=2.4, u1=4, u2=4.6.
+func TestSequenceValuesWorkedExample(t *testing.T) {
+	s := testStore(t)
+	// Craft policies realizing the exact compatibility values.
+	//   C > 0.5 requires the mutual case C = (1+α)/2: two identical
+	//   full-day policies over a region of area (2C−1)·S give α = 2C−1.
+	//   C ≤ 0.5 uses a one-sided policy: C = α = ½·|locr|/S·|tint|/T,
+	//   so a full-day region of area 2C·S gives exactly C.
+	addPair := func(a, b UserID, c float64) {
+		if c > 0.5 {
+			side := math.Sqrt((2*c - 1) * 1e6)
+			r := Region{0, 0, side, side}
+			pairPolicy(t, s, a, b, r, TimeInterval{0, day})
+			pairPolicy(t, s, b, a, r, TimeInterval{0, day})
+			return
+		}
+		side := math.Sqrt(2 * c * 1e6)
+		pairPolicy(t, s, a, b, Region{0, 0, side, side}, TimeInterval{0, day})
+	}
+	addPair(2, 1, 0.4)
+	addPair(4, 1, 0.9)
+	addPair(4, 3, 0.8)
+	addPair(5, 3, 0.2)
+	addPair(6, 3, 0.6)
+
+	for _, c := range []struct {
+		a, b UserID
+		want float64
+	}{{2, 1, 0.4}, {4, 1, 0.9}, {4, 3, 0.8}, {5, 3, 0.2}, {6, 3, 0.6}} {
+		if got := s.Compatibility(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("C(%d,%d) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+
+	users := []UserID{1, 2, 3, 4, 5, 6}
+	asg, err := AssignSequenceValues(s, users, AssignOptions{InitialSV: 2, Delta: 2})
+	if err != nil {
+		t.Fatalf("AssignSequenceValues: %v", err)
+	}
+	want := map[UserID]float64{3: 2, 4: 2.2, 5: 2.8, 6: 2.4, 1: 4, 2: 4.6}
+	for u, w := range want {
+		if got := asg.SV[u]; math.Abs(got-w) > 1e-9 {
+			t.Errorf("SV(u%d) = %g, want %g", u, got, w)
+		}
+	}
+	if asg.Groups != 2 {
+		t.Errorf("Groups = %d, want 2", asg.Groups)
+	}
+	if math.Abs(asg.MaxSV-4.6) > 1e-9 {
+		t.Errorf("MaxSV = %g, want 4.6", asg.MaxSV)
+	}
+}
+
+func TestSequenceValuesInvariants(t *testing.T) {
+	s := testStore(t)
+	// Random-ish network: 40 users, ring + chords.
+	users := make([]UserID, 40)
+	for i := range users {
+		users[i] = UserID(i + 1)
+	}
+	for i := 0; i < 40; i++ {
+		a := users[i]
+		b := users[(i+1)%40]
+		pairPolicy(t, s, a, b, Region{0, 0, 300, 300}, TimeInterval{0, 720})
+		if i%5 == 0 {
+			c := users[(i+13)%40]
+			pairPolicy(t, s, a, c, Region{100, 100, 400, 400}, TimeInterval{360, 1080})
+		}
+	}
+	asg, err := AssignSequenceValues(s, users, AssignOptions{})
+	if err != nil {
+		t.Fatalf("AssignSequenceValues: %v", err)
+	}
+	// Every user assigned; all values >= initial; distinct anchors δ apart.
+	if len(asg.SV) != len(users) {
+		t.Fatalf("assigned %d of %d users", len(asg.SV), len(users))
+	}
+	for u, sv := range asg.SV {
+		if sv < 2 {
+			t.Errorf("SV(%d) = %g < initial", u, sv)
+		}
+	}
+	// Related users must be within (0, 1] of some shared band anchor, so
+	// |SV(a)-SV(b)| < 2δ always holds for directly related pairs assigned
+	// in the same band. Weak check: pairs assigned consecutively in one
+	// band differ by < 1+δ.
+	s.RelatedPairs(func(a, b UserID) {
+		if d := math.Abs(asg.SV[a] - asg.SV[b]); d > 100 {
+			t.Errorf("related pair (%d,%d) SV distance %g", a, b, d)
+		}
+	})
+}
+
+func TestSequenceValuesIsolatedUsers(t *testing.T) {
+	s := testStore(t)
+	users := []UserID{1, 2, 3}
+	asg, err := AssignSequenceValues(s, users, AssignOptions{})
+	if err != nil {
+		t.Fatalf("AssignSequenceValues: %v", err)
+	}
+	// Three singleton anchors 2, 4, 6.
+	seen := map[float64]bool{}
+	for _, u := range users {
+		seen[asg.SV[u]] = true
+	}
+	for _, want := range []float64{2, 4, 6} {
+		if !seen[want] {
+			t.Errorf("missing anchor value %g in %v", want, asg.SV)
+		}
+	}
+	if asg.Groups != 3 {
+		t.Errorf("Groups = %d", asg.Groups)
+	}
+}
+
+func TestSequenceValuesBandsDisjoint(t *testing.T) {
+	// Regression for the anchor-spacing rule: bands must never interleave
+	// even when the sorted order alternates between groups.
+	s := testStore(t)
+	var users []UserID
+	for i := UserID(1); i <= 30; i++ {
+		users = append(users, i)
+	}
+	// Two stars with shared sizes plus isolated users.
+	for i := UserID(2); i <= 8; i++ {
+		pairPolicy(t, s, 1, i, Region{0, 0, 500, 500}, TimeInterval{0, 720})
+	}
+	for i := UserID(11); i <= 17; i++ {
+		pairPolicy(t, s, 10, i, Region{0, 0, 500, 500}, TimeInterval{0, 720})
+	}
+	asg, err := AssignSequenceValues(s, users, AssignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchors are the even integers 2, 4, … (members always carry a
+	// fractional offset here). Every member value must lie inside
+	// (anchor, anchor+1] of exactly one anchor, i.e., bands are disjoint.
+	anchors := map[float64]bool{}
+	for _, sv := range asg.SV {
+		if sv == math.Trunc(sv) {
+			anchors[sv] = true
+		}
+	}
+	for u, sv := range asg.SV {
+		if anchors[sv] {
+			continue
+		}
+		base := math.Floor(sv)
+		if !anchors[base] {
+			t.Fatalf("member SV(%d)=%g has no anchor at %g", u, sv, base)
+		}
+		if sv-base > 1 {
+			t.Fatalf("member SV(%d)=%g more than 1 above anchor %g", u, sv, base)
+		}
+	}
+}
+
+func TestAssignOptionsValidation(t *testing.T) {
+	s := testStore(t)
+	if _, err := AssignSequenceValues(s, []UserID{1}, AssignOptions{InitialSV: 0.5, Delta: 2}); err == nil {
+		t.Errorf("InitialSV <= 1 accepted")
+	}
+	if _, err := AssignSequenceValues(s, []UserID{1}, AssignOptions{InitialSV: 2, Delta: 1}); err == nil {
+		t.Errorf("Delta <= 1 accepted")
+	}
+}
+
+func TestSVCodecRoundTrip(t *testing.T) {
+	c := SVCodec{Bits: 26, FracBits: 6}
+	for _, sv := range []float64{0, 2, 2.2, 4.6, 1000.25, 200002.984375} {
+		v, err := c.Encode(sv)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", sv, err)
+		}
+		back := c.Decode(v)
+		if math.Abs(back-sv) > 1.0/128+1e-12 {
+			t.Errorf("roundtrip %g -> %g", sv, back)
+		}
+	}
+	if _, err := c.Encode(-1); err == nil {
+		t.Errorf("negative accepted")
+	}
+	if _, err := c.Encode(1e9); err == nil {
+		t.Errorf("overflow accepted")
+	}
+}
+
+func TestSVCodecPreservesOrder(t *testing.T) {
+	c := SVCodec{Bits: 26, FracBits: 6}
+	f := func(a, b uint32) bool {
+		sva := float64(a%1_000_000) / 64 // exactly representable steps
+		svb := float64(b%1_000_000) / 64
+		ea, err1 := c.Encode(sva)
+		eb, err2 := c.Encode(svb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if sva < svb {
+			return ea < eb
+		}
+		if sva > svb {
+			return ea > eb
+		}
+		return ea == eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	if _, err := NewStore(Region{10, 10, 0, 0}, day); err == nil {
+		t.Errorf("invalid space accepted")
+	}
+	if _, err := NewStore(Region{0, 0, 100, 100}, 0); err == nil {
+		t.Errorf("zero day length accepted")
+	}
+	s := testStore(t)
+	if err := s.AddPolicy(1, Policy{Role: "x", Locr: Region{5, 5, 1, 1}}); err == nil {
+		t.Errorf("invalid locr accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the sequence-value assignment algorithm of Fig. 5.
+// Sequence values place policy-compatible users close together on the
+// one-dimensional key axis: each "anchor" user starts a band δ above the
+// previous user, and every related user sits inside the anchor's band at
+// offset 1 − C(anchor, member), so high-compatibility pairs get the
+// smallest key distance.
+
+// AssignOptions tunes the assignment. The zero value selects the paper's
+// defaults (initial value 2, δ = 2 — the worked example of Sec. 5.1).
+type AssignOptions struct {
+	// InitialSV is the sequence value of the first anchor (sv in Fig. 5,
+	// "sv > 1"). Default 2.
+	InitialSV float64
+	// Delta is the inter-group spacing (δ > 1 in Fig. 5). Default 2.
+	Delta float64
+	// MultiPolicy selects the multi-policy compatibility degree
+	// (CompatibilityMulti) instead of the paper's single-policy Eq. 4 —
+	// the paper's first future-work extension (Sec. 8).
+	MultiPolicy bool
+}
+
+func (o *AssignOptions) setDefaults() error {
+	if o.InitialSV == 0 {
+		o.InitialSV = 2
+	}
+	if o.Delta == 0 {
+		o.Delta = 2
+	}
+	if o.InitialSV <= 1 {
+		return fmt.Errorf("policy: initial sequence value %g must exceed 1", o.InitialSV)
+	}
+	if o.Delta <= 1 {
+		return fmt.Errorf("policy: delta %g must exceed 1", o.Delta)
+	}
+	return nil
+}
+
+// Assignment is the result of the sequence-value computation.
+type Assignment struct {
+	// SV maps each user to its sequence value.
+	SV map[UserID]float64
+	// MaxSV is the largest assigned value (useful for key-width sizing).
+	MaxSV float64
+	// Groups is the number of anchor users (distinct δ-bands).
+	Groups int
+}
+
+// AssignSequenceValues runs the Fig. 5 algorithm over all the given users
+// using compatibilities from the store. Every user in users receives a
+// value, including users with no policies at all (they become singleton
+// anchors, matching the algorithm's "if SV(uk) = ⊥" path).
+//
+// Following Fig. 5 lines 1–5, each user's group G(ui) is the set of users
+// with C(ui, uj) > 0; users are processed in descending order of |G| so
+// larger social clusters claim compact bands first (ties broken by id for
+// determinism).
+func AssignSequenceValues(s *Store, users []UserID, opts AssignOptions) (Assignment, error) {
+	if err := opts.setDefaults(); err != nil {
+		return Assignment{}, err
+	}
+	compat := s.Compatibility
+	if opts.MultiPolicy {
+		compat = s.CompatibilityMulti
+	}
+
+	// Build adjacency from stored policy pairs (C > 0 ⇔ some policy exists
+	// with positive area and duration; verify with the compatibility degree
+	// to honor degenerate zero-area policies).
+	adj := make(map[UserID][]UserID, len(users))
+	inSet := make(map[UserID]bool, len(users))
+	for _, u := range users {
+		inSet[u] = true
+	}
+	s.RelatedPairs(func(a, b UserID) {
+		if !inSet[a] || !inSet[b] {
+			return
+		}
+		if compat(a, b) <= 0 {
+			return
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	})
+	for _, l := range adj {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+
+	// Sort users by descending group size (Fig. 5 line 5).
+	sorted := append([]UserID(nil), users...)
+	sort.Slice(sorted, func(i, j int) bool {
+		gi, gj := len(adj[sorted[i]]), len(adj[sorted[j]])
+		if gi != gj {
+			return gi > gj
+		}
+		return sorted[i] < sorted[j]
+	})
+
+	// Fig. 5 line 9 spaces a new anchor δ above its list predecessor; we
+	// space it δ above the previous *anchor* (as in the paper's worked
+	// example, where SV(u1) = SV(u3) + δ). This keeps bands disjoint even
+	// when the list predecessor is a low member of an earlier band.
+	out := Assignment{SV: make(map[UserID]float64, len(users))}
+	prevAnchor := opts.InitialSV - opts.Delta // so the first anchor gets InitialSV
+	for _, uk := range sorted {
+		if _, assigned := out.SV[uk]; assigned {
+			continue
+		}
+		sv := prevAnchor + opts.Delta
+		out.SV[uk] = sv
+		out.Groups++
+		if sv > out.MaxSV {
+			out.MaxSV = sv
+		}
+		for _, uj := range adj[uk] {
+			if _, assigned := out.SV[uj]; assigned {
+				continue
+			}
+			v := sv + (1 - compat(uk, uj))
+			out.SV[uj] = v
+			if v > out.MaxSV {
+				out.MaxSV = v
+			}
+		}
+		prevAnchor = sv
+	}
+	return out, nil
+}
+
+// SVCodec converts float sequence values into the fixed-point integers
+// embedded in PEB keys. FracBits sets the resolution (values are rounded
+// to multiples of 2^-FracBits); Bits is the total field width.
+type SVCodec struct {
+	Bits     int // total field width in the key
+	FracBits int // bits of the fraction
+}
+
+// Encode converts a sequence value to its fixed-point representation.
+// Values that would overflow the field are reported as errors — the caller
+// should widen the key layout rather than silently wrap.
+func (c SVCodec) Encode(sv float64) (uint64, error) {
+	if sv < 0 {
+		return 0, fmt.Errorf("policy: negative sequence value %g", sv)
+	}
+	v := uint64(sv*float64(uint64(1)<<uint(c.FracBits)) + 0.5)
+	if c.Bits < 64 && v >= uint64(1)<<uint(c.Bits) {
+		return 0, fmt.Errorf("policy: sequence value %g overflows %d-bit field", sv, c.Bits)
+	}
+	return v, nil
+}
+
+// Decode converts a fixed-point representation back to a float (with
+// quantization error at most 2^-(FracBits+1)).
+func (c SVCodec) Decode(v uint64) float64 {
+	return float64(v) / float64(uint64(1)<<uint(c.FracBits))
+}

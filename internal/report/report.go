@@ -1,0 +1,160 @@
+// Package report renders experiment result tables (the CSV output of
+// cmd/pebbench) as Markdown tables with ASCII bar charts, for inclusion in
+// EXPERIMENTS.md and terminal inspection.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is a parsed result table: an x column plus named value columns.
+type Series struct {
+	XLabel  string
+	Columns []string
+	X       []float64
+	Values  [][]float64 // Values[row][col]
+}
+
+// ParseCSV parses the CSV format written by exp.Table.CSV (header line,
+// numeric cells, no quoting needed for the data we emit).
+func ParseCSV(text string) (*Series, error) {
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("report: need a header and at least one row")
+	}
+	header := strings.Split(lines[0], ",")
+	if len(header) < 2 {
+		return nil, fmt.Errorf("report: need at least two columns, have %q", lines[0])
+	}
+	s := &Series{XLabel: header[0], Columns: header[1:]}
+	for ln, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		if len(cells) != len(header) {
+			return nil, fmt.Errorf("report: row %d has %d cells, want %d", ln+1, len(cells), len(header))
+		}
+		x, err := strconv.ParseFloat(cells[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("report: row %d: %w", ln+1, err)
+		}
+		vals := make([]float64, len(cells)-1)
+		for i, c := range cells[1:] {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				return nil, fmt.Errorf("report: row %d col %d: %w", ln+1, i+1, err)
+			}
+			vals[i] = v
+		}
+		s.X = append(s.X, x)
+		s.Values = append(s.Values, vals)
+	}
+	return s, nil
+}
+
+// Markdown renders the series as a GitHub-flavored Markdown table.
+func (s *Series) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + s.XLabel)
+	for _, c := range s.Columns {
+		b.WriteString(" | " + c)
+	}
+	b.WriteString(" |\n|")
+	for i := 0; i <= len(s.Columns); i++ {
+		b.WriteString("---:|")
+	}
+	b.WriteByte('\n')
+	for r := range s.X {
+		b.WriteString("| " + trim(s.X[r]))
+		for _, v := range s.Values[r] {
+			b.WriteString(" | " + trim(v))
+		}
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+// Chart renders an ASCII bar chart of the chosen column, width chars wide.
+func (s *Series) Chart(col int, width int) string {
+	if col < 0 || col >= len(s.Columns) || width < 8 {
+		return ""
+	}
+	max := 0.0
+	for _, row := range s.Values {
+		if row[col] > max {
+			max = row[col]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s\n", s.Columns[col], s.XLabel)
+	for r := range s.X {
+		v := s.Values[r][col]
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		fmt.Fprintf(&b, "%10s | %-*s %s\n", trim(s.X[r]), width, strings.Repeat("█", n), trim(v))
+	}
+	return b.String()
+}
+
+// CompareChart renders all columns side by side per x value, normalized to
+// the global maximum — the visual shape of a paper figure with one bar
+// group per sweep value.
+func (s *Series) CompareChart(width int) string {
+	if width < 8 {
+		width = 40
+	}
+	max := 0.0
+	for _, row := range s.Values {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	marks := []string{"█", "░", "▒", "▓"}
+	var b strings.Builder
+	for c, name := range s.Columns {
+		fmt.Fprintf(&b, "%s = %s  ", marks[c%len(marks)], name)
+	}
+	b.WriteByte('\n')
+	for r := range s.X {
+		for c := range s.Columns {
+			v := s.Values[r][c]
+			n := 0
+			if max > 0 {
+				n = int(math.Round(v / max * float64(width)))
+			}
+			label := ""
+			if c == 0 {
+				label = trim(s.X[r])
+			}
+			fmt.Fprintf(&b, "%10s | %-*s %s\n", label, width,
+				strings.Repeat(marks[c%len(marks)], n), trim(v))
+		}
+	}
+	return b.String()
+}
+
+// Ratio returns the per-row ratio of column b over column a (for "how many
+// times better" summaries). Rows where a is 0 yield NaN.
+func (s *Series) Ratio(a, b int) []float64 {
+	out := make([]float64, len(s.X))
+	for r := range s.X {
+		if s.Values[r][a] == 0 {
+			out[r] = math.NaN()
+			continue
+		}
+		out[r] = s.Values[r][b] / s.Values[r][a]
+	}
+	return out
+}
+
+func trim(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

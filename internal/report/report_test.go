@@ -1,0 +1,103 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `users,peb_io,spatial_io
+1000,10,20
+2000,12,44.5
+4000,12.5,90
+`
+
+func parse(t *testing.T) *Series {
+	t.Helper()
+	s, err := ParseCSV(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseCSV(t *testing.T) {
+	s := parse(t)
+	if s.XLabel != "users" || len(s.Columns) != 2 {
+		t.Fatalf("header parsed as %q %v", s.XLabel, s.Columns)
+	}
+	if len(s.X) != 3 || s.X[2] != 4000 {
+		t.Fatalf("x = %v", s.X)
+	}
+	if s.Values[1][1] != 44.5 {
+		t.Fatalf("values = %v", s.Values)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"users,a",        // header only
+		"users\n1",       // single column
+		"users,a\n1,2,3", // ragged row
+		"users,a\nx,2",   // non-numeric x
+		"users,a\n1,y",   // non-numeric value
+	}
+	for _, c := range cases {
+		if _, err := ParseCSV(c); err == nil {
+			t.Errorf("ParseCSV(%q) accepted", c)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := parse(t).Markdown()
+	for _, want := range []string{"| users | peb_io | spatial_io |", "| 2000 | 12 | 44.50 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != 5 { // header + separator + 3 rows
+		t.Errorf("markdown has %d lines", len(lines))
+	}
+}
+
+func TestChart(t *testing.T) {
+	s := parse(t)
+	ch := s.Chart(1, 20)
+	if !strings.Contains(ch, "spatial_io vs users") {
+		t.Errorf("chart header missing:\n%s", ch)
+	}
+	// The 90-value row must have the longest bar (full width).
+	lines := strings.Split(strings.TrimSpace(ch), "\n")
+	last := lines[len(lines)-1]
+	if got := strings.Count(last, "█"); got != 20 {
+		t.Errorf("max row has %d bars, want 20: %q", got, last)
+	}
+	if s.Chart(5, 20) != "" || s.Chart(0, 2) != "" {
+		t.Error("invalid chart inputs should return empty")
+	}
+}
+
+func TestCompareChart(t *testing.T) {
+	ch := parse(t).CompareChart(20)
+	if !strings.Contains(ch, "█ = peb_io") || !strings.Contains(ch, "░ = spatial_io") {
+		t.Errorf("legend missing:\n%s", ch)
+	}
+	if strings.Count(ch, "\n") < 7 { // legend + 3 groups × 2 rows
+		t.Errorf("chart too short:\n%s", ch)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	s := parse(t)
+	r := s.Ratio(0, 1)
+	if len(r) != 3 || r[0] != 2 || math.Abs(r[2]-7.2) > 1e-9 {
+		t.Errorf("ratio = %v", r)
+	}
+	s.Values[0][0] = 0
+	if !math.IsNaN(s.Ratio(0, 1)[0]) {
+		t.Error("zero denominator should give NaN")
+	}
+}

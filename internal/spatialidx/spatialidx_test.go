@@ -1,0 +1,247 @@
+package spatialidx
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/bxtree"
+	"repro/internal/core"
+	"repro/internal/motion"
+	"repro/internal/policy"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// buildPair generates a dataset and loads it into both the baseline index
+// and a PEB-tree so their answers can be cross-checked.
+func buildPair(t *testing.T, cfg workload.Config) (*workload.Dataset, *Index, *core.Tree) {
+	t.Helper()
+	d, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bxCfg := bxtree.DefaultConfig()
+	ix, err := New(bxCfg, store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages), d.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := d.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pebCfg := core.DefaultConfig()
+	peb, err := core.New(pebCfg, store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages), d.Policies, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range d.Objects {
+		if err := ix.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		if err := peb.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, ix, peb
+}
+
+func testConfig() workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.NumUsers = 400
+	cfg.PoliciesPerUser = 8
+	cfg.GroupSize = 25
+	return cfg
+}
+
+// brutePRQ applies Definition 2 literally.
+func brutePRQ(d *workload.Dataset, issuer motion.UserID, w bxtree.Window, tq float64) map[motion.UserID]bool {
+	out := make(map[motion.UserID]bool)
+	for _, o := range d.Objects {
+		if o.UID == issuer {
+			continue
+		}
+		x, y := o.PositionAt(tq)
+		if w.Contains(x, y) && d.Policies.Allows(policy.UserID(o.UID), policy.UserID(issuer), x, y, tq) {
+			out[o.UID] = true
+		}
+	}
+	return out
+}
+
+// brutePKNN applies Definition 3 literally.
+func brutePKNN(d *workload.Dataset, issuer motion.UserID, qx, qy float64, k int, tq float64) []motion.UserID {
+	type cand struct {
+		uid  motion.UserID
+		dist float64
+	}
+	var cands []cand
+	for _, o := range d.Objects {
+		if o.UID == issuer {
+			continue
+		}
+		x, y := o.PositionAt(tq)
+		if d.Policies.Allows(policy.UserID(o.UID), policy.UserID(issuer), x, y, tq) {
+			cands = append(cands, cand{o.UID, math.Hypot(x-qx, y-qy)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].uid < cands[j].uid
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]motion.UserID, len(cands))
+	for i, c := range cands {
+		out[i] = c.uid
+	}
+	return out
+}
+
+func TestPRQMatchesBruteForceAndPEB(t *testing.T) {
+	d, ix, peb := buildPair(t, testConfig())
+	qs := d.GenPRQueries(40, 400, 70)
+	for i, q := range qs {
+		got, err := ix.PRQ(q.Issuer, q.W, q.T)
+		if err != nil {
+			t.Fatalf("PRQ: %v", err)
+		}
+		want := brutePRQ(d, q.Issuer, q.W, q.T)
+		gotSet := make(map[motion.UserID]bool, len(got))
+		for _, o := range got {
+			gotSet[o.UID] = true
+		}
+		if len(gotSet) != len(want) {
+			t.Errorf("query %d: baseline got %d, want %d", i, len(gotSet), len(want))
+			continue
+		}
+		for uid := range want {
+			if !gotSet[uid] {
+				t.Errorf("query %d: baseline missing u%d", i, uid)
+			}
+		}
+		// The PEB-tree must return exactly the same answer set.
+		pgot, err := peb.PRQ(q.Issuer, q.W, q.T)
+		if err != nil {
+			t.Fatalf("PEB PRQ: %v", err)
+		}
+		if len(pgot) != len(want) {
+			t.Errorf("query %d: PEB got %d, want %d", i, len(pgot), len(want))
+		}
+		for _, o := range pgot {
+			if !want[o.UID] {
+				t.Errorf("query %d: PEB returned unexpected u%d", i, o.UID)
+			}
+		}
+	}
+}
+
+func TestPKNNMatchesBruteForceAndPEB(t *testing.T) {
+	d, ix, peb := buildPair(t, testConfig())
+	qs := d.GenKNNQueries(30, 5, 70)
+	for i, q := range qs {
+		got, err := ix.PKNN(q.Issuer, q.X, q.Y, q.K, q.T)
+		if err != nil {
+			t.Fatalf("PKNN: %v", err)
+		}
+		want := brutePKNN(d, q.Issuer, q.X, q.Y, q.K, q.T)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: baseline got %d, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].Object.UID != want[j] {
+				t.Errorf("query %d: baseline neighbor %d = u%d, want u%d", i, j, got[j].Object.UID, want[j])
+			}
+		}
+		pgot, err := peb.PKNN(q.Issuer, q.X, q.Y, q.K, q.T)
+		if err != nil {
+			t.Fatalf("PEB PKNN: %v", err)
+		}
+		if len(pgot) != len(want) {
+			t.Fatalf("query %d: PEB got %d, want %d", i, len(pgot), len(want))
+		}
+		for j := range want {
+			if pgot[j].Object.UID != want[j] {
+				t.Errorf("query %d: PEB neighbor %d = u%d, want u%d", i, j, pgot[j].Object.UID, want[j])
+			}
+		}
+	}
+}
+
+func TestPKNNEdgeCases(t *testing.T) {
+	d, ix, _ := buildPair(t, testConfig())
+	if got, err := ix.PKNN(1, 500, 500, 0, 60); err != nil || got != nil {
+		t.Errorf("k=0: %v, %v", got, err)
+	}
+	// Issuer with no grantors gets nothing even with a huge k.
+	got, err := ix.PKNN(99999, 500, 500, 1000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("friendless issuer got %d neighbors", len(got))
+	}
+	_ = d
+}
+
+func TestUpdateDelete(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumUsers = 50
+	d, ix, _ := buildPair(t, cfg)
+	o := d.Objects[0]
+	o.X, o.Y, o.T = 1, 1, 100
+	if err := ix.Update(o); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ix.Get(o.UID)
+	if err != nil || !ok || got != o {
+		t.Fatalf("Get after update = %+v, %v, %v", got, ok, err)
+	}
+	if err := ix.Delete(o.UID); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size() != 49 {
+		t.Errorf("Size = %d, want 49", ix.Size())
+	}
+}
+
+// TestBaselineScansMoreThanPEB checks the headline claim on a modest
+// dataset: the baseline's PRQ buffer misses exceed the PEB-tree's, because
+// the baseline reads every user in the window while the PEB-tree reads
+// only key ranges near the issuer's friends.
+func TestBaselineScansMoreThanPEB(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumUsers = 3000
+	cfg.PoliciesPerUser = 10
+	cfg.GroupSize = 50
+	d, ix, peb := buildPair(t, cfg)
+	qs := d.GenPRQueries(50, 300, 70)
+
+	measure := func(run func(q workload.PRQuery) error, pool *store.BufferPool) uint64 {
+		if err := pool.DropAll(); err != nil {
+			t.Fatal(err)
+		}
+		pool.ResetStats()
+		for _, q := range qs {
+			if err := run(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pool.Stats().Misses
+	}
+	spatialIO := measure(func(q workload.PRQuery) error {
+		_, err := ix.PRQ(q.Issuer, q.W, q.T)
+		return err
+	}, ix.Pool())
+	pebIO := measure(func(q workload.PRQuery) error {
+		_, err := peb.PRQ(q.Issuer, q.W, q.T)
+		return err
+	}, peb.Pool())
+
+	if pebIO >= spatialIO {
+		t.Errorf("PEB misses (%d) not below baseline misses (%d)", pebIO, spatialIO)
+	}
+}

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferStats counts logical page requests against a BufferPool.
+//
+// Misses is the quantity the paper calls "I/O cost": a page request that
+// could not be served from the buffer and required a disk read.
+type BufferStats struct {
+	Hits      uint64 // requests served from the buffer
+	Misses    uint64 // requests that read from disk (the paper's I/O)
+	Evictions uint64 // pages pushed out of the buffer
+	WriteBack uint64 // dirty pages written to disk on eviction/flush
+}
+
+// Accesses returns the total number of logical page requests.
+func (s BufferStats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// BufferPool caches pages in memory with an LRU replacement policy, exactly
+// the "50-page LRU buffer" simulated by the paper (Sec. 7.1).
+//
+// Pages are pinned while in use. Fetch/NewPage return pinned pages; callers
+// must Unpin them (with a dirty flag) when done. Unpinned pages stay cached
+// until evicted by LRU. The pool is not safe for concurrent use.
+type BufferPool struct {
+	disk     DiskManager
+	capacity int
+
+	frames map[PageID]*frame
+	lru    *list.List // front = most recently used; holds *frame
+
+	stats BufferStats
+}
+
+type frame struct {
+	page Page
+	elem *list.Element // position in lru, nil while pinned
+}
+
+// DefaultBufferPages matches the paper's experimental setting.
+const DefaultBufferPages = 50
+
+// NewBufferPool creates a pool over disk holding at most capacity pages.
+// A capacity below 1 panics: the pool could not hold a single working page.
+func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("store: buffer capacity %d < 1", capacity))
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the maximum number of cached pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Stats returns the cumulative hit/miss counters.
+func (bp *BufferPool) Stats() BufferStats { return bp.stats }
+
+// ResetStats zeroes the counters. Cached contents are unaffected, so a
+// reset-then-measure sequence observes a warm buffer, while DropAll followed
+// by ResetStats observes a cold one.
+func (bp *BufferPool) ResetStats() { bp.stats = BufferStats{} }
+
+// Fetch returns the page with the given id, pinned. The caller must Unpin it.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	if id == InvalidPageID {
+		return nil, fmt.Errorf("store: fetch of invalid page id")
+	}
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pin(f)
+		return &f.page, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.disk.Read(id, f.page.data[:]); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	bp.pin(f)
+	return &f.page, nil
+}
+
+// NewPage allocates a fresh disk page and returns it pinned and zeroed.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	id, err := bp.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	f, err := bp.admit(id)
+	if err != nil {
+		// Roll back the allocation so the disk does not leak the page.
+		_ = bp.disk.Free(id)
+		return nil, err
+	}
+	for i := range f.page.data {
+		f.page.data[i] = 0
+	}
+	f.page.dirty = true // ensure the zeroed page reaches disk
+	bp.pin(f)
+	return &f.page, nil
+}
+
+// Unpin releases one pin on the page. dirty declares whether the caller
+// modified the page since Fetch/NewPage.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	f, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("store: unpin of non-resident page %d", id)
+	}
+	if f.page.pins <= 0 {
+		return fmt.Errorf("store: unpin of unpinned page %d", id)
+	}
+	if dirty {
+		f.page.dirty = true
+	}
+	f.page.pins--
+	if f.page.pins == 0 {
+		f.elem = bp.lru.PushFront(f)
+	}
+	return nil
+}
+
+// FreePage removes the page from the pool and returns it to the disk
+// allocator. The page must be resident with exactly one pin (the caller's).
+func (bp *BufferPool) FreePage(id PageID) error {
+	f, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("store: free of non-resident page %d", id)
+	}
+	if f.page.pins != 1 {
+		return fmt.Errorf("store: free of page %d with %d pins, want 1", id, f.page.pins)
+	}
+	delete(bp.frames, id)
+	return bp.disk.Free(id)
+}
+
+// FlushAll writes every dirty cached page back to disk. Pinned pages are
+// flushed too (they remain resident and pinned).
+func (bp *BufferPool) FlushAll() error {
+	for id, f := range bp.frames {
+		if !f.page.dirty {
+			continue
+		}
+		if err := bp.disk.Write(id, f.page.data[:]); err != nil {
+			return err
+		}
+		f.page.dirty = false
+		bp.stats.WriteBack++
+	}
+	return nil
+}
+
+// DropAll flushes and then discards every unpinned cached page, producing a
+// cold buffer. It fails if any page is still pinned.
+func (bp *BufferPool) DropAll() error {
+	for id, f := range bp.frames {
+		if f.page.pins > 0 {
+			return fmt.Errorf("store: drop with page %d still pinned", id)
+		}
+	}
+	if err := bp.FlushAll(); err != nil {
+		return err
+	}
+	bp.frames = make(map[PageID]*frame, bp.capacity)
+	bp.lru.Init()
+	return nil
+}
+
+// PinnedPages returns the number of currently pinned pages (for leak tests).
+func (bp *BufferPool) PinnedPages() int {
+	n := 0
+	for _, f := range bp.frames {
+		if f.page.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// pin marks the frame in-use and removes it from the eviction order.
+func (bp *BufferPool) pin(f *frame) {
+	if f.elem != nil {
+		bp.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	f.page.pins++
+}
+
+// admit makes room for and installs a frame for id (unpinned, not in LRU).
+func (bp *BufferPool) admit(id PageID) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{}
+	f.page.id = id
+	f.page.dirty = false
+	f.page.pins = 0
+	bp.frames[id] = f
+	return f, nil
+}
+
+// evictOne removes the least recently used unpinned page.
+func (bp *BufferPool) evictOne() error {
+	back := bp.lru.Back()
+	if back == nil {
+		return fmt.Errorf("store: buffer full (%d pages) and all pinned", bp.capacity)
+	}
+	f := back.Value.(*frame)
+	bp.lru.Remove(back)
+	f.elem = nil
+	if f.page.dirty {
+		if err := bp.disk.Write(f.page.id, f.page.data[:]); err != nil {
+			return err
+		}
+		bp.stats.WriteBack++
+	}
+	delete(bp.frames, f.page.id)
+	bp.stats.Evictions++
+	return nil
+}

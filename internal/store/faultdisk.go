@@ -1,0 +1,66 @@
+package store
+
+import "fmt"
+
+// FaultDisk wraps a DiskManager and injects a failure after a configured
+// number of operations. It exists for failure-injection tests: structures
+// above the buffer pool must propagate disk errors without leaking pins or
+// corrupting their in-memory state.
+type FaultDisk struct {
+	Inner DiskManager
+	// FailAfter counts down on every operation; when it reaches zero the
+	// operation fails (and keeps failing until the countdown is reset).
+	FailAfter int
+	// Failures counts injected failures.
+	Failures int
+}
+
+// ErrInjected is the error returned by injected failures.
+var ErrInjected = fmt.Errorf("store: injected disk fault")
+
+func (d *FaultDisk) tick() error {
+	d.FailAfter--
+	if d.FailAfter < 0 {
+		d.Failures++
+		return ErrInjected
+	}
+	return nil
+}
+
+// Allocate implements DiskManager.
+func (d *FaultDisk) Allocate() (PageID, error) {
+	if err := d.tick(); err != nil {
+		return InvalidPageID, err
+	}
+	return d.Inner.Allocate()
+}
+
+// Free implements DiskManager.
+func (d *FaultDisk) Free(id PageID) error {
+	if err := d.tick(); err != nil {
+		return err
+	}
+	return d.Inner.Free(id)
+}
+
+// Read implements DiskManager.
+func (d *FaultDisk) Read(id PageID, buf []byte) error {
+	if err := d.tick(); err != nil {
+		return err
+	}
+	return d.Inner.Read(id, buf)
+}
+
+// Write implements DiskManager.
+func (d *FaultDisk) Write(id PageID, buf []byte) error {
+	if err := d.tick(); err != nil {
+		return err
+	}
+	return d.Inner.Write(id, buf)
+}
+
+// Stats implements DiskManager.
+func (d *FaultDisk) Stats() DiskStats { return d.Inner.Stats() }
+
+// ResetStats implements DiskManager.
+func (d *FaultDisk) ResetStats() { d.Inner.ResetStats() }

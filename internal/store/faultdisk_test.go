@@ -1,0 +1,70 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultDiskInjects(t *testing.T) {
+	fd := &FaultDisk{Inner: NewMemDisk(), FailAfter: 2}
+	if _, err := fd.Allocate(); err != nil { // 1st op ok
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := fd.Write(1, buf); err != nil { // 2nd op ok
+		t.Fatal(err)
+	}
+	if err := fd.Read(1, buf); !errors.Is(err, ErrInjected) { // 3rd fails
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if err := fd.Free(1); !errors.Is(err, ErrInjected) { // keeps failing
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if fd.Failures != 2 {
+		t.Errorf("Failures = %d, want 2", fd.Failures)
+	}
+	// Reset re-arms the disk.
+	fd.FailAfter = 10
+	if err := fd.Read(1, buf); err != nil {
+		t.Fatalf("read after reset: %v", err)
+	}
+	if fd.Stats().Reads != 1 {
+		t.Errorf("inner stats not visible: %+v", fd.Stats())
+	}
+	fd.ResetStats()
+	if fd.Stats().Reads != 0 {
+		t.Error("ResetStats not forwarded")
+	}
+}
+
+func TestBufferPoolSurfacesFaults(t *testing.T) {
+	fd := &FaultDisk{Inner: NewMemDisk(), FailAfter: 1 << 30}
+	pool := NewBufferPool(fd, 2)
+	p, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID()
+	if err := pool.Unpin(id, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Fault on the next disk op: Fetch must fail cleanly.
+	fd.FailAfter = 0
+	if _, err := pool.Fetch(id); err == nil {
+		t.Fatal("fetch did not surface fault")
+	}
+	if pool.PinnedPages() != 0 {
+		t.Error("pin leaked on failed fetch")
+	}
+	// Recovery.
+	fd.FailAfter = 1 << 30
+	if _, err := pool.Fetch(id); err != nil {
+		t.Fatalf("fetch after recovery: %v", err)
+	}
+	if err := pool.Unpin(id, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// FileDisk is a DiskManager backed by a regular file, for users who want
+// indexes that persist across processes. Page id N lives at byte offset
+// (N-1)*PageSize. The free list is kept in memory only; a production system
+// would persist it, but experiments in this repository rebuild indexes from
+// workloads, so persistence of the allocator is out of scope.
+type FileDisk struct {
+	f     *os.File
+	next  PageID
+	free  []PageID
+	alive map[PageID]bool
+	stats DiskStats
+}
+
+// OpenFileDisk opens (creating if necessary) a file-backed disk at path.
+// An existing file is treated as fully allocated up to its length.
+func OpenFileDisk(path string) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open file disk: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat file disk: %w", err)
+	}
+	pages := PageID(info.Size() / PageSize)
+	fd := &FileDisk{f: f, next: pages + 1, alive: make(map[PageID]bool)}
+	for id := PageID(1); id <= pages; id++ {
+		fd.alive[id] = true
+	}
+	fd.stats.PagesAlive = uint64(pages)
+	return fd, nil
+}
+
+// Close flushes and closes the underlying file.
+func (d *FileDisk) Close() error { return d.f.Close() }
+
+// Allocate implements DiskManager.
+func (d *FileDisk) Allocate() (PageID, error) {
+	var id PageID
+	if n := len(d.free); n > 0 {
+		id = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		id = d.next
+		d.next++
+		if d.next == 0 {
+			return InvalidPageID, fmt.Errorf("store: page id space exhausted")
+		}
+		// Extend the file so reads of the fresh page succeed.
+		var zero [PageSize]byte
+		if _, err := d.f.WriteAt(zero[:], int64(id-1)*PageSize); err != nil {
+			return InvalidPageID, fmt.Errorf("store: extend file disk: %w", err)
+		}
+	}
+	d.alive[id] = true
+	d.stats.Allocs++
+	d.stats.PagesAlive++
+	return id, nil
+}
+
+// Free implements DiskManager.
+func (d *FileDisk) Free(id PageID) error {
+	if !d.alive[id] {
+		return fmt.Errorf("store: free of unallocated page %d", id)
+	}
+	delete(d.alive, id)
+	d.free = append(d.free, id)
+	d.stats.Frees++
+	d.stats.PagesAlive--
+	return nil
+}
+
+// Read implements DiskManager.
+func (d *FileDisk) Read(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("store: read buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	if !d.alive[id] {
+		return fmt.Errorf("store: read of unallocated page %d", id)
+	}
+	if _, err := d.f.ReadAt(buf, int64(id-1)*PageSize); err != nil {
+		return fmt.Errorf("store: read page %d: %w", id, err)
+	}
+	d.stats.Reads++
+	return nil
+}
+
+// Write implements DiskManager.
+func (d *FileDisk) Write(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("store: write buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	if !d.alive[id] {
+		return fmt.Errorf("store: write to unallocated page %d", id)
+	}
+	if _, err := d.f.WriteAt(buf, int64(id-1)*PageSize); err != nil {
+		return fmt.Errorf("store: write page %d: %w", id, err)
+	}
+	d.stats.Writes++
+	return nil
+}
+
+// Stats implements DiskManager.
+func (d *FileDisk) Stats() DiskStats { return d.stats }
+
+// ResetStats implements DiskManager.
+func (d *FileDisk) ResetStats() {
+	alive := d.stats.PagesAlive
+	d.stats = DiskStats{PagesAlive: alive}
+}

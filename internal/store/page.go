@@ -1,0 +1,75 @@
+// Package store provides the paged-storage substrate that every index in
+// this repository is built on: fixed-size pages, a simulated (or
+// file-backed) disk manager, and an LRU buffer pool with pin/unpin
+// semantics and I/O statistics.
+//
+// The paper evaluates indexes by I/O cost — the number of page reads that
+// miss a 50-page LRU buffer over 4 KB pages (Sec. 7.1). This package makes
+// that quantity directly measurable: every page fetch goes through a
+// BufferPool, and BufferPool.Stats() reports hits, misses (= the paper's
+// I/O), and write-backs.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the size of every page in bytes. The paper sets the disk page
+// size to 4 KB (Sec. 7.1).
+const PageSize = 4096
+
+// PageID identifies a page on disk. InvalidPageID is never allocated.
+type PageID uint32
+
+// InvalidPageID marks "no page" (e.g., a missing sibling pointer).
+const InvalidPageID PageID = 0
+
+// Page is a fixed-size block of bytes plus bookkeeping used by the buffer
+// pool. The Data slice is always exactly PageSize long.
+type Page struct {
+	id    PageID
+	data  [PageSize]byte
+	dirty bool
+	pins  int
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() PageID { return p.id }
+
+// Data returns the page's backing bytes. Callers that mutate the contents
+// must call MarkDirty so the buffer pool writes the page back on eviction.
+func (p *Page) Data() []byte { return p.data[:] }
+
+// MarkDirty records that the page's contents changed.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// Dirty reports whether the page has unwritten changes.
+func (p *Page) Dirty() bool { return p.dirty }
+
+// PinCount returns the number of outstanding pins (callers that may still
+// use the page). A page with pins > 0 cannot be evicted.
+func (p *Page) PinCount() int { return p.pins }
+
+// Uint16 reads a little-endian uint16 at off.
+func (p *Page) Uint16(off int) uint16 { return binary.LittleEndian.Uint16(p.data[off:]) }
+
+// PutUint16 writes a little-endian uint16 at off.
+func (p *Page) PutUint16(off int, v uint16) { binary.LittleEndian.PutUint16(p.data[off:], v) }
+
+// Uint32 reads a little-endian uint32 at off.
+func (p *Page) Uint32(off int) uint32 { return binary.LittleEndian.Uint32(p.data[off:]) }
+
+// PutUint32 writes a little-endian uint32 at off.
+func (p *Page) PutUint32(off int, v uint32) { binary.LittleEndian.PutUint32(p.data[off:], v) }
+
+// Uint64 reads a little-endian uint64 at off.
+func (p *Page) Uint64(off int) uint64 { return binary.LittleEndian.Uint64(p.data[off:]) }
+
+// PutUint64 writes a little-endian uint64 at off.
+func (p *Page) PutUint64(off int, v uint64) { binary.LittleEndian.PutUint64(p.data[off:], v) }
+
+// String implements fmt.Stringer for debugging.
+func (p *Page) String() string {
+	return fmt.Sprintf("page(id=%d dirty=%v pins=%d)", p.id, p.dirty, p.pins)
+}

@@ -1,0 +1,385 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemDiskAllocateReadWrite(t *testing.T) {
+	d := NewMemDisk()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if id == InvalidPageID {
+		t.Fatalf("Allocate returned InvalidPageID")
+	}
+
+	buf := make([]byte, PageSize)
+	if err := d.Read(id, buf); err != nil {
+		t.Fatalf("Read fresh page: %v", err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %d, want 0", i, b)
+		}
+	}
+
+	out := make([]byte, PageSize)
+	for i := range out {
+		out[i] = byte(i % 251)
+	}
+	if err := d.Write(id, out); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := d.Read(id, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(buf, out) {
+		t.Fatalf("read-back mismatch")
+	}
+}
+
+func TestMemDiskFreeAndReuse(t *testing.T) {
+	d := NewMemDisk()
+	a, _ := d.Allocate()
+	b, _ := d.Allocate()
+	if a == b {
+		t.Fatalf("two allocations returned the same id %d", a)
+	}
+	if err := d.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := d.Free(a); err == nil {
+		t.Fatalf("double free succeeded")
+	}
+	c, _ := d.Allocate()
+	if c != a {
+		t.Errorf("freed id %d not reused; got %d", a, c)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.Read(b, buf); err != nil {
+		t.Fatalf("Read of surviving page: %v", err)
+	}
+}
+
+func TestMemDiskErrors(t *testing.T) {
+	d := NewMemDisk()
+	buf := make([]byte, PageSize)
+	if err := d.Read(99, buf); err == nil {
+		t.Errorf("read of unallocated page succeeded")
+	}
+	if err := d.Write(99, buf); err == nil {
+		t.Errorf("write to unallocated page succeeded")
+	}
+	id, _ := d.Allocate()
+	if err := d.Read(id, buf[:10]); err == nil {
+		t.Errorf("short read buffer accepted")
+	}
+	if err := d.Write(id, buf[:10]); err == nil {
+		t.Errorf("short write buffer accepted")
+	}
+}
+
+func TestMemDiskStats(t *testing.T) {
+	d := NewMemDisk()
+	id, _ := d.Allocate()
+	buf := make([]byte, PageSize)
+	_ = d.Write(id, buf)
+	_ = d.Read(id, buf)
+	_ = d.Read(id, buf)
+	s := d.Stats()
+	if s.Allocs != 1 || s.Writes != 1 || s.Reads != 2 || s.PagesAlive != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	d.ResetStats()
+	s = d.Stats()
+	if s.Reads != 0 || s.PagesAlive != 1 {
+		t.Fatalf("after reset, stats = %+v", s)
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	d := NewMemDisk()
+	bp := NewBufferPool(d, 4)
+
+	p, err := bp.NewPage()
+	if err != nil {
+		t.Fatalf("NewPage: %v", err)
+	}
+	id := p.ID()
+	copy(p.Data(), []byte("hello"))
+	if err := bp.Unpin(id, true); err != nil {
+		t.Fatalf("Unpin: %v", err)
+	}
+
+	// Still resident: a fetch is a hit.
+	p2, err := bp.Fetch(id)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if string(p2.Data()[:5]) != "hello" {
+		t.Fatalf("cached page lost contents")
+	}
+	_ = bp.Unpin(id, false)
+
+	s := bp.Stats()
+	if s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 hit 0 misses", s)
+	}
+}
+
+func TestBufferPoolEvictionWritesBack(t *testing.T) {
+	d := NewMemDisk()
+	bp := NewBufferPool(d, 2)
+
+	p1, _ := bp.NewPage()
+	id1 := p1.ID()
+	copy(p1.Data(), []byte("page-one"))
+	_ = bp.Unpin(id1, true)
+
+	p2, _ := bp.NewPage()
+	_ = bp.Unpin(p2.ID(), true)
+	p3, _ := bp.NewPage() // evicts id1 (LRU)
+	_ = bp.Unpin(p3.ID(), true)
+
+	// id1 must have been written back; refetch goes to disk.
+	p, err := bp.Fetch(id1)
+	if err != nil {
+		t.Fatalf("Fetch after eviction: %v", err)
+	}
+	if string(p.Data()[:8]) != "page-one" {
+		t.Fatalf("evicted page lost contents: %q", p.Data()[:8])
+	}
+	_ = bp.Unpin(id1, false)
+
+	s := bp.Stats()
+	if s.Misses == 0 || s.Evictions == 0 || s.WriteBack == 0 {
+		t.Fatalf("stats = %+v, want misses, evictions and write-backs", s)
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	d := NewMemDisk()
+	bp := NewBufferPool(d, 2)
+
+	pa, _ := bp.NewPage()
+	a := pa.ID()
+	_ = bp.Unpin(a, true)
+	pb, _ := bp.NewPage()
+	b := pb.ID()
+	_ = bp.Unpin(b, true)
+
+	// Touch a so b becomes LRU.
+	p, _ := bp.Fetch(a)
+	_ = bp.Unpin(p.ID(), false)
+
+	pc, _ := bp.NewPage() // must evict b, not a
+	_ = bp.Unpin(pc.ID(), true)
+
+	bp.ResetStats()
+	p, _ = bp.Fetch(a)
+	_ = bp.Unpin(a, false)
+	if s := bp.Stats(); s.Hits != 1 {
+		t.Fatalf("a was evicted; stats after fetch(a) = %+v", s)
+	}
+	p, _ = bp.Fetch(b)
+	_ = bp.Unpin(b, false)
+	if s := bp.Stats(); s.Misses != 1 {
+		t.Fatalf("b was not evicted; stats = %+v", s)
+	}
+	_ = p
+}
+
+func TestBufferPoolAllPinnedFails(t *testing.T) {
+	d := NewMemDisk()
+	bp := NewBufferPool(d, 1)
+	p, _ := bp.NewPage()
+	if _, err := bp.NewPage(); err == nil {
+		t.Fatalf("NewPage with full pinned buffer succeeded")
+	}
+	_ = bp.Unpin(p.ID(), true)
+	if _, err := bp.NewPage(); err != nil {
+		t.Fatalf("NewPage after unpin: %v", err)
+	}
+}
+
+func TestBufferPoolPinCounting(t *testing.T) {
+	d := NewMemDisk()
+	bp := NewBufferPool(d, 4)
+	p, _ := bp.NewPage()
+	id := p.ID()
+	if _, err := bp.Fetch(id); err != nil { // second pin
+		t.Fatalf("Fetch: %v", err)
+	}
+	if got := bp.PinnedPages(); got != 1 {
+		t.Fatalf("PinnedPages = %d, want 1", got)
+	}
+	if p.PinCount() != 2 {
+		t.Fatalf("PinCount = %d, want 2", p.PinCount())
+	}
+	_ = bp.Unpin(id, false)
+	_ = bp.Unpin(id, false)
+	if err := bp.Unpin(id, false); err == nil {
+		t.Fatalf("over-unpin succeeded")
+	}
+	if got := bp.PinnedPages(); got != 0 {
+		t.Fatalf("PinnedPages = %d, want 0", got)
+	}
+}
+
+func TestBufferPoolDropAll(t *testing.T) {
+	d := NewMemDisk()
+	bp := NewBufferPool(d, 4)
+	p, _ := bp.NewPage()
+	id := p.ID()
+	copy(p.Data(), []byte("persist"))
+
+	if err := bp.DropAll(); err == nil {
+		t.Fatalf("DropAll with pinned page succeeded")
+	}
+	_ = bp.Unpin(id, true)
+	if err := bp.DropAll(); err != nil {
+		t.Fatalf("DropAll: %v", err)
+	}
+	bp.ResetStats()
+	p2, err := bp.Fetch(id)
+	if err != nil {
+		t.Fatalf("Fetch after drop: %v", err)
+	}
+	if string(p2.Data()[:7]) != "persist" {
+		t.Fatalf("contents lost across DropAll")
+	}
+	_ = bp.Unpin(id, false)
+	if s := bp.Stats(); s.Misses != 1 {
+		t.Fatalf("expected cold fetch, stats = %+v", s)
+	}
+}
+
+func TestBufferPoolFreePage(t *testing.T) {
+	d := NewMemDisk()
+	bp := NewBufferPool(d, 4)
+	p, _ := bp.NewPage()
+	id := p.ID()
+	if err := bp.FreePage(id); err != nil {
+		t.Fatalf("FreePage: %v", err)
+	}
+	if _, err := bp.Fetch(id); err == nil {
+		t.Fatalf("fetch of freed page succeeded")
+	}
+	if d.NumPages() != 0 {
+		t.Fatalf("disk still has %d pages", d.NumPages())
+	}
+}
+
+func TestBufferPoolFetchInvalid(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 2)
+	if _, err := bp.Fetch(InvalidPageID); err == nil {
+		t.Fatalf("fetch of InvalidPageID succeeded")
+	}
+	if err := bp.Unpin(42, false); err == nil {
+		t.Fatalf("unpin of non-resident page succeeded")
+	}
+}
+
+func TestPageAccessors(t *testing.T) {
+	var p Page
+	p.PutUint16(0, 0xBEEF)
+	p.PutUint32(2, 0xDEADBEEF)
+	p.PutUint64(6, 0x0123456789ABCDEF)
+	if p.Uint16(0) != 0xBEEF || p.Uint32(2) != 0xDEADBEEF || p.Uint64(6) != 0x0123456789ABCDEF {
+		t.Fatalf("accessor roundtrip failed")
+	}
+	if !p.Dirty() {
+		p.MarkDirty()
+	}
+	if !p.Dirty() {
+		t.Fatalf("MarkDirty did not stick")
+	}
+}
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.db")
+	d, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatalf("OpenFileDisk: %v", err)
+	}
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	out := make([]byte, PageSize)
+	copy(out, []byte("durable bytes"))
+	if err := d.Write(id, out); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	d2, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	buf := make([]byte, PageSize)
+	if err := d2.Read(id, buf); err != nil {
+		t.Fatalf("Read after reopen: %v", err)
+	}
+	if string(buf[:13]) != "durable bytes" {
+		t.Fatalf("contents lost across reopen: %q", buf[:13])
+	}
+}
+
+func TestFileDiskFreeReuse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.db")
+	d, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatalf("OpenFileDisk: %v", err)
+	}
+	defer d.Close()
+	a, _ := d.Allocate()
+	if err := d.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.Read(a, buf); err == nil {
+		t.Fatalf("read of freed page succeeded")
+	}
+	b, _ := d.Allocate()
+	if b != a {
+		t.Errorf("freed id %d not reused, got %d", a, b)
+	}
+}
+
+func TestBufferPoolWorkingSetLargerThanBuffer(t *testing.T) {
+	d := NewMemDisk()
+	bp := NewBufferPool(d, DefaultBufferPages)
+
+	const n = 200
+	ids := make([]PageID, n)
+	for i := 0; i < n; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatalf("NewPage %d: %v", i, err)
+		}
+		ids[i] = p.ID()
+		p.PutUint32(0, uint32(i))
+		_ = bp.Unpin(p.ID(), true)
+	}
+	// Every page must survive eviction with correct contents.
+	for i, id := range ids {
+		p, err := bp.Fetch(id)
+		if err != nil {
+			t.Fatalf("Fetch %d: %v", id, err)
+		}
+		if got := p.Uint32(0); got != uint32(i) {
+			t.Fatalf("page %d contents = %d, want %d", id, got, i)
+		}
+		_ = bp.Unpin(id, false)
+	}
+	if bp.PinnedPages() != 0 {
+		t.Fatalf("pin leak: %d pages pinned", bp.PinnedPages())
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/motion"
+)
+
+// networkSim re-implements the documented behavior of the network-based
+// data generator of Šaltenis et al. [27] used in Sec. 7.7: users move in a
+// network of two-way routes connecting a configurable number of
+// destinations. Objects start at random positions on routes, belong to one
+// of three speed classes (maximum speeds 0.75, 1.5, and 3 for the default
+// maximum speed 3 — i.e., 1/4, 1/2, and 1/1 of MaxSpeed), accelerate as
+// they leave a destination, decelerate as they approach one, and choose
+// the next destination at random on arrival.
+//
+// The property the experiment exercises — spatial skew controlled by the
+// number of destinations — is preserved: the fewer the hubs, the more the
+// population concentrates along few route corridors.
+type networkSim struct {
+	hubs []hub
+	objs []netObject
+}
+
+type hub struct{ x, y float64 }
+
+// netObject is one mover's route state.
+type netObject struct {
+	from, to int     // hub indices of the current route leg
+	pos      float64 // distance travelled along the leg
+	maxSpeed float64 // the object's speed-class maximum
+}
+
+// decelFrac is the fraction of a leg over which objects accelerate from /
+// decelerate to rest at the endpoints.
+const decelFrac = 0.2
+
+// speedClasses are the per-class maximum speeds as fractions of MaxSpeed,
+// matching the generator's 0.75 / 1.5 / 3 classes at MaxSpeed 3.
+var speedClasses = [3]float64{0.25, 0.5, 1.0}
+
+func newNetworkSim(cfg Config, rng *rand.Rand) *networkSim {
+	s := &networkSim{
+		hubs: make([]hub, cfg.NumHubs),
+		objs: make([]netObject, cfg.NumUsers),
+	}
+	for i := range s.hubs {
+		s.hubs[i] = hub{x: rng.Float64() * cfg.Space, y: rng.Float64() * cfg.Space}
+	}
+	for i := range s.objs {
+		from := rng.Intn(len(s.hubs))
+		to := s.nextHub(from, rng)
+		s.objs[i] = netObject{
+			from:     from,
+			to:       to,
+			pos:      rng.Float64() * s.legLen(from, to),
+			maxSpeed: speedClasses[rng.Intn(len(speedClasses))] * cfg.MaxSpeed,
+		}
+	}
+	return s
+}
+
+// nextHub picks a random destination different from cur.
+func (s *networkSim) nextHub(cur int, rng *rand.Rand) int {
+	for {
+		h := rng.Intn(len(s.hubs))
+		if h != cur {
+			return h
+		}
+	}
+}
+
+func (s *networkSim) legLen(from, to int) float64 {
+	a, b := s.hubs[from], s.hubs[to]
+	return math.Hypot(b.x-a.x, b.y-a.y)
+}
+
+// state returns the object's current position, velocity, and unit direction.
+func (s *networkSim) state(o netObject) (x, y, vx, vy float64) {
+	a, b := s.hubs[o.from], s.hubs[o.to]
+	leg := s.legLen(o.from, o.to)
+	if leg == 0 {
+		return a.x, a.y, 0, 0
+	}
+	ux, uy := (b.x-a.x)/leg, (b.y-a.y)/leg
+	x = a.x + ux*o.pos
+	y = a.y + uy*o.pos
+	speed := o.currentSpeed(leg)
+	return x, y, ux * speed, uy * speed
+}
+
+// currentSpeed applies the acceleration/deceleration profile: speed ramps
+// linearly from rest over the first decelFrac of the leg and back to rest
+// over the last decelFrac, clamped to a floor so objects keep moving.
+func (o netObject) currentSpeed(leg float64) float64 {
+	zone := leg * decelFrac
+	if zone <= 0 {
+		return o.maxSpeed
+	}
+	speed := o.maxSpeed
+	if o.pos < zone {
+		speed = o.maxSpeed * (o.pos / zone)
+	}
+	if rem := leg - o.pos; rem < zone {
+		s := o.maxSpeed * (rem / zone)
+		if s < speed {
+			speed = s
+		}
+	}
+	const floor = 0.1
+	if speed < o.maxSpeed*floor {
+		speed = o.maxSpeed * floor
+	}
+	return speed
+}
+
+// snapshot converts the simulation state into linear-motion update records
+// with update times spread over the configured window.
+func (s *networkSim) snapshot(cfg Config, rng *rand.Rand) []motion.Object {
+	objs := make([]motion.Object, len(s.objs))
+	for i, o := range s.objs {
+		x, y, vx, vy := s.state(o)
+		objs[i] = motion.Object{
+			UID: motion.UserID(i + 1),
+			X:   x,
+			Y:   y,
+			VX:  vx,
+			VY:  vy,
+			T:   rng.Float64() * cfg.UpdateWindow,
+		}
+	}
+	return objs
+}
+
+// advance moves object i by dt along its route, re-targeting at hubs.
+func (s *networkSim) advance(i int, dt float64, rng *rand.Rand) {
+	o := &s.objs[i]
+	for dt > 0 {
+		leg := s.legLen(o.from, o.to)
+		speed := o.currentSpeed(leg)
+		if speed <= 0 {
+			speed = o.maxSpeed * 0.1
+		}
+		step := speed * dt
+		if o.pos+step < leg {
+			o.pos += step
+			return
+		}
+		// Arrived: spend the proportional share of dt, pick a new target.
+		dt -= (leg - o.pos) / speed
+		o.from = o.to
+		o.to = s.nextHub(o.from, rng)
+		o.pos = 0
+	}
+}

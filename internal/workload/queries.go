@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/bxtree"
+	"repro/internal/motion"
+)
+
+// PRQuery is one privacy-aware range query (Definition 2).
+type PRQuery struct {
+	Issuer motion.UserID
+	W      bxtree.Window
+	T      float64
+}
+
+// KNNQuery is one privacy-aware kNN query (Definition 3). (X, Y) is qLoc,
+// the issuer's location at query time.
+type KNNQuery struct {
+	Issuer motion.UserID
+	X, Y   float64
+	K      int
+	T      float64
+}
+
+// GenPRQueries draws count range queries with quadratic windows of the
+// given side length (Table 1's "query window size"), centered uniformly at
+// random, issued by uniformly random users at time tq.
+func (d *Dataset) GenPRQueries(count int, side, tq float64) []PRQuery {
+	out := make([]PRQuery, count)
+	for i := range out {
+		issuer := d.Users[d.rng.Intn(len(d.Users))]
+		cx := d.rng.Float64() * d.Cfg.Space
+		cy := d.rng.Float64() * d.Cfg.Space
+		out[i] = PRQuery{
+			Issuer: motion.UserID(issuer),
+			W:      bxtree.Square(cx, cy, side/2),
+			T:      tq,
+		}
+	}
+	return out
+}
+
+// GenKNNQueries draws count kNN queries issued by uniformly random users
+// at time tq; qLoc is the issuer's extrapolated position at tq.
+func (d *Dataset) GenKNNQueries(count, k int, tq float64) []KNNQuery {
+	out := make([]KNNQuery, count)
+	for i := range out {
+		idx := d.rng.Intn(len(d.Objects))
+		o := d.Objects[idx]
+		x, y := o.PositionAt(tq)
+		out[i] = KNNQuery{Issuer: o.UID, X: clamp(x, 0, d.Cfg.Space), Y: clamp(y, 0, d.Cfg.Space), K: k, T: tq}
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// UpdateBatch advances the next fraction of the population (round-robin)
+// to time now and returns their fresh update records, mirroring the
+// Sec. 7.9 experiment ("each time 25% of the data set has been updated").
+// The dataset's Objects slice is updated in place so that oracles and
+// query generation stay consistent with the index contents.
+func (d *Dataset) UpdateBatch(fraction, now float64) []motion.Object {
+	n := len(d.Objects)
+	count := int(math.Round(fraction * float64(n)))
+	if count > n {
+		count = n
+	}
+	out := make([]motion.Object, 0, count)
+	for i := 0; i < count; i++ {
+		idx := d.cursor
+		d.cursor = (d.cursor + 1) % n
+		out = append(out, d.updateOne(idx, now))
+	}
+	return out
+}
+
+// updateOne advances object idx to time now under its movement model and
+// returns the new record.
+func (d *Dataset) updateOne(idx int, now float64) motion.Object {
+	o := d.Objects[idx]
+	if d.net != nil {
+		dt := now - o.T
+		if dt > 0 {
+			d.net.advance(idx, dt, d.rng)
+		}
+		x, y, vx, vy := d.net.state(d.net.objs[idx])
+		upd := motion.Object{UID: o.UID, X: x, Y: y, VX: vx, VY: vy, T: now}
+		d.Objects[idx] = upd
+		return upd
+	}
+	// Uniform movers: extrapolate, bounce off the space boundary, then
+	// pick a fresh random direction with a fresh speed.
+	x, y := o.PositionAt(now)
+	x = bounce(x, d.Cfg.Space)
+	y = bounce(y, d.Cfg.Space)
+	speed := d.rng.Float64() * d.Cfg.MaxSpeed
+	dir := d.rng.Float64() * 2 * math.Pi
+	upd := motion.Object{
+		UID: o.UID,
+		X:   x,
+		Y:   y,
+		VX:  speed * math.Cos(dir),
+		VY:  speed * math.Sin(dir),
+		T:   now,
+	}
+	d.Objects[idx] = upd
+	return upd
+}
+
+// bounce reflects a coordinate back into [0, side].
+func bounce(v, side float64) float64 {
+	for v < 0 || v > side {
+		if v < 0 {
+			v = -v
+		}
+		if v > side {
+			v = 2*side - v
+		}
+	}
+	return v
+}

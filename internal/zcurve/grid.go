@@ -1,0 +1,86 @@
+package zcurve
+
+import (
+	"fmt"
+	"math"
+)
+
+func fmtErr(format string, args ...interface{}) error {
+	return fmt.Errorf("zcurve: "+format, args...)
+}
+
+// Grid maps a continuous square space [0, Side) × [0, Side) onto the
+// 2^Order × 2^Order cell grid that curve values are computed over. The
+// paper's space is 1000 × 1000 with a 2^10 grid per axis.
+type Grid struct {
+	Side  float64 // side length of the space
+	Order int     // curve order; grid resolution is 2^Order per axis
+}
+
+// NewGrid validates and returns a Grid.
+func NewGrid(side float64, order int) (Grid, error) {
+	if side <= 0 || math.IsNaN(side) || math.IsInf(side, 0) {
+		return Grid{}, fmtErr("invalid space side %v", side)
+	}
+	if order <= 0 || order > MaxOrder {
+		return Grid{}, errOrder(order)
+	}
+	return Grid{Side: side, Order: order}, nil
+}
+
+// Cells returns the grid resolution per axis (2^Order).
+func (g Grid) Cells() uint32 { return uint32(1) << uint(g.Order) }
+
+// CellOf maps a continuous coordinate to a grid index, clamping values
+// outside [0, Side) to the boundary cells. Clamping (rather than erroring)
+// matches how moving-object indexes treat objects that drift marginally
+// out of the managed space between updates.
+func (g Grid) CellOf(v float64) uint32 {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	cells := g.Cells()
+	c := uint32(v / g.Side * float64(cells))
+	if c >= cells {
+		c = cells - 1
+	}
+	return c
+}
+
+// CellCenter returns the continuous coordinate of the center of cell c.
+func (g Grid) CellCenter(c uint32) float64 {
+	return (float64(c) + 0.5) * g.Side / float64(g.Cells())
+}
+
+// ZValue returns the Z-curve value of the continuous point (x, y).
+func (g Grid) ZValue(x, y float64) uint64 {
+	return Encode(g.CellOf(x), g.CellOf(y))
+}
+
+// HilbertValue returns the Hilbert-curve value of the continuous point.
+func (g Grid) HilbertValue(x, y float64) uint64 {
+	return HilbertEncode(g.CellOf(x), g.CellOf(y), g.Order)
+}
+
+// RectOf converts a continuous rectangle to the covering grid rectangle,
+// clamping to the space boundary. Returns false if the rectangle is empty
+// or entirely outside the space.
+func (g Grid) RectOf(minX, minY, maxX, maxY float64) (Rect, bool) {
+	if !(minX <= maxX && minY <= maxY) {
+		return Rect{}, false
+	}
+	if maxX < 0 || maxY < 0 || minX >= g.Side || minY >= g.Side {
+		return Rect{}, false
+	}
+	return Rect{
+		MinX: g.CellOf(minX),
+		MinY: g.CellOf(minY),
+		MaxX: g.CellOf(maxX),
+		MaxY: g.CellOf(maxY),
+	}, true
+}
+
+// MaxValue returns the largest curve value on this grid (2^(2·Order) − 1).
+func (g Grid) MaxValue() uint64 {
+	return uint64(1)<<uint(2*g.Order) - 1
+}

@@ -1,0 +1,97 @@
+package zcurve
+
+import "sort"
+
+// IntervalSet maintains a set of disjoint, sorted curve-value intervals.
+// The kNN algorithms use it to track already-scanned key ranges so that each
+// enlargement round only touches the newly uncovered region (the paper's
+// "the region R'q2 − R'q1 is searched", Sec. 5.4).
+type IntervalSet struct {
+	ivs []Interval // disjoint, sorted ascending, non-adjacent
+}
+
+// Len returns the number of stored intervals.
+func (s *IntervalSet) Len() int { return len(s.ivs) }
+
+// Intervals returns a copy of the stored intervals.
+func (s *IntervalSet) Intervals() []Interval {
+	return append([]Interval(nil), s.ivs...)
+}
+
+// Covered returns the total number of curve values covered by the set.
+func (s *IntervalSet) Covered() uint64 {
+	var n uint64
+	for _, iv := range s.ivs {
+		n += iv.Len()
+	}
+	return n
+}
+
+// Contains reports whether v lies in some stored interval.
+func (s *IntervalSet) Contains(v uint64) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= v })
+	return i < len(s.ivs) && s.ivs[i].Lo <= v
+}
+
+// Add inserts iv into the set, merging with overlapping or adjacent
+// intervals. Invalid intervals (Hi < Lo) are ignored.
+func (s *IntervalSet) Add(iv Interval) {
+	if iv.Hi < iv.Lo {
+		return
+	}
+	// Find the insertion window: all stored intervals that overlap or touch iv.
+	lo := sort.Search(len(s.ivs), func(i int) bool {
+		// touches/overlaps from the left: stored.Hi >= iv.Lo-1 (guard underflow)
+		if iv.Lo == 0 {
+			return true
+		}
+		return s.ivs[i].Hi >= iv.Lo-1
+	})
+	hi := sort.Search(len(s.ivs), func(i int) bool {
+		// strictly beyond iv on the right: stored.Lo > iv.Hi+1 (guard overflow)
+		if iv.Hi == ^uint64(0) {
+			return false
+		}
+		return s.ivs[i].Lo > iv.Hi+1
+	})
+	if lo < hi {
+		if s.ivs[lo].Lo < iv.Lo {
+			iv.Lo = s.ivs[lo].Lo
+		}
+		if s.ivs[hi-1].Hi > iv.Hi {
+			iv.Hi = s.ivs[hi-1].Hi
+		}
+	}
+	out := make([]Interval, 0, len(s.ivs)-(hi-lo)+1)
+	out = append(out, s.ivs[:lo]...)
+	out = append(out, iv)
+	out = append(out, s.ivs[hi:]...)
+	s.ivs = out
+}
+
+// Subtract returns the parts of iv not covered by the set, in ascending
+// order. The set itself is unmodified.
+func (s *IntervalSet) Subtract(iv Interval) []Interval {
+	if iv.Hi < iv.Lo {
+		return nil
+	}
+	var out []Interval
+	cur := iv.Lo
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= iv.Lo })
+	for ; i < len(s.ivs) && s.ivs[i].Lo <= iv.Hi; i++ {
+		st := s.ivs[i]
+		if st.Lo > cur {
+			out = append(out, Interval{Lo: cur, Hi: st.Lo - 1})
+		}
+		if st.Hi >= iv.Hi {
+			return out
+		}
+		if st.Hi+1 > cur {
+			cur = st.Hi + 1
+		}
+	}
+	if cur <= iv.Hi {
+		out = append(out, Interval{Lo: cur, Hi: iv.Hi})
+	}
+	return out
+}

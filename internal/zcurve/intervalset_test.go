@@ -1,0 +1,155 @@
+package zcurve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalSetAddMerges(t *testing.T) {
+	var s IntervalSet
+	s.Add(Interval{10, 20})
+	s.Add(Interval{30, 40})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s.Add(Interval{21, 29}) // bridges the gap exactly (adjacent both sides)
+	if s.Len() != 1 {
+		t.Fatalf("after bridge Len = %d, want 1: %v", s.Len(), s.Intervals())
+	}
+	if got := s.Intervals()[0]; got != (Interval{10, 40}) {
+		t.Fatalf("merged = %v, want [10,40]", got)
+	}
+}
+
+func TestIntervalSetAddOverlap(t *testing.T) {
+	var s IntervalSet
+	s.Add(Interval{5, 10})
+	s.Add(Interval{8, 15})
+	s.Add(Interval{1, 2})
+	want := []Interval{{1, 2}, {5, 15}}
+	got := s.Intervals()
+	if len(got) != len(want) {
+		t.Fatalf("intervals = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intervals = %v, want %v", got, want)
+		}
+	}
+	if s.Covered() != 2+11 {
+		t.Fatalf("Covered = %d, want 13", s.Covered())
+	}
+}
+
+func TestIntervalSetContains(t *testing.T) {
+	var s IntervalSet
+	s.Add(Interval{10, 20})
+	s.Add(Interval{40, 40})
+	for _, tc := range []struct {
+		v    uint64
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {20, true}, {21, false}, {39, false}, {40, true}, {41, false}} {
+		if got := s.Contains(tc.v); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalSetSubtract(t *testing.T) {
+	var s IntervalSet
+	s.Add(Interval{10, 20})
+	s.Add(Interval{30, 35})
+
+	tests := []struct {
+		in   Interval
+		want []Interval
+	}{
+		{Interval{0, 5}, []Interval{{0, 5}}},                      // disjoint left
+		{Interval{12, 18}, nil},                                   // fully covered
+		{Interval{5, 15}, []Interval{{5, 9}}},                     // right part covered
+		{Interval{15, 25}, []Interval{{21, 25}}},                  // left part covered
+		{Interval{0, 50}, []Interval{{0, 9}, {21, 29}, {36, 50}}}, // spans all
+		{Interval{21, 29}, []Interval{{21, 29}}},                  // in the gap
+		{Interval{20, 30}, []Interval{{21, 29}}},                  // touches both
+	}
+	for _, tc := range tests {
+		got := s.Subtract(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("Subtract(%v) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("Subtract(%v) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestIntervalSetEdgeBounds(t *testing.T) {
+	var s IntervalSet
+	max := ^uint64(0)
+	s.Add(Interval{0, 0})
+	s.Add(Interval{max, max})
+	if !s.Contains(0) || !s.Contains(max) {
+		t.Fatal("boundary values not contained")
+	}
+	got := s.Subtract(Interval{0, max})
+	if len(got) != 1 || got[0] != (Interval{1, max - 1}) {
+		t.Fatalf("Subtract full = %v, want [1,%d]", got, max-1)
+	}
+}
+
+// Property: after Add operations, Subtract of any interval returns exactly
+// the values not in the set, and Add ∪ Subtract covers the query interval.
+func TestIntervalSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s IntervalSet
+		naive := make(map[uint64]bool) // model over a small universe
+		const universe = 200
+		for i := 0; i < 30; i++ {
+			lo := uint64(rng.Intn(universe))
+			hi := lo + uint64(rng.Intn(20))
+			s.Add(Interval{lo, hi})
+			for v := lo; v <= hi; v++ {
+				naive[v] = true
+			}
+		}
+		// Check Contains against the model.
+		for v := uint64(0); v < universe+30; v++ {
+			if s.Contains(v) != naive[v] {
+				return false
+			}
+		}
+		// Check Subtract against the model for random query intervals.
+		for i := 0; i < 10; i++ {
+			lo := uint64(rng.Intn(universe))
+			hi := lo + uint64(rng.Intn(40))
+			rem := s.Subtract(Interval{lo, hi})
+			covered := make(map[uint64]bool)
+			for _, iv := range rem {
+				if iv.Lo < lo || iv.Hi > hi {
+					return false // result escapes the query interval
+				}
+				for v := iv.Lo; v <= iv.Hi; v++ {
+					if covered[v] || naive[v] {
+						return false // overlap or value already in set
+					}
+					covered[v] = true
+				}
+			}
+			for v := lo; v <= hi; v++ {
+				if !naive[v] && !covered[v] {
+					return false // uncovered value missing from result
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

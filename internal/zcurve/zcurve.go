@@ -1,0 +1,188 @@
+// Package zcurve implements the space-filling-curve machinery the Bx-tree
+// and PEB-tree use to linearize 2-D locations (Sec. 2.1, [13], [22]):
+//
+//   - Morton (Z-order) encoding and decoding of grid cells,
+//   - an exact decomposition of a grid-aligned query rectangle into a
+//     minimal set of consecutive curve-value intervals ("ZVconvert" in the
+//     paper's Fig. 7), and
+//   - a Hilbert-curve mapping used by an ablation benchmark, since the
+//     paper's clustering citation [22] analyzes the Hilbert curve.
+//
+// All functions operate on grid coordinates in [0, 2^order). Mapping from
+// continuous space to the grid is the caller's concern (see package bxtree).
+package zcurve
+
+import "fmt"
+
+// MaxOrder is the largest supported curve order: with order 31 a curve
+// value needs 62 bits, leaving headroom inside a uint64 key.
+const MaxOrder = 31
+
+// Interval is an inclusive range [Lo, Hi] of curve values.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Len returns the number of curve values covered by the interval.
+func (iv Interval) Len() uint64 { return iv.Hi - iv.Lo + 1 }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v uint64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
+
+// spread2 inserts a zero bit between every bit of the lower 32 bits of v:
+// ...b2 b1 b0 becomes ...b2 0 b1 0 b0.
+func spread2(v uint64) uint64 {
+	v &= 0x00000000FFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// squash2 is the inverse of spread2: it collects every other bit.
+func squash2(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return v
+}
+
+// Encode maps grid cell (x, y) to its Z-order value by bit interleaving
+// (x provides the even bits, y the odd bits). Coordinates must fit in
+// MaxOrder bits; Encode does not range-check for speed — use Grid for
+// checked conversions from continuous space.
+func Encode(x, y uint32) uint64 {
+	return spread2(uint64(x)) | spread2(uint64(y))<<1
+}
+
+// Decode is the inverse of Encode.
+func Decode(z uint64) (x, y uint32) {
+	return uint32(squash2(z)), uint32(squash2(z >> 1))
+}
+
+// Rect is a closed grid-cell rectangle [MinX,MaxX] × [MinY,MaxY].
+type Rect struct {
+	MinX, MinY, MaxX, MaxY uint32
+}
+
+// Valid reports whether the rectangle is non-empty and well ordered.
+func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// Cells returns the number of grid cells the rectangle covers.
+func (r Rect) Cells() uint64 {
+	return uint64(r.MaxX-r.MinX+1) * uint64(r.MaxY-r.MinY+1)
+}
+
+// ContainsCell reports whether the grid cell (x, y) lies in the rectangle.
+func (r Rect) ContainsCell(x, y uint32) bool {
+	return r.MinX <= x && x <= r.MaxX && r.MinY <= y && y <= r.MaxY
+}
+
+// Decompose converts a query rectangle into the exact, minimal set of
+// disjoint Z-value intervals that together cover precisely the rectangle's
+// cells, sorted ascending. order is the curve order (grid is 2^order on a
+// side). maxIntervals > 0 caps the result size: when the exact decomposition
+// would exceed the cap, adjacent intervals with the smallest gaps are merged
+// first, so the result still covers the rectangle but may include extra
+// cells (candidates are re-checked during query refinement anyway).
+//
+// This is the ZVconvert step of the paper's range-query algorithm (Fig. 7).
+func Decompose(r Rect, order int, maxIntervals int) ([]Interval, error) {
+	if order <= 0 || order > MaxOrder {
+		return nil, fmt.Errorf("zcurve: order %d out of range (1..%d)", order, MaxOrder)
+	}
+	if !r.Valid() {
+		return nil, fmt.Errorf("zcurve: invalid rectangle %+v", r)
+	}
+	limit := uint32(1)<<uint(order) - 1
+	if r.MaxX > limit || r.MaxY > limit {
+		return nil, fmt.Errorf("zcurve: rectangle %+v exceeds grid of order %d", r, order)
+	}
+
+	var out []Interval
+	decompose(r, 0, 0, order, order, &out)
+	// decompose emits intervals in ascending Z order by construction
+	// (quadrant recursion follows the curve), so only merging is needed.
+	out = mergeAdjacent(out)
+	if maxIntervals > 0 && len(out) > maxIntervals {
+		out = coalesce(out, maxIntervals)
+	}
+	return out, nil
+}
+
+// decompose recursively splits the quadrant with top-left grid coordinate
+// (qx, qy) (in units of cells) and side 2^qorder against r, appending
+// covered intervals to out in curve order.
+func decompose(r Rect, qx, qy uint32, qorder, order int, out *[]Interval) {
+	side := uint32(1) << uint(qorder)
+	qMaxX := qx + side - 1
+	qMaxY := qy + side - 1
+	// No overlap: nothing to emit.
+	if qx > r.MaxX || qMaxX < r.MinX || qy > r.MaxY || qMaxY < r.MinY {
+		return
+	}
+	// Fully covered: the quadrant is one contiguous Z interval.
+	if r.MinX <= qx && qMaxX <= r.MaxX && r.MinY <= qy && qMaxY <= r.MaxY {
+		lo := Encode(qx, qy)
+		*out = append(*out, Interval{Lo: lo, Hi: lo + uint64(side)*uint64(side) - 1})
+		return
+	}
+	if qorder == 0 {
+		// Single cell partially tested above; being here means overlap,
+		// which for a cell means containment.
+		lo := Encode(qx, qy)
+		*out = append(*out, Interval{Lo: lo, Hi: lo})
+		return
+	}
+	half := side / 2
+	// Z-order visits quadrants in the order (0,0), (1,0), (0,1), (1,1)
+	// with x as the low interleaved bit.
+	decompose(r, qx, qy, qorder-1, order, out)
+	decompose(r, qx+half, qy, qorder-1, order, out)
+	decompose(r, qx, qy+half, qorder-1, order, out)
+	decompose(r, qx+half, qy+half, qorder-1, order, out)
+}
+
+// mergeAdjacent fuses touching intervals ([a,b],[b+1,c] → [a,c]).
+// Input must be sorted ascending and disjoint.
+func mergeAdjacent(ivs []Interval) []Interval {
+	if len(ivs) < 2 {
+		return ivs
+	}
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo == last.Hi+1 {
+			last.Hi = iv.Hi
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// coalesce reduces the interval count to max by repeatedly bridging the
+// smallest gap between neighbors. The result covers a superset of the input.
+func coalesce(ivs []Interval, max int) []Interval {
+	for len(ivs) > max {
+		best := 1
+		bestGap := ivs[1].Lo - ivs[0].Hi
+		for i := 2; i < len(ivs); i++ {
+			if gap := ivs[i].Lo - ivs[i-1].Hi; gap < bestGap {
+				bestGap = gap
+				best = i
+			}
+		}
+		ivs[best-1].Hi = ivs[best].Hi
+		ivs = append(ivs[:best], ivs[best+1:]...)
+	}
+	return ivs
+}

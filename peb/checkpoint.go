@@ -1,0 +1,154 @@
+package peb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// Checkpoint/restore: a file-backed DB (Options.Path) persists its index
+// pages continuously; Checkpoint flushes them and writes two side files —
+// <Path>.meta (JSON: tree linkage, sequence values) and <Path>.policies
+// (the policy-store snapshot) — so OpenExisting can re-attach to the pages
+// without reinsertion or re-encoding.
+
+// metaFile is the JSON side-file format.
+type metaFile struct {
+	Version   int
+	Root      uint32
+	Height    int
+	Size      int
+	LeafCount int
+	NextSV    float64
+	SVs       []svRec
+}
+
+type svRec struct {
+	UID UserID
+	SV  uint64
+}
+
+const metaVersion = 1
+
+// Checkpoint flushes all index pages to the backing file and writes the
+// side files. Only file-backed DBs can checkpoint.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.fileDisk == nil {
+		return fmt.Errorf("peb: checkpoint requires a file-backed DB (Options.Path)")
+	}
+	if err := db.tree.Pool().FlushAll(); err != nil {
+		return err
+	}
+	snap := db.tree.Snapshot()
+	mf := metaFile{
+		Version:   metaVersion,
+		Root:      uint32(snap.Tree.Root),
+		Height:    snap.Tree.Height,
+		Size:      snap.Tree.Size,
+		LeafCount: snap.Tree.LeafCount,
+		NextSV:    db.nextSV,
+	}
+	for uid, sv := range snap.SVs {
+		mf.SVs = append(mf.SVs, svRec{UID: uid, SV: sv})
+	}
+	data, err := json.Marshal(mf)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(db.opts.Path+".meta", data, 0o644); err != nil {
+		return err
+	}
+	pf, err := os.Create(db.opts.Path + ".policies")
+	if err != nil {
+		return err
+	}
+	if err := db.policies.Save(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
+}
+
+// OpenExisting re-opens a DB from a previous Checkpoint. opts.Path must
+// name the same backing file; the other options must match the original
+// configuration (they are not persisted).
+func OpenExisting(opts Options) (*DB, error) {
+	opts.setDefaults()
+	if opts.Path == "" {
+		return nil, fmt.Errorf("peb: OpenExisting requires Options.Path")
+	}
+	metaData, err := os.ReadFile(opts.Path + ".meta")
+	if err != nil {
+		return nil, fmt.Errorf("peb: read checkpoint meta: %w", err)
+	}
+	var mf metaFile
+	if err := json.Unmarshal(metaData, &mf); err != nil {
+		return nil, fmt.Errorf("peb: parse checkpoint meta: %w", err)
+	}
+	if mf.Version != metaVersion {
+		return nil, fmt.Errorf("peb: checkpoint version %d not supported", mf.Version)
+	}
+	pf, err := os.Open(opts.Path + ".policies")
+	if err != nil {
+		return nil, fmt.Errorf("peb: read checkpoint policies: %w", err)
+	}
+	policies, err := policy.Load(pf)
+	pf.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	fd, err := store.OpenFileDisk(opts.Path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	grid := cfg.Base.Grid
+	grid.Side = opts.SpaceSide
+	cfg.Base.Grid = grid
+	cfg.Base.MaxSpeed = opts.MaxSpeed
+	cfg.Base.DeltaTmu = opts.MaxUpdateInterval
+
+	snap := core.Snapshot{
+		Tree: btree.Meta{
+			Root:      store.PageID(mf.Root),
+			Height:    mf.Height,
+			Size:      mf.Size,
+			LeafCount: mf.LeafCount,
+		},
+		SVs: make(map[UserID]uint64, len(mf.SVs)),
+	}
+	for _, rec := range mf.SVs {
+		snap.SVs[rec.UID] = rec.SV
+	}
+	tree, err := core.Open(cfg, store.NewBufferPool(fd, opts.BufferPages), policies, snap)
+	if err != nil {
+		fd.Close()
+		return nil, err
+	}
+
+	db := &DB{
+		opts:     opts,
+		policies: policies,
+		tree:     tree,
+		disk:     fd,
+		fileDisk: fd,
+		users:    make(map[UserID]bool),
+		nextSV:   mf.NextSV,
+		encoded:  true,
+	}
+	for uid := range snap.SVs {
+		db.users[uid] = true
+	}
+	if db.nextSV < 2 {
+		db.nextSV = 2
+	}
+	return db, nil
+}

@@ -1,0 +1,129 @@
+package peb
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRequiresFileBacking(t *testing.T) {
+	db := mustOpen(t, Options{})
+	if err := db.Checkpoint(); err == nil {
+		t.Error("memory-backed checkpoint accepted")
+	}
+}
+
+func TestCheckpointAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "city.idx")
+	opts := Options{Path: path}
+	db := mustOpen(t, opts)
+
+	day := TimeInterval{Start: 0, End: 1440}
+	all := Region{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	rng := rand.New(rand.NewSource(21))
+	const n = 400
+	for i := 1; i <= n; i++ {
+		peer := UserID(rng.Intn(n) + 1)
+		if peer != UserID(i) {
+			db.DefineRelation(UserID(i), peer, "f")
+			if err := db.Grant(UserID(i), "f", all, day); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.EncodePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{
+			UID: UserID(i + 1),
+			X:   rng.Float64() * 1000, Y: rng.Float64() * 1000,
+			VX: rng.Float64()*4 - 2, VY: rng.Float64()*4 - 2,
+			T: rng.Float64() * 50,
+		}
+		if err := db.Upsert(objs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference answers before the checkpoint.
+	type q struct {
+		issuer UserID
+		r      Region
+		tq     float64
+	}
+	queries := make([]q, 20)
+	refs := make([][]Object, 20)
+	for i := range queries {
+		queries[i] = q{
+			issuer: UserID(rng.Intn(n) + 1),
+			r:      Region{MinX: 100, MinY: 100, MaxX: 100 + rng.Float64()*800, MaxY: 100 + rng.Float64()*800},
+			tq:     rng.Float64() * 60,
+		}
+		res, err := db.RangeQuery(queries[i].issuer, queries[i].r, queries[i].tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = res
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and replay: identical answers, no reinsertion.
+	db2, err := OpenExisting(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Size() != n {
+		t.Fatalf("reopened size = %d, want %d", db2.Size(), n)
+	}
+	for i, qq := range queries {
+		res, err := db2.RangeQuery(qq.issuer, qq.r, qq.tq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(refs[i]) {
+			t.Fatalf("query %d: %d results after reopen, want %d", i, len(res), len(refs[i]))
+		}
+		want := make(map[UserID]bool, len(refs[i]))
+		for _, o := range refs[i] {
+			want[o.UID] = true
+		}
+		for _, o := range res {
+			if !want[o.UID] {
+				t.Fatalf("query %d: unexpected u%d after reopen", i, o.UID)
+			}
+		}
+	}
+
+	// The reopened DB accepts further updates and queries.
+	upd := objs[0]
+	upd.X, upd.Y, upd.T = 500, 500, 70
+	if err := db2.Upsert(upd); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := db2.Lookup(upd.UID)
+	if err != nil || !ok || got != upd {
+		t.Fatalf("Lookup after reopen+update = %+v %v %v", got, ok, err)
+	}
+	// And a brand-new user gets a fresh sequence value (NextSV restored).
+	if err := db2.Upsert(Object{UID: 9999, X: 1, Y: 1, T: 70}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenExistingErrors(t *testing.T) {
+	if _, err := OpenExisting(Options{}); err == nil {
+		t.Error("no path accepted")
+	}
+	if _, err := OpenExisting(Options{Path: filepath.Join(t.TempDir(), "missing.idx")}); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}

@@ -1,0 +1,377 @@
+// Package peb is the public API of the PEB-tree library: a privacy-aware
+// moving-object database that answers range and k-nearest-neighbor queries
+// under peer-wise location-privacy policies (Lin et al., PVLDB 5(1), 2011).
+//
+// A DB combines the three pieces a service provider needs:
+//
+//   - a policy store holding every user's location-privacy policies
+//     ⟨role, locr, tint⟩ ("my colleagues may see me downtown, 8am–5pm");
+//   - the offline policy-encoding phase that turns policy compatibility
+//     into sequence values; and
+//   - the PEB-tree index over the users' moving positions, whose keys
+//     embed both the sequence values and a Z-curve location code.
+//
+// Basic use:
+//
+//	db, _ := peb.Open(peb.Options{})
+//	db.DefineRelation(alice, bob, "friend")
+//	db.Grant(alice, "friend", downtown, mornings)
+//	db.EncodePolicies()                      // offline phase, run after policy changes
+//	db.Upsert(peb.Object{UID: alice, X: 10, Y: 20, VX: 1, VY: 0, T: 0})
+//	visible, _ := db.RangeQuery(bob, area, now)
+//	nearest, _ := db.NearestNeighbors(bob, x, y, 5, now)
+//
+// All DB methods are safe for concurrent use; operations are serialized
+// internally (the underlying paged structures are single-writer).
+package peb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/bxtree"
+	"repro/internal/core"
+	"repro/internal/motion"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// Re-exported domain types, so callers need only this package.
+type (
+	// UserID identifies a service user.
+	UserID = motion.UserID
+	// Object is a user's latest movement update: position (X, Y) and
+	// velocity (VX, VY) as of time T.
+	Object = motion.Object
+	// Region is an axis-aligned rectangle (policy areas, query windows).
+	Region = policy.Region
+	// TimeInterval is a daily time window; Start may exceed End to wrap
+	// midnight.
+	TimeInterval = policy.TimeInterval
+	// Role names a relationship ("friend", "colleague").
+	Role = policy.Role
+	// Neighbor is one nearest-neighbor result.
+	Neighbor = bxtree.Neighbor
+)
+
+// Options configures a DB. The zero value selects the paper's defaults:
+// a 1000 × 1000 space, 2^10 grid, 120-unit maximum update interval,
+// 1440-unit day, and a 50-page buffer over an in-memory disk.
+type Options struct {
+	// SpaceSide is the side length of the square service space.
+	SpaceSide float64
+	// DayLength is the period of policy time windows.
+	DayLength float64
+	// MaxSpeed bounds object speed; query windows are enlarged by it.
+	MaxSpeed float64
+	// MaxUpdateInterval is ∆tmu: every user must update at least this often.
+	MaxUpdateInterval float64
+	// BufferPages is the LRU buffer capacity.
+	BufferPages int
+	// Path, when non-empty, backs the index with a file instead of memory.
+	// The file holds pages only; the index is rebuilt via Upsert on open.
+	Path string
+}
+
+func (o *Options) setDefaults() {
+	if o.SpaceSide == 0 {
+		o.SpaceSide = bxtree.DefaultSpaceSide
+	}
+	if o.DayLength == 0 {
+		o.DayLength = 1440
+	}
+	if o.MaxSpeed == 0 {
+		o.MaxSpeed = bxtree.DefaultMaxSpeed
+	}
+	if o.MaxUpdateInterval == 0 {
+		o.MaxUpdateInterval = bxtree.DefaultDeltaTmu
+	}
+	if o.BufferPages == 0 {
+		o.BufferPages = store.DefaultBufferPages
+	}
+}
+
+// DB is a privacy-aware moving-object database.
+type DB struct {
+	mu sync.Mutex
+
+	opts     Options
+	policies *policy.Store
+	tree     *core.Tree
+	disk     store.DiskManager
+	fileDisk *store.FileDisk // non-nil when file-backed
+
+	// users is every id ever seen (policies or movement), the population
+	// the encoding phase assigns sequence values over.
+	users map[UserID]bool
+	// assignment is the latest encoding result; nextSV hands out fresh
+	// singleton-anchor values to users that appear after encoding.
+	assignment policy.Assignment
+	nextSV     float64
+	encoded    bool
+}
+
+// Open creates a DB.
+func Open(opts Options) (*DB, error) {
+	opts.setDefaults()
+	space := Region{MinX: 0, MinY: 0, MaxX: opts.SpaceSide, MaxY: opts.SpaceSide}
+	policies, err := policy.NewStore(space, opts.DayLength)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		opts:     opts,
+		policies: policies,
+		users:    make(map[UserID]bool),
+	}
+	if err := db.newTree(policy.Assignment{}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// newTree replaces the index with a fresh one under the given assignment.
+func (db *DB) newTree(assignment policy.Assignment) error {
+	var disk store.DiskManager
+	var fd *store.FileDisk
+	if db.opts.Path != "" {
+		var err error
+		fd, err = store.OpenFileDisk(db.opts.Path)
+		if err != nil {
+			return err
+		}
+		disk = fd
+	} else {
+		disk = store.NewMemDisk()
+	}
+
+	cfg := core.DefaultConfig()
+	grid := cfg.Base.Grid
+	grid.Side = db.opts.SpaceSide
+	cfg.Base.Grid = grid
+	cfg.Base.MaxSpeed = db.opts.MaxSpeed
+	cfg.Base.DeltaTmu = db.opts.MaxUpdateInterval
+
+	tree, err := core.New(cfg, store.NewBufferPool(disk, db.opts.BufferPages), db.policies, assignment)
+	if err != nil {
+		if fd != nil {
+			fd.Close()
+		}
+		return err
+	}
+	if db.fileDisk != nil {
+		db.fileDisk.Close()
+	}
+	db.tree = tree
+	db.disk = disk
+	db.fileDisk = fd
+	db.assignment = assignment
+	db.nextSV = assignment.MaxSV
+	if db.nextSV < 2 {
+		db.nextSV = 2
+	}
+	return nil
+}
+
+// Close releases the DB's resources (the backing file, if any).
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.fileDisk != nil {
+		err := db.fileDisk.Close()
+		db.fileDisk = nil
+		return err
+	}
+	return nil
+}
+
+// DefineRelation records that owner considers peer to hold role. Policies
+// owner has granted to that role then apply to peer.
+func (db *DB) DefineRelation(owner, peer UserID, role Role) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.policies.SetRelation(policy.UserID(owner), policy.UserID(peer), role)
+	db.noteUser(owner)
+	db.noteUser(peer)
+	db.encoded = false
+}
+
+// Grant adds a location-privacy policy for owner: users related to owner
+// by role may see owner's location while owner is inside locr during tint.
+func (db *DB) Grant(owner UserID, role Role, locr Region, tint TimeInterval) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	err := db.policies.AddPolicy(policy.UserID(owner), policy.Policy{Role: role, Locr: locr, Tint: tint})
+	if err != nil {
+		return err
+	}
+	db.noteUser(owner)
+	db.encoded = false
+	return nil
+}
+
+// Allows reports whether viewer may currently see owner located at (x, y)
+// at time t — the raw policy predicate, evaluated without the index.
+func (db *DB) Allows(owner, viewer UserID, x, y, t float64) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.policies.Allows(policy.UserID(owner), policy.UserID(viewer), x, y, t)
+}
+
+// EncodePolicies runs the offline policy-encoding phase (Sec. 5.1 of the
+// paper): pairwise compatibility scores become sequence values, and the
+// index is rebuilt so every stored user adopts its new key. Call it after
+// batches of policy changes; queries work without it, but clustering — and
+// therefore query I/O — is only as good as the latest encoding.
+func (db *DB) EncodePolicies() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	users := make([]policy.UserID, 0, len(db.users))
+	for u := range db.users {
+		users = append(users, policy.UserID(u))
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	assignment, err := policy.AssignSequenceValues(db.policies, users, policy.AssignOptions{})
+	if err != nil {
+		return err
+	}
+
+	// Rebuild: collect the current population, swap in a fresh tree under
+	// the new assignment, re-insert everything.
+	objs := make([]Object, 0, db.tree.Size())
+	for u := range db.users {
+		o, ok, err := db.tree.Get(u)
+		if err != nil {
+			return err
+		}
+		if ok {
+			objs = append(objs, o)
+		}
+	}
+	if err := db.newTree(assignment); err != nil {
+		return err
+	}
+	for _, o := range objs {
+		if err := db.tree.Insert(o); err != nil {
+			return err
+		}
+	}
+	db.encoded = true
+	return nil
+}
+
+// Upsert stores or replaces a user's movement update. Users that appeared
+// after the last EncodePolicies call receive a fresh singleton sequence
+// value immediately; run EncodePolicies to integrate them properly.
+func (db *DB) Upsert(o Object) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteUser(o.UID)
+	if _, ok := db.tree.SV(o.UID); !ok {
+		db.nextSV += 2 // δ spacing, a fresh singleton anchor (Fig. 5)
+		if err := db.tree.SetSV(o.UID, db.nextSV); err != nil {
+			return err
+		}
+	}
+	return db.tree.Insert(o)
+}
+
+// Remove deletes a user's index entry (the user's policies remain).
+func (db *DB) Remove(uid UserID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Delete(uid)
+}
+
+// Lookup returns a user's stored movement state.
+func (db *DB) Lookup(uid UserID) (Object, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Get(uid)
+}
+
+// Size returns the number of indexed users.
+func (db *DB) Size() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Size()
+}
+
+// RangeQuery returns the users inside r at time t whose policies let
+// issuer see them there and then (the paper's PRQ, Definition 2).
+func (db *DB) RangeQuery(issuer UserID, r Region, t float64) ([]Object, error) {
+	if !r.Valid() {
+		return nil, fmt.Errorf("peb: invalid query region %v", r)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	w := bxtree.Window{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+	return db.tree.PRQ(issuer, w, t)
+}
+
+// NearestNeighbors returns the k users nearest to (x, y) at time t whose
+// policies let issuer see them (the paper's PkNN, Definition 3), sorted by
+// ascending distance.
+func (db *DB) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([]Neighbor, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.PKNN(issuer, x, y, k, t)
+}
+
+// IOStats reports the index's buffer statistics since the last ResetStats.
+func (db *DB) IOStats() store.BufferStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tree.Pool().Stats()
+}
+
+// ResetStats zeroes the I/O counters.
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tree.Pool().ResetStats()
+}
+
+// noteUser registers a user id in the population (caller holds the lock).
+func (db *DB) noteUser(uid UserID) {
+	db.users[uid] = true
+}
+
+// SavePolicies writes a snapshot of all relations and policies to w.
+// Policies change rarely (the paper's premise), so snapshotting them and
+// rebuilding indexes from live movement data is the natural recovery path.
+func (db *DB) SavePolicies(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.policies.Save(w)
+}
+
+// LoadPolicies replaces the DB's entire policy state with a snapshot
+// written by SavePolicies, then re-runs policy encoding and rebuilds the
+// index so stored users adopt keys under the restored policies.
+func (db *DB) LoadPolicies(r io.Reader) error {
+	db.mu.Lock()
+	loaded, err := policy.Load(r)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if loaded.Space() != db.policies.Space() || loaded.DayLength() != db.policies.DayLength() {
+		db.mu.Unlock()
+		return fmt.Errorf("peb: snapshot domain %v/%g does not match DB %v/%g",
+			loaded.Space(), loaded.DayLength(), db.policies.Space(), db.policies.DayLength())
+	}
+	db.policies = loaded
+	loaded.ForEachGrant(func(owner, viewer policy.UserID, _ policy.Policy) bool {
+		db.users[UserID(owner)] = true
+		db.users[UserID(viewer)] = true
+		return true
+	})
+	db.encoded = false
+	db.mu.Unlock()
+	// EncodePolicies re-locks; it rebuilds the tree against db.policies.
+	return db.EncodePolicies()
+}
