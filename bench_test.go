@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/workload"
+	"repro/peb"
 )
 
 // benchScale keeps each figure benchmark to a few seconds: populations
@@ -68,6 +69,7 @@ func BenchmarkFig19cCostModelGrouping(b *testing.B)  { runExperiment(b, "fig19c"
 func BenchmarkAblationKeyOrder(b *testing.B)         { runExperiment(b, "ablation-keyorder") }
 func BenchmarkAblationSearchOrder(b *testing.B)      { runExperiment(b, "ablation-searchorder") }
 func BenchmarkAblationCurve(b *testing.B)            { runExperiment(b, "ablation-curve") }
+func BenchmarkScaling(b *testing.B)                  { runExperiment(b, "scaling") }
 
 // --- Micro-benchmarks of the core operations --------------------------------
 
@@ -191,6 +193,103 @@ func BenchmarkWorkloadGenerate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Parallel query benchmarks (peb.DB read path) ----------------------------
+
+// sharedDB lazily builds one peb.DB (public API, RWMutex + snapshot read
+// path) reused by the parallel benchmarks, with an index-resident buffer so
+// the numbers reflect lock scaling rather than eviction churn.
+var (
+	dbOnce sync.Once
+	dbVal  *peb.DB
+	dbQs   []workload.PRQuery
+	dbKNN  []workload.KNNQuery
+	dbErr  error
+)
+
+func sharedDB(b *testing.B) (*peb.DB, []workload.PRQuery, []workload.KNNQuery) {
+	dbOnce.Do(func() {
+		cfg := exp.DefaultConfig()
+		cfg.Workload.NumUsers = 10_000
+		cfg.Workload.PoliciesPerUser = 20
+		cfg.Workload.GroupSize = 0
+		var ds *workload.Dataset
+		dbVal, ds, dbErr = exp.BuildDB(cfg, 0)
+		if dbErr != nil {
+			return
+		}
+		dbQs = ds.GenPRQueries(256, exp.DefaultWindowSide, exp.DefaultQueryTime)
+		dbKNN = ds.GenKNNQueries(256, exp.DefaultK, exp.DefaultQueryTime)
+	})
+	if dbErr != nil {
+		b.Fatal(dbErr)
+	}
+	return dbVal, dbQs, dbKNN
+}
+
+// BenchmarkDBRangeQueryParallel drives concurrent RangeQuery calls through
+// the RWMutex read path with b.RunParallel; compare its per-op time against
+// BenchmarkDBRangeQuerySerialized to see the concurrency win (the ratio
+// approaches the core count on parallel hardware; on one core they tie).
+// Run with -cpu 8 to fix the goroutine count.
+func BenchmarkDBRangeQueryParallel(b *testing.B) {
+	db, qs, _ := sharedDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := qs[i%len(qs)]
+			i++
+			r := peb.Region{MinX: q.W.MinX, MinY: q.W.MinY, MaxX: q.W.MaxX, MaxY: q.W.MaxY}
+			if _, err := db.RangeQuery(q.Issuer, r, q.T); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDBRangeQuerySerialized is the single-mutex baseline: the same
+// concurrent load, but every query serialized behind one global lock — the
+// DB's behavior before the RWMutex/snapshot read path.
+func BenchmarkDBRangeQuerySerialized(b *testing.B) {
+	db, qs, _ := sharedDB(b)
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := qs[i%len(qs)]
+			i++
+			r := peb.Region{MinX: q.W.MinX, MinY: q.W.MinY, MaxX: q.W.MaxX, MaxY: q.W.MaxY}
+			mu.Lock()
+			_, err := db.RangeQuery(q.Issuer, r, q.T)
+			mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDBNearestNeighborsParallel is the PkNN counterpart of
+// BenchmarkDBRangeQueryParallel.
+func BenchmarkDBNearestNeighborsParallel(b *testing.B) {
+	db, _, qs := sharedDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := qs[i%len(qs)]
+			i++
+			if _, err := db.NearestNeighbors(q.Issuer, q.X, q.Y, q.K, q.T); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkHeadline reproduces the paper's headline comparison at bench

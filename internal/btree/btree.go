@@ -7,7 +7,12 @@
 // 40-byte records. All node accesses go through the buffer pool, so query
 // I/O cost is observable as buffer misses, matching the paper's metric.
 //
-// The tree is not safe for concurrent use.
+// Concurrency follows a single-writer/multi-reader discipline: mutations
+// (Insert, Delete) require exclusive access, while any number of goroutines
+// may read concurrently through Reader views (the buffer pool synchronizes
+// its own bookkeeping). Callers enforce the discipline externally — see
+// peb.DB, which holds a write lock across mutations and a read lock across
+// queries.
 package btree
 
 import (
@@ -52,33 +57,7 @@ func (t *Tree) LeafCount() int { return t.leafCount }
 func (t *Tree) Pool() *store.BufferPool { return t.pool }
 
 // Get returns the payload stored under kv.
-func (t *Tree) Get(kv KV) (Payload, bool, error) {
-	pid := t.root
-	for {
-		p, err := t.pool.Fetch(pid)
-		if err != nil {
-			return Payload{}, false, err
-		}
-		if pageType(p) == internalType {
-			in := readInternal(p)
-			next := in.children[childIndex(in, kv)]
-			if err := t.pool.Unpin(pid, false); err != nil {
-				return Payload{}, false, err
-			}
-			pid = next
-			continue
-		}
-		entries, _ := readLeaf(p)
-		if err := t.pool.Unpin(pid, false); err != nil {
-			return Payload{}, false, err
-		}
-		idx, ok := searchLeaf(entries, kv)
-		if !ok {
-			return Payload{}, false, nil
-		}
-		return entries[idx].payload, true, nil
-	}
-}
+func (t *Tree) Get(kv KV) (Payload, bool, error) { return t.Reader().Get(kv) }
 
 // Insert stores payload under kv, replacing any existing entry with the
 // same composite key.

@@ -8,10 +8,11 @@ import (
 // sibling chain. A cursor buffers one leaf at a time, so a scan fetches
 // each leaf page exactly once regardless of how many entries it yields.
 //
-// Cursors are invalidated by any mutation of the tree; using one after an
-// Insert or Delete gives unspecified (but memory-safe) results.
+// Cursors are created by Reader.Seek (or Tree.Seek, which takes a fresh
+// Reader) and are invalidated by any mutation of the tree; using one after
+// an Insert or Delete gives unspecified (but memory-safe) results.
 type Cursor struct {
-	tree    *Tree
+	r       *Reader
 	entries []leafEntry
 	next    store.PageID
 	idx     int
@@ -19,37 +20,7 @@ type Cursor struct {
 }
 
 // Seek positions a cursor at the first entry with composite key >= kv.
-func (t *Tree) Seek(kv KV) (*Cursor, error) {
-	pid := t.root
-	for {
-		p, err := t.pool.Fetch(pid)
-		if err != nil {
-			return nil, err
-		}
-		if pageType(p) == internalType {
-			in := readInternal(p)
-			next := in.children[childIndex(in, kv)]
-			if err := t.pool.Unpin(pid, false); err != nil {
-				return nil, err
-			}
-			pid = next
-			continue
-		}
-		entries, next := readLeaf(p)
-		if err := t.pool.Unpin(pid, false); err != nil {
-			return nil, err
-		}
-		idx, _ := searchLeaf(entries, kv)
-		c := &Cursor{tree: t, entries: entries, next: next, idx: idx, valid: true}
-		if idx >= len(entries) {
-			// kv is past this leaf; advance into the next one.
-			if err := c.advanceLeaf(); err != nil {
-				return nil, err
-			}
-		}
-		return c, nil
-	}
-}
+func (t *Tree) Seek(kv KV) (*Cursor, error) { return t.Reader().Seek(kv) }
 
 // Valid reports whether the cursor is positioned on an entry.
 func (c *Cursor) Valid() bool { return c.valid && c.idx < len(c.entries) }
@@ -81,14 +52,14 @@ func (c *Cursor) advanceLeaf() error {
 			c.valid = false
 			return nil
 		}
-		p, err := c.tree.pool.Fetch(c.next)
+		p, err := c.r.pool.Fetch(c.next)
 		if err != nil {
 			return err
 		}
 		pid := c.next
 		c.entries, c.next = readLeaf(p)
 		c.idx = 0
-		if err := c.tree.pool.Unpin(pid, false); err != nil {
+		if err := c.r.pool.Unpin(pid, false); err != nil {
 			return err
 		}
 		if len(c.entries) > 0 {
@@ -100,84 +71,11 @@ func (c *Cursor) advanceLeaf() error {
 // RangeScan calls fn for every entry with lo <= key <= hi, in order. fn
 // returning false stops the scan early.
 func (t *Tree) RangeScan(lo, hi KV, fn func(kv KV, payload Payload) bool) error {
-	if hi.Less(lo) {
-		return nil
-	}
-	c, err := t.Seek(lo)
-	if err != nil {
-		return err
-	}
-	for c.Valid() {
-		kv := c.Key()
-		if hi.Less(kv) {
-			return nil
-		}
-		if !fn(kv, c.Payload()) {
-			return nil
-		}
-		if err := c.Next(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return t.Reader().RangeScan(lo, hi, fn)
 }
 
 // ScanLeaves visits every leaf page holding keys in [lo, hi] and calls fn
-// for EVERY entry on those leaves, including entries outside the range on
-// the boundary leaves. The page fetches are identical to RangeScan's; the
-// extra entries are free because their pages are already in memory.
-//
-// Query algorithms use this to examine candidates opportunistically: once
-// a page holding a friend's key range has been paid for, every user stored
-// on it can be checked at no additional I/O — the mechanism behind the
-// paper's "once a candidate user is found, the remaining search intervals
-// formed by this user's SV value are skipped" rule.
+// for every entry on those leaves; see Reader.ScanLeaves.
 func (t *Tree) ScanLeaves(lo, hi KV, fn func(kv KV, payload Payload) bool) error {
-	if hi.Less(lo) {
-		return nil
-	}
-	// Descend to the leaf covering lo (same page trajectory as Seek).
-	pid := t.root
-	for {
-		p, err := t.pool.Fetch(pid)
-		if err != nil {
-			return err
-		}
-		if pageType(p) == internalType {
-			in := readInternal(p)
-			next := in.children[childIndex(in, lo)]
-			if err := t.pool.Unpin(pid, false); err != nil {
-				return err
-			}
-			pid = next
-			continue
-		}
-		entries, next := readLeaf(p)
-		if err := t.pool.Unpin(pid, false); err != nil {
-			return err
-		}
-		for {
-			covered := false // does this leaf hold any key > hi?
-			for _, e := range entries {
-				if hi.Less(e.kv) {
-					covered = true
-				}
-				if !fn(e.kv, e.payload) {
-					return nil
-				}
-			}
-			if covered || next == store.InvalidPageID {
-				return nil
-			}
-			np, err := t.pool.Fetch(next)
-			if err != nil {
-				return err
-			}
-			id := next
-			entries, next = readLeaf(np)
-			if err := t.pool.Unpin(id, false); err != nil {
-				return err
-			}
-		}
-	}
+	return t.Reader().ScanLeaves(lo, hi, fn)
 }

@@ -1,0 +1,168 @@
+package btree
+
+import (
+	"repro/internal/store"
+)
+
+// Reader is a read-only view of a Tree, fixed at the moment Reader() was
+// called: the root linkage and counters are copied out, so a Reader never
+// observes a half-applied root split or a torn size update. All lookups and
+// scans live on Reader; Tree's own read methods delegate to a fresh one.
+//
+// Any number of goroutines may use Readers (or one Reader) concurrently —
+// page accesses go through the buffer pool, which synchronizes its own
+// bookkeeping — PROVIDED no goroutine mutates the underlying tree
+// meanwhile. A mutation rewrites node pages in place, so the usual
+// single-writer/multi-reader discipline applies to the page contents:
+// callers hold a read lock across every Reader use and a write lock across
+// Insert/Delete (see peb.DB). A Reader taken before a mutation is invalid
+// once the mutation starts.
+type Reader struct {
+	pool      *store.BufferPool
+	root      store.PageID
+	height    int
+	size      int
+	leafCount int
+}
+
+// Reader returns a read-only view of the tree's current state.
+func (t *Tree) Reader() *Reader {
+	return &Reader{pool: t.pool, root: t.root, height: t.height, size: t.size, leafCount: t.leafCount}
+}
+
+// Size returns the number of entries at view time.
+func (r *Reader) Size() int { return r.size }
+
+// Height returns the number of levels at view time (1 = single leaf).
+func (r *Reader) Height() int { return r.height }
+
+// LeafCount returns the number of leaf pages at view time.
+func (r *Reader) LeafCount() int { return r.leafCount }
+
+// Pool exposes the underlying buffer pool (for I/O statistics).
+func (r *Reader) Pool() *store.BufferPool { return r.pool }
+
+// descendToLeaf walks from the root to the leaf whose key range covers kv
+// and returns that leaf's entries plus its right-sibling pointer.
+func (r *Reader) descendToLeaf(kv KV) ([]leafEntry, store.PageID, error) {
+	pid := r.root
+	for {
+		p, err := r.pool.Fetch(pid)
+		if err != nil {
+			return nil, store.InvalidPageID, err
+		}
+		if pageType(p) == internalType {
+			in := readInternal(p)
+			next := in.children[childIndex(in, kv)]
+			if err := r.pool.Unpin(pid, false); err != nil {
+				return nil, store.InvalidPageID, err
+			}
+			pid = next
+			continue
+		}
+		entries, next := readLeaf(p)
+		if err := r.pool.Unpin(pid, false); err != nil {
+			return nil, store.InvalidPageID, err
+		}
+		return entries, next, nil
+	}
+}
+
+// Get returns the payload stored under kv.
+func (r *Reader) Get(kv KV) (Payload, bool, error) {
+	entries, _, err := r.descendToLeaf(kv)
+	if err != nil {
+		return Payload{}, false, err
+	}
+	idx, ok := searchLeaf(entries, kv)
+	if !ok {
+		return Payload{}, false, nil
+	}
+	return entries[idx].payload, true, nil
+}
+
+// Seek positions a cursor at the first entry with composite key >= kv.
+func (r *Reader) Seek(kv KV) (*Cursor, error) {
+	entries, next, err := r.descendToLeaf(kv)
+	if err != nil {
+		return nil, err
+	}
+	idx, _ := searchLeaf(entries, kv)
+	c := &Cursor{r: r, entries: entries, next: next, idx: idx, valid: true}
+	if idx >= len(entries) {
+		// kv is past this leaf; advance into the next one.
+		if err := c.advanceLeaf(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// RangeScan calls fn for every entry with lo <= key <= hi, in order. fn
+// returning false stops the scan early.
+func (r *Reader) RangeScan(lo, hi KV, fn func(kv KV, payload Payload) bool) error {
+	if hi.Less(lo) {
+		return nil
+	}
+	c, err := r.Seek(lo)
+	if err != nil {
+		return err
+	}
+	for c.Valid() {
+		kv := c.Key()
+		if hi.Less(kv) {
+			return nil
+		}
+		if !fn(kv, c.Payload()) {
+			return nil
+		}
+		if err := c.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanLeaves visits every leaf page holding keys in [lo, hi] and calls fn
+// for EVERY entry on those leaves, including entries outside the range on
+// the boundary leaves. The page fetches are identical to RangeScan's; the
+// extra entries are free because their pages are already in memory.
+//
+// Query algorithms use this to examine candidates opportunistically: once
+// a page holding a friend's key range has been paid for, every user stored
+// on it can be checked at no additional I/O — the mechanism behind the
+// paper's "once a candidate user is found, the remaining search intervals
+// formed by this user's SV value are skipped" rule.
+func (r *Reader) ScanLeaves(lo, hi KV, fn func(kv KV, payload Payload) bool) error {
+	if hi.Less(lo) {
+		return nil
+	}
+	// Descend to the leaf covering lo (same page trajectory as Seek).
+	entries, next, err := r.descendToLeaf(lo)
+	if err != nil {
+		return err
+	}
+	for {
+		covered := false // does this leaf hold any key > hi?
+		for _, e := range entries {
+			if hi.Less(e.kv) {
+				covered = true
+			}
+			if !fn(e.kv, e.payload) {
+				return nil
+			}
+		}
+		if covered || next == store.InvalidPageID {
+			return nil
+		}
+		np, err := r.pool.Fetch(next)
+		if err != nil {
+			return err
+		}
+		id := next
+		entries, next = readLeaf(np)
+		if err := r.pool.Unpin(id, false); err != nil {
+			return err
+		}
+	}
+}

@@ -12,12 +12,16 @@
 // query (PkNN, Sec. 5.4) exploit this to prune by policy compatibility and
 // location simultaneously.
 //
-// The tree is not safe for concurrent use.
+// Concurrency: mutations (Insert, Delete, SetSV) require exclusive access.
+// Queries execute on a View — a read-only snapshot obtained from
+// Tree.View() — and any number of goroutines may query concurrently, as
+// long as no mutation runs meanwhile. Callers enforce that
+// single-writer/multi-reader discipline externally; peb.DB does it with a
+// sync.RWMutex.
 package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/btree"
 	"repro/internal/bxtree"
@@ -155,15 +159,7 @@ func (t *Tree) Delete(uid motion.UserID) error {
 
 // Get returns uid's current object state.
 func (t *Tree) Get(uid motion.UserID) (motion.Object, bool, error) {
-	kv, ok := t.cur[uid]
-	if !ok {
-		return motion.Object{}, false, nil
-	}
-	payload, found, err := t.tree.Get(kv)
-	if err != nil || !found {
-		return motion.Object{}, found, err
-	}
-	return motion.DecodePayload(uid, payload), true, nil
+	return t.View().Get(uid)
 }
 
 func (t *Tree) removeEntry(uid motion.UserID, kv btree.KV) error {
@@ -177,46 +173,4 @@ func (t *Tree) removeEntry(uid motion.UserID, kv btree.KV) error {
 	t.parts.Remove(uid)
 	delete(t.cur, uid)
 	return nil
-}
-
-// svGroup is one distinct encoded sequence value and the query issuer's
-// friends that share it (distinct users can quantize to the same value).
-type svGroup struct {
-	sv   uint64
-	uids []motion.UserID
-}
-
-// friendGroups returns the issuer's grantors — "the set of users who may
-// allow the query issuer to see their locations" (Upol, Sec. 5.3 step 2) —
-// grouped by encoded sequence value, ascending. Grantors without a
-// registered sequence value cannot appear in the index and are skipped.
-func (t *Tree) friendGroups(issuer motion.UserID) []svGroup {
-	grantors := t.policies.Grantors(policy.UserID(issuer))
-	byVal := make(map[uint64][]motion.UserID, len(grantors))
-	for _, g := range grantors {
-		uid := motion.UserID(g)
-		if uid == issuer {
-			continue
-		}
-		sv, ok := t.svEnc[uid]
-		if !ok {
-			continue
-		}
-		byVal[sv] = append(byVal[sv], uid)
-	}
-	out := make([]svGroup, 0, len(byVal))
-	for sv, uids := range byVal {
-		out = append(out, svGroup{sv: sv, uids: uids})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].sv < out[j].sv })
-	return out
-}
-
-// qualifies applies the policy predicate of Definitions 2–3: the candidate's
-// exact position at tq must fall inside a policy region open to the issuer
-// during tq. The location predicate (range window or kNN distance) is the
-// caller's concern.
-func (t *Tree) qualifies(candidate motion.Object, issuer motion.UserID, tq float64) bool {
-	x, y := candidate.PositionAt(tq)
-	return t.policies.Allows(policy.UserID(candidate.UID), policy.UserID(issuer), x, y, tq)
 }

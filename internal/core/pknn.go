@@ -17,7 +17,7 @@ type Neighbor = bxtree.Neighbor
 // are window enlargement rounds, and each cell is the key range
 // [TID ⊕ SV ⊕ ZVs, TID ⊕ SV ⊕ ZVe] for that friend and round.
 type pknnSearch struct {
-	t          *Tree
+	v          *View
 	issuer     motion.UserID
 	qx, qy, tq float64
 	rq         float64 // per-round radius increment (Dk/k)
@@ -62,6 +62,13 @@ func (s *pknnSearch) refreshRow(r int) {
 	s.rowDone[r] = true
 }
 
+// PKNN answers the privacy-aware k-nearest-neighbor query on the tree's
+// current state. It is shorthand for t.View().PKNN(...); concurrent
+// callers should take a View under their read lock instead.
+func (t *Tree) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+	return t.View().PKNN(issuer, qx, qy, k, tq)
+}
+
 // PKNN answers the privacy-aware k-nearest-neighbor query (Definition 3):
 // the k users nearest to (qx, qy) at tq among those whose policies let
 // issuer see them there and then, sorted by ascending distance.
@@ -74,25 +81,25 @@ func (s *pknnSearch) refreshRow(r int) {
 // final vertical pass re-checks every friend within the window clamped to
 // twice the k'th candidate distance (Sec. 5.4's last step), which
 // guarantees no closer qualified user was missed.
-func (t *Tree) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+func (v *View) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	if t.cfg.Layout == ZVFirst {
-		return t.pknnZVFirst(issuer, qx, qy, k, tq)
+	if v.cfg.Layout == ZVFirst {
+		return v.pknnZVFirst(issuer, qx, qy, k, tq)
 	}
-	groups := t.friendGroups(issuer)
+	groups := v.friendGroups(issuer)
 	if len(groups) == 0 {
 		return nil, nil
 	}
 
 	s := &pknnSearch{
-		t:      t,
+		v:      v,
 		issuer: issuer,
 		qx:     qx,
 		qy:     qy,
 		tq:     tq,
-		rq:     t.roundRadius(k),
+		rq:     v.roundRadius(k),
 		groups: groups,
 
 		scanned:   make([]map[uint64]zcurve.Interval, len(groups)),
@@ -124,7 +131,7 @@ func (t *Tree) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]
 		// search — every possible result is already in hand.
 		return s.allRowsDone(), nil
 	}
-	switch t.cfg.PKNNOrder {
+	switch v.cfg.PKNNOrder {
 	case ColumnMajor:
 		// Ablation order: exhaust every friend per round before enlarging.
 		for c := 0; c <= coverCol && !done; c++ {
@@ -172,9 +179,9 @@ func (t *Tree) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]
 // roundRadius returns the per-round window radius increment rq = Dk/k
 // (Sec. 5.4), with a floor that keeps degenerate estimates from stalling
 // the search.
-func (t *Tree) roundRadius(k int) float64 {
-	L := t.cfg.Base.Grid.Side
-	rq := bxtree.EstimateDk(k, t.Size(), L) / float64(k)
+func (v *View) roundRadius(k int) float64 {
+	L := v.cfg.Base.Grid.Side
+	rq := bxtree.EstimateDk(k, v.Size(), L) / float64(k)
 	if rq <= 0 || math.IsNaN(rq) || math.IsInf(rq, 0) {
 		rq = L / 64
 	}
@@ -184,7 +191,7 @@ func (t *Tree) roundRadius(k int) float64 {
 // coverColumn returns the smallest column index whose window covers the
 // entire space from the query point.
 func (s *pknnSearch) coverColumn() int {
-	L := s.t.cfg.Base.Grid.Side
+	L := s.v.cfg.Base.Grid.Side
 	r := math.Max(math.Max(s.qx, L-s.qx), math.Max(s.qy, L-s.qy))
 	if r <= 0 {
 		return 0
@@ -200,12 +207,12 @@ func (s *pknnSearch) coverColumn() int {
 // extremes over the rectangle.
 func (s *pknnSearch) cellInterval(c int, pr bxtree.PartitionRef) (zcurve.Interval, bool) {
 	radius := s.rq * float64(c+1)
-	w := bxtree.Square(s.qx, s.qy, radius).Enlarge(s.t.cfg.Base.MaxSpeed * pr.Gap)
-	rect, ok := s.t.cfg.Base.Grid.RectOf(w.MinX, w.MinY, w.MaxX, w.MaxY)
+	w := bxtree.Square(s.qx, s.qy, radius).Enlarge(s.v.cfg.Base.MaxSpeed * pr.Gap)
+	rect, ok := s.v.cfg.Base.Grid.RectOf(w.MinX, w.MinY, w.MaxX, w.MaxY)
 	if !ok {
 		return zcurve.Interval{}, false
 	}
-	iv, err := s.t.cfg.Base.CoverInterval(rect)
+	iv, err := s.v.cfg.Base.CoverInterval(rect)
 	if err != nil {
 		return zcurve.Interval{}, false
 	}
@@ -220,7 +227,7 @@ func (s *pknnSearch) scanCell(r, c int) error {
 		return nil
 	}
 	g := s.groups[r]
-	for _, pr := range s.t.parts.Active(s.tq) {
+	for _, pr := range s.v.parts.Active(s.tq) {
 		iv, ok := s.cellInterval(c, pr)
 		if !ok {
 			continue
@@ -260,11 +267,11 @@ func (s *pknnSearch) scanDelta(r int, sv, tid uint64, iv zcurve.Interval) error 
 	}
 	s.scanned[r][tid] = iv
 	for _, d := range todo {
-		loK, hiK := s.t.cfg.SVRange(tid, sv, d.Lo, d.Hi)
+		loK, hiK := s.v.cfg.SVRange(tid, sv, d.Lo, d.Hi)
 		// Leaf-opportunistic: every entry on the fetched pages is
 		// considered, so the row's friend is located the first time any
 		// page of its SV band is read.
-		err := s.t.scanLeafRange(loK, hiK, func(o motion.Object) { s.consider(o) })
+		err := s.v.scanLeafRange(loK, hiK, func(o motion.Object) { s.consider(o) })
 		if err != nil {
 			return err
 		}
@@ -282,7 +289,7 @@ func (s *pknnSearch) consider(o motion.Object) {
 	if o.UID == s.issuer {
 		return
 	}
-	if !s.t.qualifies(o, s.issuer, s.tq) {
+	if !s.v.qualifies(o, s.issuer, s.tq) {
 		return
 	}
 	s.found[o.UID] = Neighbor{Object: o, Dist: o.DistanceAt(s.tq, s.qx, s.qy)}
@@ -309,13 +316,13 @@ func (s *pknnSearch) finalScan(k int) error {
 			continue // the row's friends are all located and verified
 		}
 		g := s.groups[r]
-		for _, pr := range s.t.parts.Active(s.tq) {
-			w := bxtree.Square(s.qx, s.qy, dk).Enlarge(s.t.cfg.Base.MaxSpeed * pr.Gap)
-			rect, ok := s.t.cfg.Base.Grid.RectOf(w.MinX, w.MinY, w.MaxX, w.MaxY)
+		for _, pr := range s.v.parts.Active(s.tq) {
+			w := bxtree.Square(s.qx, s.qy, dk).Enlarge(s.v.cfg.Base.MaxSpeed * pr.Gap)
+			rect, ok := s.v.cfg.Base.Grid.RectOf(w.MinX, w.MinY, w.MaxX, w.MaxY)
 			if !ok {
 				continue
 			}
-			iv, err := s.t.cfg.Base.CoverInterval(rect)
+			iv, err := s.v.cfg.Base.CoverInterval(rect)
 			if err != nil {
 				return err
 			}
@@ -330,13 +337,13 @@ func (s *pknnSearch) finalScan(k int) error {
 // pknnZVFirst answers PkNN on the ablation layout: the friend dimension
 // cannot prune the scan, so windows are enlarged round by round scanning
 // the full SV span, exactly like a privacy-unaware kNN with post-filtering.
-func (t *Tree) pknnZVFirst(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
-	friends := t.friendSet(issuer)
+func (v *View) pknnZVFirst(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+	friends := v.friendSet(issuer)
 	if len(friends) == 0 {
 		return nil, nil
 	}
-	rq := t.roundRadius(k)
-	L := t.cfg.Base.Grid.Side
+	rq := v.roundRadius(k)
+	L := v.cfg.Base.Grid.Side
 	scanned := make(map[uint64]zcurve.Interval)
 	processed := make(map[motion.UserID]bool)
 	found := make(map[motion.UserID]Neighbor)
@@ -344,13 +351,13 @@ func (t *Tree) pknnZVFirst(issuer motion.UserID, qx, qy float64, k int, tq float
 	for round := 1; ; round++ {
 		radius := rq * float64(round)
 		w := bxtree.Square(qx, qy, radius)
-		for _, pr := range t.parts.Active(tq) {
-			ew := w.Enlarge(t.cfg.Base.MaxSpeed * pr.Gap)
-			rect, ok := t.cfg.Base.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+		for _, pr := range v.parts.Active(tq) {
+			ew := w.Enlarge(v.cfg.Base.MaxSpeed * pr.Gap)
+			rect, ok := v.cfg.Base.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
 			if !ok {
 				continue
 			}
-			iv, err := t.cfg.Base.CoverInterval(rect)
+			iv, err := v.cfg.Base.CoverInterval(rect)
 			if err != nil {
 				return nil, err
 			}
@@ -374,8 +381,8 @@ func (t *Tree) pknnZVFirst(issuer motion.UserID, qx, qy float64, k int, tq float
 			}
 			scanned[pr.TID] = iv
 			for _, d := range todo {
-				loK, hiK := t.cfg.ZVRange(pr.TID, d.Lo, d.Hi)
-				err := t.scanRange(loK, hiK, func(o motion.Object) {
+				loK, hiK := v.cfg.ZVRange(pr.TID, d.Lo, d.Hi)
+				err := v.scanRange(loK, hiK, func(o motion.Object) {
 					if processed[o.UID] {
 						return
 					}
@@ -383,7 +390,7 @@ func (t *Tree) pknnZVFirst(issuer motion.UserID, qx, qy float64, k int, tq float
 					if o.UID == issuer || !friends[o.UID] {
 						return
 					}
-					if !t.qualifies(o, issuer, tq) {
+					if !v.qualifies(o, issuer, tq) {
 						return
 					}
 					found[o.UID] = Neighbor{Object: o, Dist: o.DistanceAt(tq, qx, qy)}

@@ -3,10 +3,16 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/btree"
 	"repro/internal/bxtree"
 	"repro/internal/motion"
 )
+
+// PRQ answers the privacy-aware range query on the tree's current state.
+// It is shorthand for t.View().PRQ(...); concurrent callers should take a
+// View under their read lock instead.
+func (t *Tree) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.Object, error) {
+	return t.View().PRQ(issuer, w, tq)
+}
 
 // PRQ answers the privacy-aware range query (Definition 2): all users whose
 // position at tq lies inside w and whose privacy policy lets issuer see
@@ -18,28 +24,28 @@ import (
 // interval, the key range [TID ⊕ SV ⊕ ZVs, TID ⊕ SV ⊕ ZVe] is scanned.
 // Once a friend has been located, the remaining intervals formed by that
 // friend's SV are skipped — a user has only one location.
-func (t *Tree) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.Object, error) {
+func (v *View) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.Object, error) {
 	if !w.Valid() {
 		return nil, fmt.Errorf("core: invalid query window %v", w)
 	}
-	if t.cfg.Layout == ZVFirst {
-		return t.prqZVFirst(issuer, w, tq)
+	if v.cfg.Layout == ZVFirst {
+		return v.prqZVFirst(issuer, w, tq)
 	}
 
-	groups := t.friendGroups(issuer)
+	groups := v.friendGroups(issuer)
 	if len(groups) == 0 {
 		return nil, nil
 	}
 	located := make(map[motion.UserID]bool)
 	var out []motion.Object
 
-	for _, pr := range t.parts.Active(tq) {
-		ew := w.Enlarge(t.cfg.Base.MaxSpeed * pr.Gap)
-		rect, ok := t.cfg.Base.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+	for _, pr := range v.parts.Active(tq) {
+		ew := w.Enlarge(v.cfg.Base.MaxSpeed * pr.Gap)
+		rect, ok := v.cfg.Base.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
 		if !ok {
 			continue
 		}
-		ivs, err := t.cfg.Base.DecomposeRect(rect)
+		ivs, err := v.cfg.Base.DecomposeRect(rect)
 		if err != nil {
 			return nil, err
 		}
@@ -48,17 +54,17 @@ func (t *Tree) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.
 				continue // skip rule: every friend at this SV already found
 			}
 			for _, iv := range ivs {
-				loK, hiK := t.cfg.SVRange(pr.TID, g.sv, iv.Lo, iv.Hi)
+				loK, hiK := v.cfg.SVRange(pr.TID, g.sv, iv.Lo, iv.Hi)
 				// Opportunistic leaf scan: every entry on a fetched page is
 				// examined, so a friend stored on the page — even outside
 				// this Z interval or SV band — is located at no extra I/O,
 				// and their remaining search intervals are skipped.
-				err := t.scanLeafRange(loK, hiK, func(o motion.Object) {
+				err := v.scanLeafRange(loK, hiK, func(o motion.Object) {
 					if located[o.UID] {
 						return
 					}
 					located[o.UID] = true
-					if x, y := o.PositionAt(tq); w.Contains(x, y) && t.qualifies(o, issuer, tq) {
+					if x, y := o.PositionAt(tq); w.Contains(x, y) && v.qualifies(o, issuer, tq) {
 						out = append(out, o)
 					}
 				})
@@ -78,29 +84,29 @@ func (t *Tree) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.
 // key, friend SVs cannot prune the scan, so the whole window is scanned —
 // the full SV span per Z interval — and candidates are filtered afterwards,
 // which is exactly the weakness the paper's SV-first ordering avoids.
-func (t *Tree) prqZVFirst(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.Object, error) {
-	friends := t.friendSet(issuer)
+func (v *View) prqZVFirst(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.Object, error) {
+	friends := v.friendSet(issuer)
 	if len(friends) == 0 {
 		return nil, nil
 	}
 	var out []motion.Object
-	for _, pr := range t.parts.Active(tq) {
-		ew := w.Enlarge(t.cfg.Base.MaxSpeed * pr.Gap)
-		rect, ok := t.cfg.Base.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+	for _, pr := range v.parts.Active(tq) {
+		ew := w.Enlarge(v.cfg.Base.MaxSpeed * pr.Gap)
+		rect, ok := v.cfg.Base.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
 		if !ok {
 			continue
 		}
-		ivs, err := t.cfg.Base.DecomposeRect(rect)
+		ivs, err := v.cfg.Base.DecomposeRect(rect)
 		if err != nil {
 			return nil, err
 		}
 		for _, iv := range ivs {
-			loK, hiK := t.cfg.ZVRange(pr.TID, iv.Lo, iv.Hi)
-			err := t.scanRange(loK, hiK, func(o motion.Object) {
+			loK, hiK := v.cfg.ZVRange(pr.TID, iv.Lo, iv.Hi)
+			err := v.scanRange(loK, hiK, func(o motion.Object) {
 				if !friends[o.UID] {
 					return
 				}
-				if x, y := o.PositionAt(tq); w.Contains(x, y) && t.qualifies(o, issuer, tq) {
+				if x, y := o.PositionAt(tq); w.Contains(x, y) && v.qualifies(o, issuer, tq) {
 					out = append(out, o)
 				}
 			})
@@ -110,38 +116,6 @@ func (t *Tree) prqZVFirst(issuer motion.UserID, w bxtree.Window, tq float64) ([]
 		}
 	}
 	return out, nil
-}
-
-// friendSet returns the issuer's grantors as a set.
-func (t *Tree) friendSet(issuer motion.UserID) map[motion.UserID]bool {
-	out := make(map[motion.UserID]bool)
-	for _, g := range t.friendGroups(issuer) {
-		for _, uid := range g.uids {
-			out[uid] = true
-		}
-	}
-	return out
-}
-
-// scanRange delivers every stored object with key in [loK, hiK].
-func (t *Tree) scanRange(loK, hiK uint64, emit func(motion.Object)) error {
-	lo := btree.KV{Key: loK, UID: 0}
-	hi := btree.KV{Key: hiK, UID: ^uint32(0)}
-	return t.tree.RangeScan(lo, hi, func(kv btree.KV, p btree.Payload) bool {
-		emit(motion.DecodePayload(motion.UserID(kv.UID), p))
-		return true
-	})
-}
-
-// scanLeafRange delivers every stored object on the leaf pages covering
-// [loK, hiK] — a superset of scanRange's results at identical page I/O.
-func (t *Tree) scanLeafRange(loK, hiK uint64, emit func(motion.Object)) error {
-	lo := btree.KV{Key: loK, UID: 0}
-	hi := btree.KV{Key: hiK, UID: ^uint32(0)}
-	return t.tree.ScanLeaves(lo, hi, func(kv btree.KV, p btree.Payload) bool {
-		emit(motion.DecodePayload(motion.UserID(kv.UID), p))
-		return true
-	})
 }
 
 // allLocated reports whether every friend in the group has been located.

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/bxtree"
+	"repro/internal/motion"
+	"repro/internal/policy"
+)
+
+// View is a read-only snapshot of a PEB-tree used to execute queries. The
+// query executors (PRQ, Sec. 5.3; PkNN, Sec. 5.4) live on View, not on
+// Tree, so the read path is structurally incapable of mutating index state:
+// a View has no insert/delete/encode methods, its B+-tree access goes
+// through a btree.Reader whose root linkage was copied out at view time,
+// and everything it touches during a query is either immutable (the
+// configuration), private to the query (result accumulators), or
+// synchronized (buffer-pool bookkeeping).
+//
+// Lifetime: a View is coherent from the moment Tree.View() returns until
+// the next mutation of that tree (Insert, Delete, SetSV) begins. The
+// sequence-value, current-key, and partition tables are shared with the
+// owning Tree rather than copied — copying them would make every write
+// O(population) — so the caller must fence views from writers externally.
+// peb.DB does exactly that: it refreshes its cached View while holding the
+// write lock and queries the View under the read lock, giving every query
+// a consistent snapshot of the latest committed state. Any number of
+// goroutines may query one View (or many Views over one tree)
+// concurrently.
+type View struct {
+	cfg      Config
+	tree     *btree.Reader
+	policies *policy.Store
+
+	svEnc map[motion.UserID]uint64
+	cur   map[motion.UserID]btree.KV
+	parts *bxtree.PartitionTracker
+}
+
+// View returns a read-only snapshot of the tree's current state. The
+// returned View is valid until the tree's next mutation.
+func (t *Tree) View() *View {
+	return &View{
+		cfg:      t.cfg,
+		tree:     t.tree.Reader(),
+		policies: t.policies,
+		svEnc:    t.svEnc,
+		cur:      t.cur,
+		parts:    t.parts,
+	}
+}
+
+// Config returns the tree configuration the view was taken under.
+func (v *View) Config() Config { return v.cfg }
+
+// Size returns the number of indexed objects at view time.
+func (v *View) Size() int { return len(v.cur) }
+
+// SV returns uid's registered fixed-point sequence value.
+func (v *View) SV(uid motion.UserID) (uint64, bool) {
+	sv, ok := v.svEnc[uid]
+	return sv, ok
+}
+
+// Get returns uid's current object state.
+func (v *View) Get(uid motion.UserID) (motion.Object, bool, error) {
+	kv, ok := v.cur[uid]
+	if !ok {
+		return motion.Object{}, false, nil
+	}
+	payload, found, err := v.tree.Get(kv)
+	if err != nil || !found {
+		return motion.Object{}, found, err
+	}
+	return motion.DecodePayload(uid, payload), true, nil
+}
+
+// svGroup is one distinct encoded sequence value and the query issuer's
+// friends that share it (distinct users can quantize to the same value).
+type svGroup struct {
+	sv   uint64
+	uids []motion.UserID
+}
+
+// friendGroups returns the issuer's grantors — "the set of users who may
+// allow the query issuer to see their locations" (Upol, Sec. 5.3 step 2) —
+// grouped by encoded sequence value, ascending. Grantors without a
+// registered sequence value cannot appear in the index and are skipped.
+func (v *View) friendGroups(issuer motion.UserID) []svGroup {
+	grantors := v.policies.Grantors(policy.UserID(issuer))
+	byVal := make(map[uint64][]motion.UserID, len(grantors))
+	for _, g := range grantors {
+		uid := motion.UserID(g)
+		if uid == issuer {
+			continue
+		}
+		sv, ok := v.svEnc[uid]
+		if !ok {
+			continue
+		}
+		byVal[sv] = append(byVal[sv], uid)
+	}
+	out := make([]svGroup, 0, len(byVal))
+	for sv, uids := range byVal {
+		out = append(out, svGroup{sv: sv, uids: uids})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sv < out[j].sv })
+	return out
+}
+
+// qualifies applies the policy predicate of Definitions 2–3: the candidate's
+// exact position at tq must fall inside a policy region open to the issuer
+// during tq. The location predicate (range window or kNN distance) is the
+// caller's concern.
+func (v *View) qualifies(candidate motion.Object, issuer motion.UserID, tq float64) bool {
+	x, y := candidate.PositionAt(tq)
+	return v.policies.Allows(policy.UserID(candidate.UID), policy.UserID(issuer), x, y, tq)
+}
+
+// friendSet returns the issuer's grantors as a set.
+func (v *View) friendSet(issuer motion.UserID) map[motion.UserID]bool {
+	out := make(map[motion.UserID]bool)
+	for _, g := range v.friendGroups(issuer) {
+		for _, uid := range g.uids {
+			out[uid] = true
+		}
+	}
+	return out
+}
+
+// scanRange delivers every stored object with key in [loK, hiK].
+func (v *View) scanRange(loK, hiK uint64, emit func(motion.Object)) error {
+	lo := btree.KV{Key: loK, UID: 0}
+	hi := btree.KV{Key: hiK, UID: ^uint32(0)}
+	return v.tree.RangeScan(lo, hi, func(kv btree.KV, p btree.Payload) bool {
+		emit(motion.DecodePayload(motion.UserID(kv.UID), p))
+		return true
+	})
+}
+
+// scanLeafRange delivers every stored object on the leaf pages covering
+// [loK, hiK] — a superset of scanRange's results at identical page I/O.
+func (v *View) scanLeafRange(loK, hiK uint64, emit func(motion.Object)) error {
+	lo := btree.KV{Key: loK, UID: 0}
+	hi := btree.KV{Key: hiK, UID: ^uint32(0)}
+	return v.tree.ScanLeaves(lo, hi, func(kv btree.KV, p btree.Payload) bool {
+		emit(motion.DecodePayload(motion.UserID(kv.UID), p))
+		return true
+	})
+}

@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+	"repro/peb"
+)
+
+// This file measures the DB-level concurrency model rather than a paper
+// figure: peb.DB serves queries under a read lock against an immutable
+// index snapshot, so PRQ throughput should grow with reader goroutines,
+// while a serialized DB (the pre-concurrency design: one mutex around
+// every call) stays flat. The "scaling" experiment reports both, plus
+// their ratio, at 1/2/4/8 goroutines.
+//
+// Throughput here is wall-clock queries per second, not the paper's I/O
+// metric: lock scaling is invisible to buffer-miss counts. Speedup beyond
+// 1× requires actual parallel hardware (GOMAXPROCS > 1); on a single core
+// the two designs should tie, which the experiment also makes visible.
+
+// scalingGoroutines are the reader counts swept by the experiment.
+var scalingGoroutines = []int{1, 2, 4, 8}
+
+// BuildDB assembles a peb.DB over a generated workload via the public API:
+// the dataset's policy store is snapshotted into the DB (which re-runs
+// policy encoding), then every object is upserted. bufferPages sizes the
+// LRU buffer; pass 0 for an index-resident buffer, which isolates
+// lock-and-snapshot scaling from eviction churn.
+func BuildDB(cfg Config, bufferPages int) (*peb.DB, *workload.Dataset, error) {
+	ds, err := workload.Generate(cfg.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bufferPages == 0 {
+		// Leaves are at least half full, so this comfortably covers every
+		// node page of the tree plus the internal levels.
+		bufferPages = cfg.Workload.NumUsers/16 + 256
+	}
+	db, err := peb.Open(peb.Options{
+		SpaceSide:   cfg.Workload.Space,
+		DayLength:   cfg.Workload.DayLen,
+		MaxSpeed:    cfg.Workload.MaxSpeed,
+		BufferPages: bufferPages,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	if err := ds.Policies.Save(&buf); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	if err := db.LoadPolicies(&buf); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	for _, o := range ds.Objects {
+		if err := db.Upsert(o); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+	}
+	return db, ds, nil
+}
+
+// measureThroughput replays total range queries split across g goroutines
+// and returns queries per second. With serialized set, every query
+// additionally acquires one global mutex — the pre-concurrency baseline.
+func measureThroughput(db *peb.DB, qs []workload.PRQuery, g, total int, serialized bool) (float64, error) {
+	var serialMu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, g)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		lo, hi := w*total/g, (w+1)*total/g
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				q := qs[i%len(qs)]
+				r := peb.Region{MinX: q.W.MinX, MinY: q.W.MinY, MaxX: q.W.MaxX, MaxY: q.W.MaxY}
+				if serialized {
+					serialMu.Lock()
+				}
+				_, err := db.RangeQuery(q.Issuer, r, q.T)
+				if serialized {
+					serialMu.Unlock()
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+const (
+	scalingID     = "scaling"
+	scalingTitle  = "Concurrent PRQ throughput vs. reader goroutines (RWMutex+snapshot vs. serialized)"
+	scalingXLabel = "goroutines"
+)
+
+var scalingColumns = []string{"qps_concurrent", "qps_serialized", "speedup"}
+
+var expScaling = Experiment{
+	ID:      scalingID,
+	Title:   scalingTitle,
+	XLabel:  scalingXLabel,
+	Columns: scalingColumns,
+	Run: func(o Options) (*Table, error) {
+		o.normalize()
+		cfg := o.baseConfig()
+		db, ds, err := BuildDB(cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		defer db.Close()
+		qs := ds.GenPRQueries(cfg.QueryCount, cfg.WindowSide, cfg.QueryTime)
+		if len(qs) == 0 {
+			return nil, fmt.Errorf("scaling: empty query set")
+		}
+		// Warm the buffer so every timed pass reads index-resident pages.
+		if _, err := measureThroughput(db, qs, 1, len(qs), false); err != nil {
+			return nil, err
+		}
+
+		total := 4 * len(qs)
+		rows := make([]Row, 0, len(scalingGoroutines))
+		for _, g := range scalingGoroutines {
+			conc, err := measureThroughput(db, qs, g, total, false)
+			if err != nil {
+				return nil, err
+			}
+			serial, err := measureThroughput(db, qs, g, total, true)
+			if err != nil {
+				return nil, err
+			}
+			speedup := 0.0
+			if serial > 0 {
+				speedup = conc / serial
+			}
+			o.logf("scaling g=%d: concurrent=%.0f qps serialized=%.0f qps (%.2fx)", g, conc, serial, speedup)
+			rows = append(rows, Row{X: float64(g), Vals: []float64{conc, serial, speedup}})
+		}
+		return &Table{ID: scalingID, Title: scalingTitle, XLabel: scalingXLabel,
+			Columns: scalingColumns, Rows: rows}, nil
+	},
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // BufferStats counts logical page requests against a BufferPool.
@@ -24,11 +25,26 @@ func (s BufferStats) Accesses() uint64 { return s.Hits + s.Misses }
 //
 // Pages are pinned while in use. Fetch/NewPage return pinned pages; callers
 // must Unpin them (with a dirty flag) when done. Unpinned pages stay cached
-// until evicted by LRU. The pool is not safe for concurrent use.
+// until evicted by LRU.
+//
+// Concurrency: the pool's own bookkeeping (frame table, LRU order, pin
+// counts, statistics, and the underlying disk) is guarded by an internal
+// mutex, so any number of goroutines may Fetch/Unpin concurrently. The
+// mutex is held across miss-path disk reads and eviction write-backs,
+// which keeps the LRU order and the paper's I/O accounting exact but
+// serializes concurrent readers on every miss — parallel read throughput
+// therefore requires the working set to be buffer-resident (hits release
+// the lock immediately; node decoding happens outside it). Page
+// *contents* are not guarded: a pinned page's Data may be read by many
+// goroutines at once, but mutating it (writeLeaf etc., followed by
+// MarkDirty) requires that no other goroutine is using the page. Callers
+// obtain that exclusivity externally — peb.DB runs all mutations under a
+// write lock while queries hold the read side (single-writer/multi-reader).
 type BufferPool struct {
 	disk     DiskManager
 	capacity int
 
+	mu     sync.Mutex
 	frames map[PageID]*frame
 	lru    *list.List // front = most recently used; holds *frame
 
@@ -61,18 +77,28 @@ func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
 // Stats returns the cumulative hit/miss counters.
-func (bp *BufferPool) Stats() BufferStats { return bp.stats }
+func (bp *BufferPool) Stats() BufferStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
 
 // ResetStats zeroes the counters. Cached contents are unaffected, so a
 // reset-then-measure sequence observes a warm buffer, while DropAll followed
 // by ResetStats observes a cold one.
-func (bp *BufferPool) ResetStats() { bp.stats = BufferStats{} }
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = BufferStats{}
+}
 
 // Fetch returns the page with the given id, pinned. The caller must Unpin it.
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	if id == InvalidPageID {
 		return nil, fmt.Errorf("store: fetch of invalid page id")
 	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
 		bp.pin(f)
@@ -93,6 +119,8 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 
 // NewPage allocates a fresh disk page and returns it pinned and zeroed.
 func (bp *BufferPool) NewPage() (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	id, err := bp.disk.Allocate()
 	if err != nil {
 		return nil, err
@@ -114,6 +142,8 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 // Unpin releases one pin on the page. dirty declares whether the caller
 // modified the page since Fetch/NewPage.
 func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok {
 		return fmt.Errorf("store: unpin of non-resident page %d", id)
@@ -134,6 +164,8 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
 // FreePage removes the page from the pool and returns it to the disk
 // allocator. The page must be resident with exactly one pin (the caller's).
 func (bp *BufferPool) FreePage(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok {
 		return fmt.Errorf("store: free of non-resident page %d", id)
@@ -148,6 +180,12 @@ func (bp *BufferPool) FreePage(id PageID) error {
 // FlushAll writes every dirty cached page back to disk. Pinned pages are
 // flushed too (they remain resident and pinned).
 func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.flushAllLocked()
+}
+
+func (bp *BufferPool) flushAllLocked() error {
 	for id, f := range bp.frames {
 		if !f.page.dirty {
 			continue
@@ -164,12 +202,14 @@ func (bp *BufferPool) FlushAll() error {
 // DropAll flushes and then discards every unpinned cached page, producing a
 // cold buffer. It fails if any page is still pinned.
 func (bp *BufferPool) DropAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for id, f := range bp.frames {
 		if f.page.pins > 0 {
 			return fmt.Errorf("store: drop with page %d still pinned", id)
 		}
 	}
-	if err := bp.FlushAll(); err != nil {
+	if err := bp.flushAllLocked(); err != nil {
 		return err
 	}
 	bp.frames = make(map[PageID]*frame, bp.capacity)
@@ -179,6 +219,8 @@ func (bp *BufferPool) DropAll() error {
 
 // PinnedPages returns the number of currently pinned pages (for leak tests).
 func (bp *BufferPool) PinnedPages() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	n := 0
 	for _, f := range bp.frames {
 		if f.page.pins > 0 {

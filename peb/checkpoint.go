@@ -138,6 +138,7 @@ func OpenExisting(opts Options) (*DB, error) {
 		opts:     opts,
 		policies: policies,
 		tree:     tree,
+		view:     tree.View(),
 		disk:     fd,
 		fileDisk: fd,
 		users:    make(map[UserID]bool),

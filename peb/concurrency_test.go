@@ -1,0 +1,298 @@
+package peb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// The tests in this file exercise the single-writer/multi-reader contract:
+// many goroutines issue RangeQuery/NearestNeighbors while Upsert batches
+// interleave. They are written to be meaningful under -race: the phased
+// test cross-checks every concurrent result against a serial oracle, and
+// the chaos test races queries directly against updates to surface any
+// unsynchronized state.
+
+const (
+	stressUsers   = 150
+	stressGroups  = 5
+	stressReaders = 8
+)
+
+// buildStressDB creates a population of stressUsers users in stressGroups
+// friend circles. Every member grants its circle visibility over a random
+// sub-region of the space for the whole day, so query results depend on
+// both location and policy. Returns the DB and the current object states.
+func buildStressDB(t testing.TB, rng *rand.Rand) (*DB, map[UserID]Object) {
+	t.Helper()
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	day := TimeInterval{Start: 0, End: 1440}
+	perGroup := stressUsers / stressGroups
+	for g := 0; g < stressGroups; g++ {
+		lo := UserID(1 + g*perGroup)
+		for a := lo; a < lo+UserID(perGroup); a++ {
+			for b := lo; b < lo+UserID(perGroup); b++ {
+				if a != b {
+					db.DefineRelation(a, b, "friend")
+				}
+			}
+			// A random axis-aligned grant region; a handful of users grant
+			// nothing and must never appear in anyone's results.
+			if a%17 == 0 {
+				continue
+			}
+			x0, y0 := rng.Float64()*600, rng.Float64()*600
+			locr := Region{MinX: x0, MinY: y0, MaxX: x0 + 200 + rng.Float64()*200, MaxY: y0 + 200 + rng.Float64()*200}
+			if err := db.Grant(a, "friend", locr, day); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.EncodePolicies(); err != nil {
+		t.Fatal(err)
+	}
+
+	objs := make(map[UserID]Object, stressUsers)
+	for u := UserID(1); u <= stressUsers; u++ {
+		o := randomObject(u, 0, rng)
+		if err := db.Upsert(o); err != nil {
+			t.Fatal(err)
+		}
+		objs[u] = o
+	}
+	return db, objs
+}
+
+// randomObject draws a position inside the space and a velocity within the
+// index's MaxSpeed bound.
+func randomObject(u UserID, tNow float64, rng *rand.Rand) Object {
+	return Object{
+		UID: u,
+		X:   50 + rng.Float64()*900,
+		Y:   50 + rng.Float64()*900,
+		VX:  rng.Float64()*2 - 1,
+		VY:  rng.Float64()*2 - 1,
+		T:   tNow,
+	}
+}
+
+// oraclePRQ answers Definition 2 by brute force over the known states.
+func oraclePRQ(db *DB, objs map[UserID]Object, issuer UserID, r Region, tq float64) map[UserID]bool {
+	out := make(map[UserID]bool)
+	for u, o := range objs {
+		if u == issuer {
+			continue
+		}
+		x, y := o.PositionAt(tq)
+		if x < r.MinX || x > r.MaxX || y < r.MinY || y > r.MaxY {
+			continue
+		}
+		if db.Allows(u, issuer, x, y, tq) {
+			out[u] = true
+		}
+	}
+	return out
+}
+
+// oracleKNNDists returns the ascending distances of every user qualified to
+// appear in issuer's PkNN result at tq.
+func oracleKNNDists(db *DB, objs map[UserID]Object, issuer UserID, qx, qy, tq float64) []float64 {
+	var ds []float64
+	for u, o := range objs {
+		if u == issuer {
+			continue
+		}
+		x, y := o.PositionAt(tq)
+		if db.Allows(u, issuer, x, y, tq) {
+			ds = append(ds, o.DistanceAt(tq, qx, qy))
+		}
+	}
+	sort.Float64s(ds)
+	return ds
+}
+
+// checkPRQ compares one concurrent RangeQuery result with the oracle.
+func checkPRQ(db *DB, objs map[UserID]Object, issuer UserID, r Region, tq float64) error {
+	got, err := db.RangeQuery(issuer, r, tq)
+	if err != nil {
+		return err
+	}
+	want := oraclePRQ(db, objs, issuer, r, tq)
+	if len(got) != len(want) {
+		return fmt.Errorf("issuer %d: PRQ returned %d users, oracle says %d", issuer, len(got), len(want))
+	}
+	for _, o := range got {
+		if !want[o.UID] {
+			return fmt.Errorf("issuer %d: PRQ returned unexpected user %d", issuer, o.UID)
+		}
+	}
+	return nil
+}
+
+// checkKNN compares one concurrent NearestNeighbors result with the oracle
+// by distance multiset, which is robust to ties between distinct users.
+func checkKNN(db *DB, objs map[UserID]Object, issuer UserID, qx, qy float64, k int, tq float64) error {
+	got, err := db.NearestNeighbors(issuer, qx, qy, k, tq)
+	if err != nil {
+		return err
+	}
+	all := oracleKNNDists(db, objs, issuer, qx, qy, tq)
+	wantN := len(all)
+	if wantN > k {
+		wantN = k
+	}
+	if len(got) != wantN {
+		return fmt.Errorf("issuer %d: PkNN returned %d neighbors, oracle says %d", issuer, len(got), wantN)
+	}
+	for i, nb := range got {
+		if i > 0 && got[i-1].Dist > nb.Dist {
+			return fmt.Errorf("issuer %d: PkNN result not sorted", issuer)
+		}
+		if math.Abs(nb.Dist-all[i]) > 1e-9 {
+			return fmt.Errorf("issuer %d: PkNN dist[%d] = %g, oracle %g", issuer, i, nb.Dist, all[i])
+		}
+	}
+	return nil
+}
+
+// TestConcurrentQueriesAgainstOracle interleaves Upsert batches with rounds
+// of concurrent queries. Within a round the DB is quiescent, so every
+// concurrent result must match a serial brute-force oracle exactly.
+func TestConcurrentQueriesAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db, objs := buildStressDB(t, rng)
+
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		// Mutate: move roughly half the population.
+		tNow := float64(round)
+		for u := UserID(1); u <= stressUsers; u++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			o := randomObject(u, tNow, rng)
+			if err := db.Upsert(o); err != nil {
+				t.Fatal(err)
+			}
+			objs[u] = o
+		}
+		tq := tNow + 5
+
+		// Query concurrently against the now-quiescent state.
+		var wg sync.WaitGroup
+		errs := make(chan error, stressReaders)
+		for r := 0; r < stressReaders; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rg := rand.New(rand.NewSource(seed))
+				for i := 0; i < 8; i++ {
+					issuer := UserID(1 + rg.Intn(stressUsers))
+					x0, y0 := rg.Float64()*700, rg.Float64()*700
+					reg := Region{MinX: x0, MinY: y0, MaxX: x0 + 300, MaxY: y0 + 300}
+					if err := checkPRQ(db, objs, issuer, reg, tq); err != nil {
+						errs <- err
+						return
+					}
+					if err := checkKNN(db, objs, issuer, rg.Float64()*1000, rg.Float64()*1000, 1+rg.Intn(5), tq); err != nil {
+						errs <- err
+						return
+					}
+					if _, _, err := db.Lookup(issuer); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(int64(round*100 + r))
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentQueriesDuringUpserts races queries directly against a
+// writer applying continuous upserts. Results cannot be compared to a fixed
+// oracle (each query sees some committed prefix of the update stream), so
+// the test asserts what must hold in every state: queries never fail, PkNN
+// results are sorted and duplicate-free, and every returned user is a
+// member of the population. Run with -race to verify the locking.
+func TestConcurrentQueriesDuringUpserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db, _ := buildStressDB(t, rng)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, stressReaders+1)
+
+	// Writer: continuous position updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(99))
+		for i := 0; i < 400; i++ {
+			u := UserID(1 + wrng.Intn(stressUsers))
+			if err := db.Upsert(randomObject(u, float64(i)/100, wrng)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < stressReaders; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rg := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				issuer := UserID(1 + rg.Intn(stressUsers))
+				x0, y0 := rg.Float64()*700, rg.Float64()*700
+				reg := Region{MinX: x0, MinY: y0, MaxX: x0 + 300, MaxY: y0 + 300}
+				res, err := db.RangeQuery(issuer, reg, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				seen := make(map[UserID]bool, len(res))
+				for _, o := range res {
+					if o.UID < 1 || o.UID > stressUsers {
+						errs <- fmt.Errorf("PRQ returned unknown user %d", o.UID)
+						return
+					}
+					if seen[o.UID] {
+						errs <- fmt.Errorf("PRQ returned user %d twice", o.UID)
+						return
+					}
+					seen[o.UID] = true
+				}
+				nn, err := db.NearestNeighbors(issuer, rg.Float64()*1000, rg.Float64()*1000, 5, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := 1; j < len(nn); j++ {
+					if nn[j-1].Dist > nn[j].Dist {
+						errs <- fmt.Errorf("PkNN result not sorted: %v", nn)
+						return
+					}
+				}
+				db.IOStats() // exercise the stats read path under contention
+			}
+		}(int64(1000 + r))
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -21,8 +21,14 @@
 //	visible, _ := db.RangeQuery(bob, area, now)
 //	nearest, _ := db.NearestNeighbors(bob, x, y, 5, now)
 //
-// All DB methods are safe for concurrent use; operations are serialized
-// internally (the underlying paged structures are single-writer).
+// All DB methods are safe for concurrent use. The DB follows a
+// single-writer/multi-reader discipline: updates (Upsert, Remove, Grant,
+// DefineRelation, EncodePolicies, LoadPolicies) serialize behind a write
+// lock, while queries (RangeQuery, NearestNeighbors, Lookup, Allows) take
+// the read side and execute in parallel against an immutable snapshot of
+// the index that is refreshed on every update. Read-heavy workloads — the
+// paper's setting, where millions of users query far more often than
+// policies change — therefore scale with the number of cores.
 package peb
 
 import (
@@ -95,11 +101,20 @@ func (o *Options) setDefaults() {
 
 // DB is a privacy-aware moving-object database.
 type DB struct {
-	mu sync.Mutex
+	// mu implements the single-writer/multi-reader discipline: every
+	// update path holds the write lock; every query path holds the read
+	// lock and runs against view, so queries from concurrent clients
+	// proceed in parallel.
+	mu sync.RWMutex
 
 	opts     Options
 	policies *policy.Store
 	tree     *core.Tree
+	// view is the read-only snapshot queries execute on. It is replaced
+	// (under the write lock) by every operation that mutates the index,
+	// so a query sees the latest committed state for its whole duration
+	// and never an in-progress update.
+	view     *core.View
 	disk     store.DiskManager
 	fileDisk *store.FileDisk // non-nil when file-backed
 
@@ -165,6 +180,7 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 		db.fileDisk.Close()
 	}
 	db.tree = tree
+	db.view = tree.View()
 	db.disk = disk
 	db.fileDisk = fd
 	db.assignment = assignment
@@ -174,6 +190,10 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 	}
 	return nil
 }
+
+// refreshView republishes the query snapshot after an index mutation. The
+// caller holds the write lock, so no query observes the swap mid-flight.
+func (db *DB) refreshView() { db.view = db.tree.View() }
 
 // Close releases the DB's resources (the backing file, if any).
 func (db *DB) Close() error {
@@ -215,8 +235,8 @@ func (db *DB) Grant(owner UserID, role Role, locr Region, tint TimeInterval) err
 // Allows reports whether viewer may currently see owner located at (x, y)
 // at time t — the raw policy predicate, evaluated without the index.
 func (db *DB) Allows(owner, viewer UserID, x, y, t float64) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.policies.Allows(policy.UserID(owner), policy.UserID(viewer), x, y, t)
 }
 
@@ -228,7 +248,13 @@ func (db *DB) Allows(owner, viewer UserID, x, y, t float64) bool {
 func (db *DB) EncodePolicies() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.encodePoliciesLocked()
+}
 
+// encodePoliciesLocked is EncodePolicies' body; the caller holds the write
+// lock (LoadPolicies runs it in the same critical section as its policy
+// swap, so no query ever sees the new policies with the old encoding).
+func (db *DB) encodePoliciesLocked() error {
 	users := make([]policy.UserID, 0, len(db.users))
 	for u := range db.users {
 		users = append(users, policy.UserID(u))
@@ -254,6 +280,9 @@ func (db *DB) EncodePolicies() error {
 	if err := db.newTree(assignment); err != nil {
 		return err
 	}
+	// Republish the snapshot on every exit below, so even a failed partial
+	// rebuild leaves queries reading the tree's actual state.
+	defer db.refreshView()
 	for _, o := range objs {
 		if err := db.tree.Insert(o); err != nil {
 			return err
@@ -276,28 +305,32 @@ func (db *DB) Upsert(o Object) error {
 			return err
 		}
 	}
-	return db.tree.Insert(o)
+	err := db.tree.Insert(o)
+	db.refreshView()
+	return err
 }
 
 // Remove deletes a user's index entry (the user's policies remain).
 func (db *DB) Remove(uid UserID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.tree.Delete(uid)
+	err := db.tree.Delete(uid)
+	db.refreshView()
+	return err
 }
 
 // Lookup returns a user's stored movement state.
 func (db *DB) Lookup(uid UserID) (Object, bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tree.Get(uid)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.view.Get(uid)
 }
 
 // Size returns the number of indexed users.
 func (db *DB) Size() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tree.Size()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.view.Size()
 }
 
 // RangeQuery returns the users inside r at time t whose policies let
@@ -306,32 +339,32 @@ func (db *DB) RangeQuery(issuer UserID, r Region, t float64) ([]Object, error) {
 	if !r.Valid() {
 		return nil, fmt.Errorf("peb: invalid query region %v", r)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	w := bxtree.Window{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
-	return db.tree.PRQ(issuer, w, t)
+	return db.view.PRQ(issuer, w, t)
 }
 
 // NearestNeighbors returns the k users nearest to (x, y) at time t whose
 // policies let issuer see them (the paper's PkNN, Definition 3), sorted by
 // ascending distance.
 func (db *DB) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([]Neighbor, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.tree.PKNN(issuer, x, y, k, t)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.view.PKNN(issuer, x, y, k, t)
 }
 
 // IOStats reports the index's buffer statistics since the last ResetStats.
 func (db *DB) IOStats() store.BufferStats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.tree.Pool().Stats()
 }
 
 // ResetStats zeroes the I/O counters.
 func (db *DB) ResetStats() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	db.tree.Pool().ResetStats()
 }
 
@@ -344,8 +377,8 @@ func (db *DB) noteUser(uid UserID) {
 // Policies change rarely (the paper's premise), so snapshotting them and
 // rebuilding indexes from live movement data is the natural recovery path.
 func (db *DB) SavePolicies(w io.Writer) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.policies.Save(w)
 }
 
@@ -354,13 +387,12 @@ func (db *DB) SavePolicies(w io.Writer) error {
 // index so stored users adopt keys under the restored policies.
 func (db *DB) LoadPolicies(r io.Reader) error {
 	db.mu.Lock()
+	defer db.mu.Unlock()
 	loaded, err := policy.Load(r)
 	if err != nil {
-		db.mu.Unlock()
 		return err
 	}
 	if loaded.Space() != db.policies.Space() || loaded.DayLength() != db.policies.DayLength() {
-		db.mu.Unlock()
 		return fmt.Errorf("peb: snapshot domain %v/%g does not match DB %v/%g",
 			loaded.Space(), loaded.DayLength(), db.policies.Space(), db.policies.DayLength())
 	}
@@ -371,7 +403,7 @@ func (db *DB) LoadPolicies(r io.Reader) error {
 		return true
 	})
 	db.encoded = false
-	db.mu.Unlock()
-	// EncodePolicies re-locks; it rebuilds the tree against db.policies.
-	return db.EncodePolicies()
+	// Re-encode and rebuild in the same critical section: no query may
+	// see the new policies paired with the old sequence-value encoding.
+	return db.encodePoliciesLocked()
 }
