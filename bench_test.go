@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -70,6 +71,7 @@ func BenchmarkAblationKeyOrder(b *testing.B)         { runExperiment(b, "ablatio
 func BenchmarkAblationSearchOrder(b *testing.B)      { runExperiment(b, "ablation-searchorder") }
 func BenchmarkAblationCurve(b *testing.B)            { runExperiment(b, "ablation-curve") }
 func BenchmarkScaling(b *testing.B)                  { runExperiment(b, "scaling") }
+func BenchmarkBulkloadExp(b *testing.B)              { runExperiment(b, "bulkload") }
 
 // --- Micro-benchmarks of the core operations --------------------------------
 
@@ -290,6 +292,115 @@ func BenchmarkDBNearestNeighborsParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Write-batching and snapshot benchmarks (handle API) ---------------------
+
+// BenchmarkBulkLoad compares loading 10k objects into a fresh DB through
+// the two write paths the API offers. ApplyBatch must beat PerCallUpsert:
+// the batch is key-sorted and bottom-up bulk-built (one page write per
+// leaf), while per-call inserts descend, split, and republish per object.
+//
+//	go test -bench BenchmarkBulkLoad -run xxx
+func BenchmarkBulkLoad(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.NumUsers = 10_000
+	cfg.PoliciesPerUser = 0
+	cfg.GroupSize = 0
+	ds, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("PerCallUpsert", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db, err := peb.Open(peb.Options{SpaceSide: cfg.Space, MaxSpeed: cfg.MaxSpeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range ds.Objects {
+				if err := db.Upsert(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if swaps := db.ViewSwaps(); swaps < uint64(len(ds.Objects)) {
+				b.Fatalf("per-call load did %d view swaps, want >= %d", swaps, len(ds.Objects))
+			}
+			db.Close()
+		}
+		b.ReportMetric(float64(len(ds.Objects))*float64(b.N)/b.Elapsed().Seconds(), "objs/s")
+	})
+	b.Run("ApplyBatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db, err := peb.Open(peb.Options{SpaceSide: cfg.Space, MaxSpeed: cfg.MaxSpeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			swaps := db.ViewSwaps()
+			batch := db.NewBatch()
+			for _, o := range ds.Objects {
+				batch.Upsert(o)
+			}
+			if err := db.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+			if got := db.ViewSwaps() - swaps; got != 1 {
+				b.Fatalf("Apply did %d view swaps, want 1", got)
+			}
+			db.Close()
+		}
+		b.ReportMetric(float64(len(ds.Objects))*float64(b.N)/b.Elapsed().Seconds(), "objs/s")
+	})
+}
+
+// BenchmarkSnapshotRangeQuery measures the pinned-snapshot read path: no
+// lock acquisition per query, per-session I/O counters. Compare with
+// BenchmarkDBRangeQueryParallel (read-locked one-shot path).
+func BenchmarkSnapshotRangeQuery(b *testing.B) {
+	db, qs, _ := sharedDB(b)
+	snap, err := db.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer snap.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := qs[i%len(qs)]
+			i++
+			r := peb.Region{MinX: q.W.MinX, MinY: q.W.MinY, MaxX: q.W.MaxX, MaxY: q.W.MaxY}
+			if _, err := snap.RangeQuery(q.Issuer, r, q.T); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotRangeQueryStream measures the streaming form of the
+// snapshot query (iter.Seq2 plumbing over the same executor).
+func BenchmarkSnapshotRangeQueryStream(b *testing.B) {
+	db, qs, _ := sharedDB(b)
+	snap, err := db.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer snap.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		r := peb.Region{MinX: q.W.MinX, MinY: q.W.MinY, MaxX: q.W.MaxX, MaxY: q.W.MaxY}
+		for _, err := range snap.RangeQueryCtx(ctx, q.Issuer, r, q.T) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // BenchmarkHeadline reproduces the paper's headline comparison at bench

@@ -7,6 +7,7 @@
 //
 //	pebbench -list
 //	pebbench -exp fig12a [-scale 0.5] [-seed 1] [-parallel 4] [-queries 200] [-csv] [-v]
+//	pebbench -exp bulkload -quick
 //	pebbench -all -scale 0.25 -o results/
 //
 // The -scale flag multiplies every population size in a sweep, so full
@@ -36,8 +37,17 @@ func main() {
 		csv      = flag.Bool("csv", false, "print CSV instead of an aligned table")
 		outDir   = flag.String("o", "", "also write <id>.csv files into this directory")
 		verbose  = flag.Bool("v", false, "log per-point progress to stderr")
+		quick    = flag.Bool("quick", false, "smoke-test preset: tiny populations, few queries (CI)")
 	)
 	flag.Parse()
+	if *quick {
+		if *scale > 0.02 {
+			*scale = 0.02
+		}
+		if *queries == 0 {
+			*queries = 20
+		}
+	}
 
 	switch {
 	case *list:

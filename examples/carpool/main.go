@@ -5,8 +5,10 @@
 // clock sweeps through the day, the same nearest-neighbor query returns
 // different people: policies, not just positions, shape the answer.
 //
-// Unlike the other examples, this one uses only the public package
-// (repro/peb), the API a downstream application would import.
+// Each probe round works the way a real service tick would: the device
+// fleet's position reports arrive as one batched write (a thousand updates,
+// one lock acquisition, one view republish), then the rider's queries run
+// on a pinned snapshot of that instant.
 package main
 
 import (
@@ -35,15 +37,16 @@ func main() {
 
 	// Colleagues grant visibility twice a day, corridor-only. (Two
 	// policies per owner under the same role: either window suffices.)
+	// The whole policy set is staged and applied atomically.
+	optIn := db.NewBatch()
 	for i := 0; i < employees; i++ {
 		u := peb.UserID(100 + i)
-		db.DefineRelation(u, rider, "colleague")
-		if err := db.Grant(u, "colleague", corridor, morningCommute); err != nil {
-			log.Fatal(err)
-		}
-		if err := db.Grant(u, "colleague", corridor, eveningCommute); err != nil {
-			log.Fatal(err)
-		}
+		optIn.DefineRelation(u, rider, "colleague")
+		optIn.Grant(u, "colleague", corridor, morningCommute)
+		optIn.Grant(u, "colleague", corridor, eveningCommute)
+	}
+	if err := db.Apply(optIn); err != nil {
+		log.Fatal(err)
 	}
 	if err := db.EncodePolicies(); err != nil {
 		log.Fatal(err)
@@ -52,32 +55,32 @@ func main() {
 	// Everyone drives along (or near) the corridor with varying speeds;
 	// non-employees are spread across the city. Devices report fresh
 	// updates regularly (the moving-object model requires an update at
-	// least every ∆tmu), so refresh positions shortly before each probe.
+	// least every ∆tmu); each refresh lands as one batch.
 	rng := rand.New(rand.NewSource(11))
 	refresh := func(now float64) {
+		b := db.NewBatch()
 		for i := 0; i < employees; i++ {
-			if err := db.Upsert(peb.Object{
+			b.Upsert(peb.Object{
 				UID: peb.UserID(100 + i),
 				X:   100 + rng.Float64()*800,
 				Y:   460 + rng.Float64()*80,
 				VX:  1 + rng.Float64()*2, // eastbound traffic
 				VY:  0,
 				T:   now - rng.Float64()*10,
-			}); err != nil {
-				log.Fatal(err)
-			}
+			})
 		}
 		for i := 0; i < others; i++ {
-			if err := db.Upsert(peb.Object{
+			b.Upsert(peb.Object{
 				UID: peb.UserID(10_000 + i),
 				X:   rng.Float64() * 1000,
 				Y:   rng.Float64() * 1000,
 				VX:  rng.Float64()*4 - 2,
 				VY:  rng.Float64()*4 - 2,
 				T:   now - rng.Float64()*10,
-			}); err != nil {
-				log.Fatal(err)
-			}
+			})
+		}
+		if err := db.Apply(b); err != nil {
+			log.Fatal(err)
 		}
 	}
 	refresh(0)
@@ -99,7 +102,11 @@ func main() {
 		{1260, "21:00 (night)"},
 	} {
 		refresh(probe.clock)
-		matches, err := db.NearestNeighbors(rider, rampX, rampY, 3, probe.clock)
+		snap, err := db.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches, err := snap.NearestNeighbors(rider, rampX, rampY, 3, probe.clock)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,15 +115,23 @@ func main() {
 			fmt.Printf("  u%d(%.0f away)", m.Object.UID, m.Dist)
 		}
 		fmt.Println()
+		snap.Close()
 	}
 
-	// And the corridor-wide view during the morning commute.
+	// And the corridor-wide view during the morning commute: range query
+	// and kNN from the same snapshot see the same instant, and the
+	// session's I/O is measured on its own counters.
 	refresh(480)
-	visible, err := db.RangeQuery(rider, corridor, 480)
+	snap, err := db.Snapshot()
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := db.IOStats()
+	defer snap.Close()
+	visible, err := snap.RangeQuery(rider, corridor, 480)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n8:00 corridor sweep: %d colleagues visible\n", len(visible))
-	fmt.Printf("Session I/O: %d requests, %d misses\n", stats.Accesses(), stats.Misses)
+	stats := snap.IOStats()
+	fmt.Printf("Sweep I/O: %d requests, %d misses\n", stats.Accesses(), stats.Misses)
 }

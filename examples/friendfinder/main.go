@@ -3,20 +3,23 @@
 //
 // A population of users moves between hub destinations (the workload of
 // Sec. 7.7). Each user grants visibility to a small social circle. The
-// example issues privacy-aware kNN queries from several users and compares
-// the PEB-tree's I/O against the spatial-index-plus-filtering baseline on
-// the same data, reproducing the paper's headline effect end to end.
+// example serves the PEB side entirely through the public peb API — bulk
+// policy restore, batched movement ingest, pinned snapshots with
+// per-session I/O counters — and compares its query I/O against the
+// spatial-index-plus-filtering baseline on the same data, reproducing the
+// paper's headline effect end to end.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 
 	"repro/internal/bxtree"
-	"repro/internal/core"
 	"repro/internal/spatialidx"
 	"repro/internal/store"
 	"repro/internal/workload"
+	"repro/peb"
 )
 
 func main() {
@@ -34,39 +37,63 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	assignment, err := ds.Assign()
+
+	// The service database: restore the policy store (which re-runs the
+	// offline encoding of Sec. 5.1), then bulk-load all movement in one
+	// batch. The paper's 50-page buffer keeps I/O comparable.
+	db, err := peb.Open(peb.Options{
+		SpaceSide: cfg.Space,
+		DayLength: cfg.DayLen,
+		MaxSpeed:  cfg.MaxSpeed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Index parameters: grid and speeds must match the workload.
-	pebCfg := core.DefaultConfig()
-	pebCfg.Base.MaxSpeed = cfg.MaxSpeed
-
-	peb, err := core.New(pebCfg, store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages), ds.Policies, assignment)
-	if err != nil {
+	defer db.Close()
+	var buf bytes.Buffer
+	if err := ds.Policies.Save(&buf); err != nil {
 		log.Fatal(err)
 	}
-	baseline, err := spatialidx.New(pebCfg.Base, store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages), ds.Policies)
+	if err := db.LoadPolicies(&buf); err != nil {
+		log.Fatal(err)
+	}
+	load := db.NewBatch()
+	for _, o := range ds.Objects {
+		load.Upsert(o)
+	}
+	if err := db.Apply(load); err != nil {
+		log.Fatal(err)
+	}
+
+	// The privacy-unaware baseline: a spatial index plus post-filtering,
+	// over its own disk and buffer so I/O counts are independent.
+	base := bxtree.DefaultConfig()
+	grid := base.Grid
+	grid.Side = cfg.Space
+	base.Grid = grid
+	base.MaxSpeed = cfg.MaxSpeed
+	baseline, err := spatialidx.New(base, store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages), ds.Policies)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, o := range ds.Objects {
-		if err := peb.Insert(o); err != nil {
-			log.Fatal(err)
-		}
 		if err := baseline.Insert(o); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("Indexed %d users moving between %d hubs (%d policies)\n",
-		peb.Size(), cfg.NumHubs, ds.Policies.NumPolicies())
+		db.Size(), cfg.NumHubs, ds.Policies.NumPolicies())
 
-	// Issue "find my 3 nearest visible friends" for a few users.
+	// Issue "find my 3 nearest visible friends" for a few users, all from
+	// one consistent snapshot.
 	const tq = 60.0
-	queries := ds.GenKNNQueries(5, 3, tq)
-	for _, q := range queries {
-		found, err := peb.PKNN(q.Issuer, q.X, q.Y, q.K, q.T)
+	snap, err := db.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer snap.Close()
+	for _, q := range ds.GenKNNQueries(5, 3, tq) {
+		found, err := snap.NearestNeighbors(q.Issuer, q.X, q.Y, q.K, q.T)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,31 +107,40 @@ func main() {
 		}
 	}
 
-	// Replay a larger batch on both indexes and compare I/O.
+	// Replay a larger batch on both indexes and compare I/O. Both sides
+	// start from a cold cache (the paper's measurement convention); the
+	// PEB side then runs on a fresh snapshot whose counters cover exactly
+	// this session.
+	snap.Close() // release the demo session before dropping caches
 	batch := ds.GenKNNQueries(200, 3, tq)
-	measure := func(name string, pool *store.BufferPool, run func(q workload.KNNQuery) error) float64 {
-		if err := pool.DropAll(); err != nil {
+	fmt.Printf("\nMean I/O over %d privacy-aware 3NN queries:\n", len(batch))
+
+	if err := db.DropCaches(); err != nil {
+		log.Fatal(err)
+	}
+	session, err := db.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+	for _, q := range batch {
+		if _, err := session.NearestNeighbors(q.Issuer, q.X, q.Y, q.K, q.T); err != nil {
 			log.Fatal(err)
 		}
-		pool.ResetStats()
-		for _, q := range batch {
-			if err := run(q); err != nil {
-				log.Fatal(err)
-			}
-		}
-		io := float64(pool.Stats().Misses) / float64(len(batch))
-		fmt.Printf("  %-28s %6.1f I/Os per query\n", name, io)
-		return io
 	}
-	fmt.Printf("\nMean I/O over %d privacy-aware 3NN queries:\n", len(batch))
-	pebIO := measure("PEB-tree", peb.Pool(), func(q workload.KNNQuery) error {
-		_, err := peb.PKNN(q.Issuer, q.X, q.Y, q.K, q.T)
-		return err
-	})
-	spatIO := measure("spatial index + filtering", baseline.Pool(), func(q workload.KNNQuery) error {
-		_, err := baseline.PKNN(q.Issuer, q.X, q.Y, q.K, q.T)
-		return err
-	})
+	pebIO := float64(session.IOStats().Misses) / float64(len(batch))
+	fmt.Printf("  %-28s %6.1f I/Os per query\n", "PEB-tree", pebIO)
+
+	if err := baseline.Pool().DropAll(); err != nil {
+		log.Fatal(err)
+	}
+	baseline.Pool().ResetStats()
+	for _, q := range batch {
+		if _, err := baseline.PKNN(q.Issuer, q.X, q.Y, q.K, q.T); err != nil {
+			log.Fatal(err)
+		}
+	}
+	spatIO := float64(baseline.Pool().Stats().Misses) / float64(len(batch))
+	fmt.Printf("  %-28s %6.1f I/Os per query\n", "spatial index + filtering", spatIO)
 	fmt.Printf("  → the PEB-tree uses %.1f× less I/O\n", spatIO/pebIO)
-	_ = bxtree.Window{} // the bxtree types flow through the public API
 }

@@ -1,4 +1,5 @@
-// Geofence: time-windowed, privacy-aware presence alerts.
+// Geofence: time-windowed, privacy-aware presence alerts on the public
+// peb API.
 //
 // A dispatcher (for example, an event organizer) repeatedly asks "which of
 // the users that opted in are inside my venue right now?" — a privacy-aware
@@ -7,99 +8,106 @@
 // exactly the <role, locr, tint> structure of the paper's policies, so the
 // same user appears and disappears from the answer as the clock and their
 // position move.
+//
+// The polling loop runs on a pinned Snapshot and consumes the query as a
+// stream (RangeQueryCtx): attendees are counted as the index scan finds
+// them, under a context deadline — the shape of a real alerting loop that
+// must bound each poll's latency, and that must not hold any database lock
+// while it processes results.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
-	"repro/internal/bxtree"
-	"repro/internal/core"
-	"repro/internal/motion"
-	"repro/internal/policy"
-	"repro/internal/store"
+	"repro/peb"
 )
 
 func main() {
-	space := policy.Region{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
-	const dayLen = 1440.0
-	venue := policy.Region{MinX: 400, MinY: 400, MaxX: 600, MaxY: 600}
-	eventHours := policy.TimeInterval{Start: 60, End: 240} // a 3-hour event
-
-	policies, err := policy.NewStore(space, dayLen)
+	db, err := peb.Open(peb.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
+
+	venue := peb.Region{MinX: 400, MinY: 400, MaxX: 600, MaxY: 600}
+	eventHours := peb.TimeInterval{Start: 60, End: 240} // a 3-hour event
+	const dayLen = 1440.0
 
 	// The dispatcher is user 1. 400 attendees opt in: they let the
 	// dispatcher see them only while they are inside the venue during
-	// event hours. Another 400 bystanders never opt in.
+	// event hours. Another 400 bystanders never opt in. All staged in one
+	// batch.
 	const (
-		dispatcher = policy.UserID(1)
+		dispatcher = peb.UserID(1)
 		attendees  = 400
 		bystanders = 400
 	)
-	users := []policy.UserID{dispatcher}
+	setup := db.NewBatch()
 	for i := 0; i < attendees+bystanders; i++ {
-		u := policy.UserID(10 + i)
-		users = append(users, u)
+		u := peb.UserID(10 + i)
 		if i < attendees {
-			policies.SetRelation(u, dispatcher, "organizer")
-			err := policies.AddPolicy(u, policy.Policy{Role: "organizer", Locr: venue, Tint: eventHours})
-			if err != nil {
-				log.Fatal(err)
-			}
+			setup.DefineRelation(u, dispatcher, "organizer")
+			setup.Grant(u, "organizer", venue, eventHours)
 		}
 	}
-
-	assignment, err := policy.AssignSequenceValues(policies, users, policy.AssignOptions{})
-	if err != nil {
+	if err := db.Apply(setup); err != nil {
 		log.Fatal(err)
 	}
-	pool := store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages)
-	tree, err := core.New(core.DefaultConfig(), pool, policies, assignment)
-	if err != nil {
+	if err := db.EncodePolicies(); err != nil {
 		log.Fatal(err)
 	}
 
-	// Scatter everyone around the venue with drifting motion.
+	// Scatter everyone around the venue with drifting motion and bulk-load.
 	rng := rand.New(rand.NewSource(3))
-	for i, u := range users {
-		if u == dispatcher {
-			continue
-		}
-		obj := motion.Object{
-			UID: motion.UserID(u),
+	load := db.NewBatch()
+	for i := 0; i < attendees+bystanders; i++ {
+		load.Upsert(peb.Object{
+			UID: peb.UserID(10 + i),
 			X:   300 + rng.Float64()*400,
 			Y:   300 + rng.Float64()*400,
 			VX:  (rng.Float64() - 0.5) * 4,
 			VY:  (rng.Float64() - 0.5) * 4,
 			T:   float64(i%50) * 0.1,
-		}
-		if err := tree.Insert(obj); err != nil {
-			log.Fatal(err)
-		}
+		})
+	}
+	if err := db.Apply(load); err != nil {
+		log.Fatal(err)
 	}
 
 	// Poll the venue before, during, and after the event. The spatial
 	// window is the venue; the policy layer trims the answer to opted-in
-	// attendees inside their permitted window.
-	window := bxtree.Window{MinX: venue.MinX, MinY: venue.MinY, MaxX: venue.MaxX, MaxY: venue.MaxY}
+	// attendees inside their permitted window. One pinned snapshot serves
+	// the whole sweep — every poll sees the same consistent state, with no
+	// lock held while results stream out.
+	snap, err := db.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer snap.Close()
+
 	fmt.Println("Privacy-aware venue presence (window = venue):")
 	for _, tq := range []float64{30, 90, 150, 210, 300} {
-		inside, err := tree.PRQ(motion.UserID(dispatcher), window, tq)
-		if err != nil {
-			log.Fatal(err)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		visible := 0
+		for _, err := range snap.RangeQueryCtx(ctx, peb.UserID(dispatcher), venue, tq) {
+			if err != nil {
+				log.Fatal(err) // deadline exceeded or index error
+			}
+			visible++ // a real dispatcher would fire an alert per attendee here
 		}
+		cancel()
 		phase := "during event"
 		if !eventHours.Contains(tq, dayLen) {
 			phase = "outside event hours"
 		}
-		fmt.Printf("  t=%3.0f (%-19s): %3d visible attendees\n", tq, phase, len(inside))
+		fmt.Printf("  t=%3.0f (%-19s): %3d visible attendees\n", tq, phase, visible)
 	}
 
-	stats := pool.Stats()
-	fmt.Printf("\nTotal I/O: %d requests, %d misses (%.1f%% buffer hit rate)\n",
+	stats := snap.IOStats()
+	fmt.Printf("\nSweep I/O: %d requests, %d misses (%.1f%% buffer hit rate)\n",
 		stats.Accesses(), stats.Misses, 100*float64(stats.Hits)/float64(stats.Accesses()))
 }

@@ -1,6 +1,7 @@
-// Quickstart: build a PEB-tree over a handful of users, define
-// location-privacy policies, and run one privacy-aware range query and one
-// privacy-aware kNN query.
+// Quickstart: the public peb API end to end — define location-privacy
+// policies, bulk-load a handful of moving users with a write batch, and
+// run one privacy-aware range query and one privacy-aware kNN query on a
+// pinned snapshot.
 //
 // This mirrors the paper's running example (Fig. 3): user u1 looks for
 // nearby friends, but only friends whose policies currently allow u1 to
@@ -11,67 +12,53 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/bxtree"
-	"repro/internal/core"
-	"repro/internal/motion"
-	"repro/internal/policy"
-	"repro/internal/store"
+	"repro/peb"
 )
 
 func main() {
 	// The service space is 1000 × 1000 (think kilometres) and policy time
-	// windows live on a 1440-minute day.
-	space := policy.Region{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
-	const dayLen = 1440.0
-
-	policies, err := policy.NewStore(space, dayLen)
+	// windows live on a 1440-minute day — the defaults.
+	db, err := peb.Open(peb.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 
 	// u1 is the query issuer. Users u12, u30, u59, u100, and u130 are
 	// friends of u1 — each grants u1 visibility under different
 	// spatio-temporal conditions, like the policies of Definition 1:
-	// P = <friend, locr, tint>.
-	downtown := policy.Region{MinX: 0, MinY: 0, MaxX: 500, MaxY: 500}
-	morning := policy.TimeInterval{Start: 0, End: 720}
-	evening := policy.TimeInterval{Start: 720, End: 1440}
+	// P = <friend, locr, tint>. Policies are staged in a batch and applied
+	// atomically: no query anywhere can observe half the policy set.
+	space := peb.Region{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	downtown := peb.Region{MinX: 0, MinY: 0, MaxX: 500, MaxY: 500}
+	morning := peb.TimeInterval{Start: 0, End: 720}
+	evening := peb.TimeInterval{Start: 720, End: 1440}
 
-	grant := func(owner policy.UserID, locr policy.Region, tint policy.TimeInterval) {
-		policies.SetRelation(owner, 1, "friend")
-		if err := policies.AddPolicy(owner, policy.Policy{Role: "friend", Locr: locr, Tint: tint}); err != nil {
-			log.Fatal(err)
-		}
+	policies := db.NewBatch()
+	grant := func(owner peb.UserID, locr peb.Region, tint peb.TimeInterval) {
+		policies.DefineRelation(owner, 1, "friend")
+		policies.Grant(owner, "friend", locr, tint)
 	}
 	grant(12, space, morning)    // u12: visible anywhere, in the morning
 	grant(30, downtown, morning) // u30: visible only downtown, mornings
 	grant(59, downtown, evening) // u59: downtown, evenings only
 	grant(100, space, evening)   // u100: anywhere, but evenings only
 	grant(130, downtown, morning)
+	if err := db.Apply(policies); err != nil {
+		log.Fatal(err)
+	}
 
 	// Offline policy encoding (Sec. 5.1): compatibility scores become
 	// sequence values that place related users close together in the key
 	// space.
-	users := []policy.UserID{1, 12, 30, 59, 100, 130, 200, 201}
-	assignment, err := policy.AssignSequenceValues(policies, users, policy.AssignOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("Sequence values:")
-	for _, u := range users {
-		fmt.Printf("  u%-4d SV = %.3f\n", u, assignment.SV[u])
-	}
-
-	// Build the PEB-tree over a 4 KB-page disk with the paper's 50-page
-	// LRU buffer.
-	pool := store.NewBufferPool(store.NewMemDisk(), store.DefaultBufferPages)
-	tree, err := core.New(core.DefaultConfig(), pool, policies, assignment)
-	if err != nil {
+	if err := db.EncodePolicies(); err != nil {
 		log.Fatal(err)
 	}
 
-	// Insert everyone's latest movement update (position, velocity, time).
-	objects := []motion.Object{
+	// Bulk-load everyone's latest movement update (position, velocity,
+	// time): one staged batch, one lock acquisition, one view republish.
+	load := db.NewBatch()
+	for _, o := range []peb.Object{
 		{UID: 1, X: 300, Y: 300, VX: 0.5, VY: 0, T: 10},
 		{UID: 12, X: 320, Y: 310, VX: -0.2, VY: 0.1, T: 12},
 		{UID: 30, X: 280, Y: 290, VX: 0, VY: 0.3, T: 8},
@@ -80,17 +67,26 @@ func main() {
 		{UID: 130, X: 900, Y: 900, VX: -1, VY: -1, T: 9}, // far away
 		{UID: 200, X: 310, Y: 305, VX: 0, VY: 0, T: 10},  // not a friend
 		{UID: 201, X: 295, Y: 315, VX: 0.4, VY: 0.4, T: 14},
+	} {
+		load.Upsert(o)
 	}
-	for _, o := range objects {
-		if err := tree.Insert(o); err != nil {
-			log.Fatal(err)
-		}
+	if err := db.Apply(load); err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("%d users indexed\n", db.Size())
+
+	// Pin a snapshot: both queries below see the same consistent state,
+	// and the I/O they cost is attributed to this session alone.
+	snap, err := db.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer snap.Close()
 
 	// A privacy-aware range query at t = 30 (morning): "who around
 	// downtown may I see right now?"
-	window := bxtree.Window{MinX: 200, MinY: 200, MaxX: 400, MaxY: 400}
-	inRange, err := tree.PRQ(1, window, 30)
+	window := peb.Region{MinX: 200, MinY: 200, MaxX: 400, MaxY: 400}
+	inRange, err := snap.RangeQuery(1, window, 30)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,7 +100,7 @@ func main() {
 	// A privacy-aware 2-NN query from u1's position: nearest friends who
 	// are currently visible. u100 is nearby but evening-only, so — exactly
 	// like the paper's running example — it is not returned.
-	neighbors, err := tree.PKNN(1, 300, 300, 2, 30)
+	neighbors, err := snap.NearestNeighbors(1, 300, 300, 2, 30)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,6 +109,6 @@ func main() {
 		fmt.Printf("  %d. u%d at distance %.1f\n", i+1, nb.Object.UID, nb.Dist)
 	}
 
-	stats := pool.Stats()
-	fmt.Printf("\nI/O: %d page requests, %d buffer misses\n", stats.Accesses(), stats.Misses)
+	stats := snap.IOStats()
+	fmt.Printf("\nSession I/O: %d page requests, %d buffer misses\n", stats.Accesses(), stats.Misses)
 }

@@ -12,7 +12,10 @@
 // may read concurrently through Reader views (the buffer pool synchronizes
 // its own bookkeeping). Callers enforce the discipline externally — see
 // peb.DB, which holds a write lock across mutations and a read lock across
-// queries.
+// queries. Additionally, Seal (see txn.go) switches the tree into
+// copy-on-write mode, under which a Reader pinned at seal time stays valid
+// across later mutations with no locking at all — the basis of pinned
+// snapshots.
 package btree
 
 import (
@@ -28,6 +31,14 @@ type Tree struct {
 	height    int // 1 = root is a leaf
 	size      int // total entries
 	leafCount int // total leaf pages (Nl in the cost model)
+
+	// Copy-on-write state (txn.go). When sealed, pages not in fresh are
+	// immutable; mutations write fresh pages and retire the old ones.
+	sealed  bool
+	mutated bool // mutations since the last Seal
+	version uint64
+	fresh   map[store.PageID]struct{}
+	retired []store.PageID
 }
 
 // New creates an empty tree whose nodes live in pool.
@@ -36,7 +47,7 @@ func New(pool *store.BufferPool) (*Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("btree: allocate root: %w", err)
 	}
-	writeLeaf(p, nil, store.InvalidPageID)
+	writeLeaf(p, nil)
 	id := p.ID()
 	if err := pool.Unpin(id, true); err != nil {
 		return nil, err
@@ -62,10 +73,12 @@ func (t *Tree) Get(kv KV) (Payload, bool, error) { return t.Reader().Get(kv) }
 // Insert stores payload under kv, replacing any existing entry with the
 // same composite key.
 func (t *Tree) Insert(kv KV, payload Payload) error {
-	split, sep, right, replaced, err := t.insertRec(t.root, kv, payload)
+	t.mutated = true
+	newRoot, split, sep, right, replaced, err := t.insertRec(t.root, kv, payload)
 	if err != nil {
 		return err
 	}
+	t.root = newRoot
 	if !replaced {
 		t.size++
 	}
@@ -73,7 +86,7 @@ func (t *Tree) Insert(kv KV, payload Payload) error {
 		return nil
 	}
 	// Grow a new root above the old one.
-	p, err := t.pool.NewPage()
+	p, err := t.allocPage()
 	if err != nil {
 		return fmt.Errorf("btree: allocate new root: %w", err)
 	}
@@ -81,92 +94,117 @@ func (t *Tree) Insert(kv KV, payload Payload) error {
 		seps:     []KV{sep},
 		children: []store.PageID{t.root, right},
 	})
-	newRoot := p.ID()
-	if err := t.pool.Unpin(newRoot, true); err != nil {
+	rootID := p.ID()
+	if err := t.pool.Unpin(rootID, true); err != nil {
 		return err
 	}
-	t.root = newRoot
+	t.root = rootID
 	t.height++
 	return nil
 }
 
-// insertRec descends to the leaf for kv and inserts. On overflow it splits
-// the node and reports the separator and new right sibling to the caller.
-func (t *Tree) insertRec(pid store.PageID, kv KV, payload Payload) (split bool, sep KV, right store.PageID, replaced bool, err error) {
+// insertRec descends to the leaf for kv and inserts. newPid is the id the
+// node lives at afterwards — under copy-on-write a modified node moves to a
+// fresh page, and the caller repoints its child link. On overflow the node
+// splits and the separator plus new right sibling are reported upward.
+func (t *Tree) insertRec(pid store.PageID, kv KV, payload Payload) (newPid store.PageID, split bool, sep KV, right store.PageID, replaced bool, err error) {
 	p, err := t.pool.Fetch(pid)
 	if err != nil {
-		return false, KV{}, store.InvalidPageID, false, err
+		return pid, false, KV{}, store.InvalidPageID, false, err
 	}
 
 	if pageType(p) == leafType {
-		entries, next := readLeaf(p)
+		entries := readLeaf(p)
 		idx, exact := searchLeaf(entries, kv)
 		if exact {
 			entries[idx].payload = payload
-			writeLeaf(p, entries, next)
-			err = t.pool.Unpin(pid, true)
-			return false, KV{}, store.InvalidPageID, true, err
+			p, newPid, err = t.redirect(pid, p)
+			if err != nil {
+				return pid, false, KV{}, store.InvalidPageID, false, err
+			}
+			writeLeaf(p, entries)
+			err = t.pool.Unpin(newPid, true)
+			return newPid, false, KV{}, store.InvalidPageID, true, err
 		}
 		entries = append(entries, leafEntry{})
 		copy(entries[idx+1:], entries[idx:])
 		entries[idx] = leafEntry{kv: kv, payload: payload}
 
 		if len(entries) <= LeafCapacity {
-			writeLeaf(p, entries, next)
-			err = t.pool.Unpin(pid, true)
-			return false, KV{}, store.InvalidPageID, false, err
+			p, newPid, err = t.redirect(pid, p)
+			if err != nil {
+				return pid, false, KV{}, store.InvalidPageID, false, err
+			}
+			writeLeaf(p, entries)
+			err = t.pool.Unpin(newPid, true)
+			return newPid, false, KV{}, store.InvalidPageID, false, err
 		}
 
 		// Split: left keeps the first half, right takes the rest.
 		mid := len(entries) / 2
-		rp, nerr := t.pool.NewPage()
+		rp, nerr := t.allocPage()
 		if nerr != nil {
 			_ = t.pool.Unpin(pid, false)
-			return false, KV{}, store.InvalidPageID, false, fmt.Errorf("btree: allocate leaf: %w", nerr)
+			return pid, false, KV{}, store.InvalidPageID, false, fmt.Errorf("btree: allocate leaf: %w", nerr)
 		}
-		writeLeaf(rp, entries[mid:], next)
-		writeLeaf(p, entries[:mid], rp.ID())
+		writeLeaf(rp, entries[mid:])
+		right = rp.ID()
+		if err := t.pool.Unpin(right, true); err != nil {
+			_ = t.pool.Unpin(pid, false)
+			return pid, false, KV{}, store.InvalidPageID, false, err
+		}
+		p, newPid, err = t.redirect(pid, p)
+		if err != nil {
+			return pid, false, KV{}, store.InvalidPageID, false, err
+		}
+		writeLeaf(p, entries[:mid])
 		t.leafCount++
 		sep = entries[mid].kv
-		right = rp.ID()
-		if err := t.pool.Unpin(rp.ID(), true); err != nil {
-			_ = t.pool.Unpin(pid, true)
-			return false, KV{}, store.InvalidPageID, false, err
-		}
-		err = t.pool.Unpin(pid, true)
-		return true, sep, right, false, err
+		err = t.pool.Unpin(newPid, true)
+		return newPid, true, sep, right, false, err
 	}
 
 	// Internal node.
 	in := readInternal(p)
 	ci := childIndex(in, kv)
 	child := in.children[ci]
-	// Release the parent while recursing; re-fetch to apply a child split.
+	// Release the parent while recursing; re-fetch to apply child changes.
 	if err := t.pool.Unpin(pid, false); err != nil {
-		return false, KV{}, store.InvalidPageID, false, err
+		return pid, false, KV{}, store.InvalidPageID, false, err
 	}
-	csplit, csep, cright, creplaced, err := t.insertRec(child, kv, payload)
-	if err != nil || !csplit {
-		return false, KV{}, store.InvalidPageID, creplaced, err
+	newChild, csplit, csep, cright, creplaced, err := t.insertRec(child, kv, payload)
+	if err != nil {
+		return pid, false, KV{}, store.InvalidPageID, false, err
+	}
+	if !csplit && newChild == child {
+		// Nothing to record at this level.
+		return pid, false, KV{}, store.InvalidPageID, creplaced, nil
 	}
 
 	p, err = t.pool.Fetch(pid)
 	if err != nil {
-		return false, KV{}, store.InvalidPageID, creplaced, err
+		return pid, false, KV{}, store.InvalidPageID, creplaced, err
 	}
 	in = readInternal(p)
 	// The child set cannot have changed (single-threaded), so ci is stable.
-	in.seps = append(in.seps, KV{})
-	copy(in.seps[ci+1:], in.seps[ci:])
-	in.seps[ci] = csep
-	in.children = append(in.children, store.InvalidPageID)
-	copy(in.children[ci+2:], in.children[ci+1:])
-	in.children[ci+1] = cright
+	in.children[ci] = newChild
+	if csplit {
+		in.seps = append(in.seps, KV{})
+		copy(in.seps[ci+1:], in.seps[ci:])
+		in.seps[ci] = csep
+		in.children = append(in.children, store.InvalidPageID)
+		copy(in.children[ci+2:], in.children[ci+1:])
+		in.children[ci+1] = cright
+	}
 
 	if len(in.seps) <= InternalCapacity {
+		p, newPid, err = t.redirect(pid, p)
+		if err != nil {
+			return pid, false, KV{}, store.InvalidPageID, creplaced, err
+		}
 		writeInternal(p, in)
-		err = t.pool.Unpin(pid, true)
-		return false, KV{}, store.InvalidPageID, creplaced, err
+		err = t.pool.Unpin(newPid, true)
+		return newPid, false, KV{}, store.InvalidPageID, creplaced, err
 	}
 
 	// Split the internal node: the middle separator moves up.
@@ -180,18 +218,22 @@ func (t *Tree) insertRec(pid store.PageID, kv KV, payload Payload) (split bool, 
 		seps:     in.seps[:mid],
 		children: in.children[:mid+1],
 	}
-	rp, nerr := t.pool.NewPage()
+	rp, nerr := t.allocPage()
 	if nerr != nil {
 		_ = t.pool.Unpin(pid, false)
-		return false, KV{}, store.InvalidPageID, creplaced, fmt.Errorf("btree: allocate internal: %w", nerr)
+		return pid, false, KV{}, store.InvalidPageID, creplaced, fmt.Errorf("btree: allocate internal: %w", nerr)
 	}
 	writeInternal(rp, rightNode)
-	writeInternal(p, leftNode)
 	right = rp.ID()
-	if err := t.pool.Unpin(rp.ID(), true); err != nil {
-		_ = t.pool.Unpin(pid, true)
-		return false, KV{}, store.InvalidPageID, creplaced, err
+	if err := t.pool.Unpin(right, true); err != nil {
+		_ = t.pool.Unpin(pid, false)
+		return pid, false, KV{}, store.InvalidPageID, creplaced, err
 	}
-	err = t.pool.Unpin(pid, true)
-	return true, upSep, right, creplaced, err
+	p, newPid, err = t.redirect(pid, p)
+	if err != nil {
+		return pid, false, KV{}, store.InvalidPageID, creplaced, err
+	}
+	writeInternal(p, leftNode)
+	err = t.pool.Unpin(newPid, true)
+	return newPid, true, upSep, right, creplaced, err
 }

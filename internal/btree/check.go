@@ -14,7 +14,8 @@ import (
 //   - separators correctly bound the keys of their subtrees,
 //   - all leaves are at the same depth,
 //   - non-root nodes respect minimum occupancy,
-//   - the leaf sibling chain visits every leaf in order,
+//   - an in-order walk (the cursor's descent-stack traversal) visits every
+//     entry in strictly ascending order,
 //   - Size() and LeafCount() match the actual contents.
 func (t *Tree) Check() error {
 	stats := &checkStats{}
@@ -31,14 +32,13 @@ func (t *Tree) Check() error {
 	if stats.depth != t.height {
 		return fmt.Errorf("btree: Height()=%d but leaves at depth %d", t.height, stats.depth)
 	}
-	return t.checkChain(stats)
+	return t.checkScan(stats)
 }
 
 type checkStats struct {
-	entries   int
-	leaves    int
-	depth     int
-	firstLeaf store.PageID
+	entries int
+	leaves  int
+	depth   int
 }
 
 func (t *Tree) checkNode(pid store.PageID, depth int, min, max *KV, stats *checkStats) error {
@@ -52,11 +52,10 @@ func (t *Tree) checkNode(pid store.PageID, depth int, min, max *KV, stats *check
 	case leafType:
 		if stats.depth == 0 {
 			stats.depth = depth
-			stats.firstLeaf = pid
 		} else if stats.depth != depth {
 			return fmt.Errorf("btree: leaf %d at depth %d, expected %d", pid, depth, stats.depth)
 		}
-		entries, _ := readLeaf(p)
+		entries := readLeaf(p)
 		if pid != t.root && len(entries) < minLeafEntries {
 			return fmt.Errorf("btree: leaf %d underfull (%d < %d)", pid, len(entries), minLeafEntries)
 		}
@@ -113,43 +112,30 @@ func (t *Tree) checkNode(pid store.PageID, depth int, min, max *KV, stats *check
 	}
 }
 
-// checkChain verifies the leaf sibling chain covers all leaves in order.
-func (t *Tree) checkChain(stats *checkStats) error {
-	pid := stats.firstLeaf
+// checkScan verifies the cursor's in-order traversal covers every entry in
+// strictly ascending order — the same walk RangeScan and ScanLeaves use.
+func (t *Tree) checkScan(stats *checkStats) error {
 	var prev *KV
-	leaves, entries := 0, 0
-	for pid != store.InvalidPageID {
-		p, err := t.pool.Fetch(pid)
-		if err != nil {
-			return err
+	var orderErr error
+	entries := 0
+	err := t.RangeScan(KV{}, KV{Key: ^uint64(0), UID: ^uint32(0)}, func(kv KV, _ Payload) bool {
+		entries++
+		if prev != nil && !prev.Less(kv) {
+			orderErr = fmt.Errorf("btree: in-order walk out of order at %v", kv)
+			return false
 		}
-		if pageType(p) != leafType {
-			_ = t.pool.Unpin(pid, false)
-			return fmt.Errorf("btree: sibling chain reached non-leaf page %d", pid)
-		}
-		es, next := readLeaf(p)
-		if err := t.pool.Unpin(pid, false); err != nil {
-			return err
-		}
-		leaves++
-		entries += len(es)
-		for i := range es {
-			if prev != nil && !prev.Less(es[i].kv) {
-				return fmt.Errorf("btree: sibling chain out of order at page %d entry %d", pid, i)
-			}
-			kv := es[i].kv
-			prev = &kv
-		}
-		pid = next
-		if leaves > stats.leaves {
-			return fmt.Errorf("btree: sibling chain longer than leaf count %d", stats.leaves)
-		}
+		k := kv
+		prev = &k
+		return true
+	})
+	if err != nil {
+		return err
 	}
-	if leaves != stats.leaves {
-		return fmt.Errorf("btree: sibling chain visits %d leaves, tree has %d", leaves, stats.leaves)
+	if orderErr != nil {
+		return orderErr
 	}
 	if entries != stats.entries {
-		return fmt.Errorf("btree: sibling chain sees %d entries, tree has %d", entries, stats.entries)
+		return fmt.Errorf("btree: in-order walk sees %d entries, tree has %d", entries, stats.entries)
 	}
 	return nil
 }

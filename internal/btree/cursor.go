@@ -1,20 +1,32 @@
 package btree
 
 import (
-	"repro/internal/store"
+	"context"
 )
 
-// Cursor iterates tree entries in ascending key order by walking the leaf
-// sibling chain. A cursor buffers one leaf at a time, so a scan fetches
-// each leaf page exactly once regardless of how many entries it yields.
+// pathFrame is one level of a cursor's descent stack: the decoded internal
+// node and the index of the child the descent took.
+type pathFrame struct {
+	node  internalNode
+	child int
+}
+
+// Cursor iterates tree entries in ascending key order. It buffers one leaf
+// at a time and keeps the stack of internal nodes on the path from the root,
+// advancing to the next leaf by backtracking up the stack and descending
+// the leftmost path of the next subtree — leaves carry no sibling pointers
+// (they could not survive copy-on-write). Each internal page is fetched
+// once per subtree traversal, so a full scan still costs one fetch per leaf
+// plus a lower-order number of internal fetches.
 //
 // Cursors are created by Reader.Seek (or Tree.Seek, which takes a fresh
-// Reader) and are invalidated by any mutation of the tree; using one after
-// an Insert or Delete gives unspecified (but memory-safe) results.
+// Reader) and are only coherent while the pages they walk are stable: under
+// the caller's read lock, or over sealed pages (see Reader). Using one
+// across an unfenced mutation gives unspecified (but memory-safe) results.
 type Cursor struct {
 	r       *Reader
+	stack   []pathFrame
 	entries []leafEntry
-	next    store.PageID
 	idx     int
 	valid   bool
 }
@@ -44,34 +56,71 @@ func (c *Cursor) Next() error {
 	return nil
 }
 
-// advanceLeaf loads leaves along the sibling chain until one with entries
-// is found or the chain ends.
+// advanceLeaf loads following leaves until one with entries is found or the
+// tree is exhausted, leaving the cursor positioned at the first entry.
 func (c *Cursor) advanceLeaf() error {
 	for {
-		if c.next == store.InvalidPageID {
-			c.valid = false
-			return nil
-		}
-		p, err := c.r.pool.Fetch(c.next)
+		ok, err := c.nextLeaf()
 		if err != nil {
 			return err
 		}
-		pid := c.next
-		c.entries, c.next = readLeaf(p)
-		c.idx = 0
-		if err := c.r.pool.Unpin(pid, false); err != nil {
-			return err
+		if !ok {
+			c.valid = false
+			return nil
 		}
+		c.idx = 0
 		if len(c.entries) > 0 {
 			return nil
 		}
 	}
 }
 
+// nextLeaf replaces the buffered leaf with the next one in key order by
+// backtracking up the descent stack. It reports false when no leaf follows.
+func (c *Cursor) nextLeaf() (bool, error) {
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		top.child++
+		if top.child >= len(top.node.children) {
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		// Descend the leftmost path of the next subtree.
+		pid := top.node.children[top.child]
+		for {
+			p, err := c.r.fetch(pid)
+			if err != nil {
+				return false, err
+			}
+			if pageType(p) == internalType {
+				in := readInternal(p)
+				if err := c.r.pool.Unpin(pid, false); err != nil {
+					return false, err
+				}
+				c.stack = append(c.stack, pathFrame{node: in, child: 0})
+				pid = in.children[0]
+				continue
+			}
+			c.entries = readLeaf(p)
+			c.idx = 0
+			if err := c.r.pool.Unpin(pid, false); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // RangeScan calls fn for every entry with lo <= key <= hi, in order. fn
 // returning false stops the scan early.
 func (t *Tree) RangeScan(lo, hi KV, fn func(kv KV, payload Payload) bool) error {
 	return t.Reader().RangeScan(lo, hi, fn)
+}
+
+// RangeScanCtx is RangeScan with cancellation between leaf pages.
+func (t *Tree) RangeScanCtx(ctx context.Context, lo, hi KV, fn func(kv KV, payload Payload) bool) error {
+	return t.Reader().RangeScanCtx(ctx, lo, hi, fn)
 }
 
 // ScanLeaves visits every leaf page holding keys in [lo, hi] and calls fn

@@ -12,10 +12,12 @@ import (
 // child, so the tree keeps B+-tree occupancy invariants under the heavy
 // delete+insert churn of moving-object updates.
 func (t *Tree) Delete(kv KV) (bool, error) {
-	found, _, err := t.deleteRec(t.root, kv)
+	t.mutated = true
+	newRoot, found, _, err := t.deleteRec(t.root, kv)
 	if err != nil {
 		return false, err
 	}
+	t.root = newRoot
 	if found {
 		t.size--
 	}
@@ -33,7 +35,7 @@ func (t *Tree) Delete(kv KV) (bool, error) {
 		}
 		in := readInternal(p)
 		child := in.children[0]
-		if err := t.pool.FreePage(t.root); err != nil {
+		if err := t.discardPinned(t.root); err != nil {
 			return found, err
 		}
 		t.root = child
@@ -42,60 +44,75 @@ func (t *Tree) Delete(kv KV) (bool, error) {
 	return found, nil
 }
 
-// deleteRec removes kv from the subtree rooted at pid. underflow reports
-// whether the node at pid dropped below its minimum occupancy; the caller
-// is responsible for rebalancing it.
-func (t *Tree) deleteRec(pid store.PageID, kv KV) (found, underflow bool, err error) {
+// deleteRec removes kv from the subtree rooted at pid. newPid is the id the
+// node lives at afterwards (copy-on-write may move it). underflow reports
+// whether the node dropped below minimum occupancy; the caller rebalances.
+func (t *Tree) deleteRec(pid store.PageID, kv KV) (newPid store.PageID, found, underflow bool, err error) {
 	p, err := t.pool.Fetch(pid)
 	if err != nil {
-		return false, false, err
+		return pid, false, false, err
 	}
 
 	if pageType(p) == leafType {
-		entries, next := readLeaf(p)
+		entries := readLeaf(p)
 		idx, exact := searchLeaf(entries, kv)
 		if !exact {
 			err = t.pool.Unpin(pid, false)
-			return false, false, err
+			return pid, false, false, err
 		}
 		entries = append(entries[:idx], entries[idx+1:]...)
-		writeLeaf(p, entries, next)
-		err = t.pool.Unpin(pid, true)
-		return true, len(entries) < minLeafEntries, err
+		p, newPid, err = t.redirect(pid, p)
+		if err != nil {
+			return pid, false, false, err
+		}
+		writeLeaf(p, entries)
+		err = t.pool.Unpin(newPid, true)
+		return newPid, true, len(entries) < minLeafEntries, err
 	}
 
 	in := readInternal(p)
 	ci := childIndex(in, kv)
 	child := in.children[ci]
 	if err := t.pool.Unpin(pid, false); err != nil {
-		return false, false, err
+		return pid, false, false, err
 	}
 
-	found, childUnder, err := t.deleteRec(child, kv)
-	if err != nil || !childUnder {
-		return found, false, err
+	newChild, found, childUnder, err := t.deleteRec(child, kv)
+	if err != nil {
+		return pid, false, false, err
+	}
+	if !childUnder && newChild == child {
+		return pid, found, false, nil
 	}
 
-	// Rebalance the underfull child against a sibling.
 	p, err = t.pool.Fetch(pid)
 	if err != nil {
-		return found, false, err
+		return pid, found, false, err
 	}
 	in = readInternal(p)
-	if err := t.rebalanceChild(p, &in, ci); err != nil {
-		_ = t.pool.Unpin(pid, true)
-		return found, false, err
+	in.children[ci] = newChild
+	if childUnder {
+		if err := t.rebalanceChild(&in, ci); err != nil {
+			_ = t.pool.Unpin(pid, false)
+			return pid, found, false, err
+		}
+	}
+	p, newPid, err = t.redirect(pid, p)
+	if err != nil {
+		return pid, found, false, err
 	}
 	writeInternal(p, in)
 	underflow = len(in.seps) < minInternalEntries
-	err = t.pool.Unpin(pid, true)
-	return found, underflow, err
+	err = t.pool.Unpin(newPid, true)
+	return newPid, found, underflow, err
 }
 
 // rebalanceChild restores occupancy of in.children[ci] by redistributing
 // entries with an adjacent sibling or merging the pair. It mutates *in
 // (the parent's separators/children); the caller writes the parent back.
-func (t *Tree) rebalanceChild(parent *store.Page, in *internalNode, ci int) error {
+// Sibling nodes rewritten under copy-on-write move to fresh pages, and the
+// parent's child pointers are updated accordingly.
+func (t *Tree) rebalanceChild(in *internalNode, ci int) error {
 	// Normalize to the adjacent pair (li, li+1) with separator index li.
 	li := ci
 	if li == len(in.children)-1 {
@@ -123,20 +140,26 @@ func (t *Tree) rebalanceChild(parent *store.Page, in *internalNode, ci int) erro
 	}
 
 	if pageType(lp) == leafType {
-		le, _ := readLeaf(lp)
-		re, rnext := readLeaf(rp)
+		le := readLeaf(lp)
+		re := readLeaf(rp)
 		if len(le)+len(re) <= LeafCapacity {
 			// Merge right into left.
 			merged := append(le, re...)
-			writeLeaf(lp, merged, rnext)
-			if err := t.pool.Unpin(leftID, true); err != nil {
+			lp, newLeft, err := t.redirect(leftID, lp)
+			if err != nil {
 				_ = t.pool.Unpin(rightID, false)
 				return err
 			}
-			if err := t.pool.FreePage(rightID); err != nil {
+			writeLeaf(lp, merged)
+			if err := t.pool.Unpin(newLeft, true); err != nil {
+				_ = t.pool.Unpin(rightID, false)
+				return err
+			}
+			if err := t.discardPinned(rightID); err != nil {
 				return err
 			}
 			t.leafCount--
+			in.children[li] = newLeft
 			in.seps = append(in.seps[:li], in.seps[li+1:]...)
 			in.children = append(in.children[:li+1], in.children[li+2:]...)
 			return nil
@@ -144,15 +167,25 @@ func (t *Tree) rebalanceChild(parent *store.Page, in *internalNode, ci int) erro
 		// Redistribute evenly; the new separator is right's first key.
 		all := append(le, re...)
 		mid := len(all) / 2
-		// writeLeaf(lp, ...) keeps left's existing next pointer = rightID.
-		writeLeaf(lp, all[:mid], rightID)
-		writeLeaf(rp, all[mid:], rnext)
-		in.seps[li] = all[mid].kv
-		if err := t.pool.Unpin(leftID, true); err != nil {
-			_ = t.pool.Unpin(rightID, true)
+		lp, newLeft, err := t.redirect(leftID, lp)
+		if err != nil {
+			_ = t.pool.Unpin(rightID, false)
 			return err
 		}
-		return t.pool.Unpin(rightID, true)
+		writeLeaf(lp, all[:mid])
+		if err := t.pool.Unpin(newLeft, true); err != nil {
+			_ = t.pool.Unpin(rightID, false)
+			return err
+		}
+		rp, newRight, err := t.redirect(rightID, rp)
+		if err != nil {
+			return err
+		}
+		writeLeaf(rp, all[mid:])
+		in.children[li] = newLeft
+		in.children[li+1] = newRight
+		in.seps[li] = all[mid].kv
+		return t.pool.Unpin(newRight, true)
 	}
 
 	// Internal siblings: pull the parent separator down between them.
@@ -168,14 +201,20 @@ func (t *Tree) rebalanceChild(parent *store.Page, in *internalNode, ci int) erro
 
 	if len(combinedSeps) <= InternalCapacity {
 		// Merge into the left node.
-		writeInternal(lp, internalNode{seps: combinedSeps, children: combinedKids})
-		if err := t.pool.Unpin(leftID, true); err != nil {
+		lp, newLeft, err := t.redirect(leftID, lp)
+		if err != nil {
 			_ = t.pool.Unpin(rightID, false)
 			return err
 		}
-		if err := t.pool.FreePage(rightID); err != nil {
+		writeInternal(lp, internalNode{seps: combinedSeps, children: combinedKids})
+		if err := t.pool.Unpin(newLeft, true); err != nil {
+			_ = t.pool.Unpin(rightID, false)
 			return err
 		}
+		if err := t.discardPinned(rightID); err != nil {
+			return err
+		}
+		in.children[li] = newLeft
 		in.seps = append(in.seps[:li], in.seps[li+1:]...)
 		in.children = append(in.children[:li+1], in.children[li+2:]...)
 		return nil
@@ -183,18 +222,29 @@ func (t *Tree) rebalanceChild(parent *store.Page, in *internalNode, ci int) erro
 
 	// Redistribute: the middle separator returns to the parent.
 	mid := len(combinedSeps) / 2
+	lp, newLeft, err := t.redirect(leftID, lp)
+	if err != nil {
+		_ = t.pool.Unpin(rightID, false)
+		return err
+	}
 	writeInternal(lp, internalNode{
 		seps:     append([]KV(nil), combinedSeps[:mid]...),
 		children: append([]store.PageID(nil), combinedKids[:mid+1]...),
 	})
+	if err := t.pool.Unpin(newLeft, true); err != nil {
+		_ = t.pool.Unpin(rightID, false)
+		return err
+	}
+	rp, newRight, err := t.redirect(rightID, rp)
+	if err != nil {
+		return err
+	}
 	writeInternal(rp, internalNode{
 		seps:     append([]KV(nil), combinedSeps[mid+1:]...),
 		children: append([]store.PageID(nil), combinedKids[mid+1:]...),
 	})
+	in.children[li] = newLeft
+	in.children[li+1] = newRight
 	in.seps[li] = combinedSeps[mid]
-	if err := t.pool.Unpin(leftID, true); err != nil {
-		_ = t.pool.Unpin(rightID, true)
-		return err
-	}
-	return t.pool.Unpin(rightID, true)
+	return t.pool.Unpin(newRight, true)
 }

@@ -13,13 +13,20 @@ import (
 //	byte 0      node type (leafType or internalType)
 //	byte 1      reserved
 //	bytes 2-3   entry count (uint16)
-//	bytes 4-7   leaf: right-sibling page id; internal: leftmost child page id
+//	bytes 4-7   leaf: reserved (zero); internal: leftmost child page id
 //	bytes 8-11  reserved
 //	bytes 12-   entries
 //
 // A leaf entry is (key uint64, uid uint32, payload [PayloadSize]byte).
 // An internal entry is (sepKey uint64, sepUID uint32, child PageID); the
 // separator at index i is the smallest KV reachable through child i+1.
+//
+// Leaves carry no sibling pointers: scans walk the tree with a descent
+// stack instead (see Cursor). A chain pointer cannot survive copy-on-write
+// — copying one leaf would stale its left sibling's pointer — and the
+// snapshot design (Seal) depends on never rewriting a sealed page. Bytes
+// 4–7 of a leaf are reserved so pages written by earlier versions (which
+// stored a sibling id there) remain readable.
 const (
 	leafType     = 1
 	internalType = 2
@@ -77,8 +84,8 @@ func pageType(p *store.Page) byte { return p.Data()[0] }
 // pageCount reads the entry count.
 func pageCount(p *store.Page) int { return int(p.Uint16(2)) }
 
-// readLeaf decodes a leaf page into entries plus its right-sibling pointer.
-func readLeaf(p *store.Page) ([]leafEntry, store.PageID) {
+// readLeaf decodes a leaf page into entries.
+func readLeaf(p *store.Page) []leafEntry {
 	n := pageCount(p)
 	entries := make([]leafEntry, n)
 	for i := 0; i < n; i++ {
@@ -87,11 +94,11 @@ func readLeaf(p *store.Page) ([]leafEntry, store.PageID) {
 		entries[i].kv.UID = p.Uint32(off + 8)
 		copy(entries[i].payload[:], p.Data()[off+12:off+12+PayloadSize])
 	}
-	return entries, store.PageID(p.Uint32(4))
+	return entries
 }
 
 // writeLeaf encodes entries into a leaf page.
-func writeLeaf(p *store.Page, entries []leafEntry, next store.PageID) {
+func writeLeaf(p *store.Page, entries []leafEntry) {
 	if len(entries) > LeafCapacity {
 		panic(fmt.Sprintf("btree: writing %d entries to leaf (cap %d)", len(entries), LeafCapacity))
 	}
@@ -99,7 +106,7 @@ func writeLeaf(p *store.Page, entries []leafEntry, next store.PageID) {
 	d[0] = leafType
 	d[1] = 0
 	p.PutUint16(2, uint16(len(entries)))
-	p.PutUint32(4, uint32(next))
+	p.PutUint32(4, 0)
 	p.PutUint32(8, 0)
 	for i, e := range entries {
 		off := headerSize + i*leafEntrySize

@@ -1,6 +1,8 @@
 package btree
 
 import (
+	"context"
+
 	"repro/internal/store"
 )
 
@@ -11,23 +13,38 @@ import (
 //
 // Any number of goroutines may use Readers (or one Reader) concurrently —
 // page accesses go through the buffer pool, which synchronizes its own
-// bookkeeping — PROVIDED no goroutine mutates the underlying tree
-// meanwhile. A mutation rewrites node pages in place, so the usual
-// single-writer/multi-reader discipline applies to the page contents:
-// callers hold a read lock across every Reader use and a write lock across
-// Insert/Delete (see peb.DB). A Reader taken before a mutation is invalid
-// once the mutation starts.
+// bookkeeping — PROVIDED the pages the Reader can reach are not mutated
+// meanwhile. There are two ways to guarantee that:
+//
+//   - Fencing: hold a read lock across every Reader use and a write lock
+//     across Insert/Delete (peb.DB's default query path). A Reader taken
+//     before an unsealed mutation is invalid once the mutation starts.
+//   - Sealing: take the Reader right after Tree.Seal(). Sealed pages are
+//     never rewritten in place — mutations copy-on-write — so the Reader
+//     stays valid across later mutations with no locking, until its pages
+//     are freed (the owner must keep retired pages alive while the Reader
+//     is in use). This is how pinned snapshots work.
 type Reader struct {
 	pool      *store.BufferPool
 	root      store.PageID
 	height    int
 	size      int
 	leafCount int
+	io        *store.IOCounter // optional per-handle stats sink
 }
 
 // Reader returns a read-only view of the tree's current state.
 func (t *Tree) Reader() *Reader {
 	return &Reader{pool: t.pool, root: t.root, height: t.height, size: t.size, leafCount: t.leafCount}
+}
+
+// WithIO returns a copy of the Reader that additionally records every page
+// request's hit/miss outcome into c. The pool's global counters are
+// unaffected. Used for per-snapshot I/O statistics.
+func (r *Reader) WithIO(c *store.IOCounter) *Reader {
+	nr := *r
+	nr.io = c
+	return &nr
 }
 
 // Size returns the number of entries at view time.
@@ -42,35 +59,43 @@ func (r *Reader) LeafCount() int { return r.leafCount }
 // Pool exposes the underlying buffer pool (for I/O statistics).
 func (r *Reader) Pool() *store.BufferPool { return r.pool }
 
-// descendToLeaf walks from the root to the leaf whose key range covers kv
-// and returns that leaf's entries plus its right-sibling pointer.
-func (r *Reader) descendToLeaf(kv KV) ([]leafEntry, store.PageID, error) {
+// fetch pins a page, routing the access through the per-handle counter.
+func (r *Reader) fetch(pid store.PageID) (*store.Page, error) {
+	return r.pool.FetchCounted(pid, r.io)
+}
+
+// descendToLeaf walks from the root to the leaf whose key range covers kv,
+// recording the internal path in a cursor stack so the scan can continue
+// into following leaves without sibling pointers.
+func (r *Reader) descendToLeaf(kv KV) ([]pathFrame, []leafEntry, error) {
 	pid := r.root
+	var stack []pathFrame
 	for {
-		p, err := r.pool.Fetch(pid)
+		p, err := r.fetch(pid)
 		if err != nil {
-			return nil, store.InvalidPageID, err
+			return nil, nil, err
 		}
 		if pageType(p) == internalType {
 			in := readInternal(p)
-			next := in.children[childIndex(in, kv)]
 			if err := r.pool.Unpin(pid, false); err != nil {
-				return nil, store.InvalidPageID, err
+				return nil, nil, err
 			}
-			pid = next
+			ci := childIndex(in, kv)
+			stack = append(stack, pathFrame{node: in, child: ci})
+			pid = in.children[ci]
 			continue
 		}
-		entries, next := readLeaf(p)
+		entries := readLeaf(p)
 		if err := r.pool.Unpin(pid, false); err != nil {
-			return nil, store.InvalidPageID, err
+			return nil, nil, err
 		}
-		return entries, next, nil
+		return stack, entries, nil
 	}
 }
 
 // Get returns the payload stored under kv.
 func (r *Reader) Get(kv KV) (Payload, bool, error) {
-	entries, _, err := r.descendToLeaf(kv)
+	_, entries, err := r.descendToLeaf(kv)
 	if err != nil {
 		return Payload{}, false, err
 	}
@@ -83,12 +108,12 @@ func (r *Reader) Get(kv KV) (Payload, bool, error) {
 
 // Seek positions a cursor at the first entry with composite key >= kv.
 func (r *Reader) Seek(kv KV) (*Cursor, error) {
-	entries, next, err := r.descendToLeaf(kv)
+	stack, entries, err := r.descendToLeaf(kv)
 	if err != nil {
 		return nil, err
 	}
 	idx, _ := searchLeaf(entries, kv)
-	c := &Cursor{r: r, entries: entries, next: next, idx: idx, valid: true}
+	c := &Cursor{r: r, stack: stack, entries: entries, idx: idx, valid: true}
 	if idx >= len(entries) {
 		// kv is past this leaf; advance into the next one.
 		if err := c.advanceLeaf(); err != nil {
@@ -101,8 +126,18 @@ func (r *Reader) Seek(kv KV) (*Cursor, error) {
 // RangeScan calls fn for every entry with lo <= key <= hi, in order. fn
 // returning false stops the scan early.
 func (r *Reader) RangeScan(lo, hi KV, fn func(kv KV, payload Payload) bool) error {
+	return r.RangeScanCtx(context.Background(), lo, hi, fn)
+}
+
+// RangeScanCtx is RangeScan with cancellation: ctx is checked every time
+// the scan crosses onto a new leaf page, so a slow or unbounded scan stops
+// within one page of ctx being canceled and returns ctx.Err().
+func (r *Reader) RangeScanCtx(ctx context.Context, lo, hi KV, fn func(kv KV, payload Payload) bool) error {
 	if hi.Less(lo) {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	c, err := r.Seek(lo)
 	if err != nil {
@@ -115,6 +150,12 @@ func (r *Reader) RangeScan(lo, hi KV, fn func(kv KV, payload Payload) bool) erro
 		}
 		if !fn(kv, c.Payload()) {
 			return nil
+		}
+		atLeafEnd := c.idx == len(c.entries)-1
+		if atLeafEnd {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		if err := c.Next(); err != nil {
 			return err
@@ -134,17 +175,27 @@ func (r *Reader) RangeScan(lo, hi KV, fn func(kv KV, payload Payload) bool) erro
 // paper's "once a candidate user is found, the remaining search intervals
 // formed by this user's SV value are skipped" rule.
 func (r *Reader) ScanLeaves(lo, hi KV, fn func(kv KV, payload Payload) bool) error {
+	return r.ScanLeavesCtx(context.Background(), lo, hi, fn)
+}
+
+// ScanLeavesCtx is ScanLeaves with cancellation, checked between leaf
+// pages like RangeScanCtx.
+func (r *Reader) ScanLeavesCtx(ctx context.Context, lo, hi KV, fn func(kv KV, payload Payload) bool) error {
 	if hi.Less(lo) {
 		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Descend to the leaf covering lo (same page trajectory as Seek).
-	entries, next, err := r.descendToLeaf(lo)
+	stack, entries, err := r.descendToLeaf(lo)
 	if err != nil {
 		return err
 	}
+	c := &Cursor{r: r, stack: stack, entries: entries, valid: true}
 	for {
 		covered := false // does this leaf hold any key > hi?
-		for _, e := range entries {
+		for _, e := range c.entries {
 			if hi.Less(e.kv) {
 				covered = true
 			}
@@ -152,17 +203,18 @@ func (r *Reader) ScanLeaves(lo, hi KV, fn func(kv KV, payload Payload) bool) err
 				return nil
 			}
 		}
-		if covered || next == store.InvalidPageID {
+		if covered {
 			return nil
 		}
-		np, err := r.pool.Fetch(next)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ok, err := c.nextLeaf()
 		if err != nil {
 			return err
 		}
-		id := next
-		entries, next = readLeaf(np)
-		if err := r.pool.Unpin(id, false); err != nil {
-			return err
+		if !ok {
+			return nil
 		}
 	}
 }

@@ -49,6 +49,23 @@ func (pt *PartitionTracker) Remove(uid motion.UserID) {
 	}
 }
 
+// Clone returns an independent deep copy of the tracker. Pinned snapshots
+// use it to keep a stable partition picture while the original mutates.
+func (pt *PartitionTracker) Clone() *PartitionTracker {
+	c := &PartitionTracker{
+		cfg:        pt.cfg,
+		objLabel:   make(map[motion.UserID]int64, len(pt.objLabel)),
+		labelCount: make(map[int64]int, len(pt.labelCount)),
+	}
+	for uid, li := range pt.objLabel {
+		c.objLabel[uid] = li
+	}
+	for li, n := range pt.labelCount {
+		c.labelCount[li] = n
+	}
+	return c
+}
+
 // Label returns uid's current label index.
 func (pt *PartitionTracker) Label(uid motion.UserID) (int64, bool) {
 	li, ok := pt.objLabel[uid]

@@ -43,6 +43,10 @@ type Tree struct {
 
 	cur   map[motion.UserID]btree.KV
 	parts *bxtree.PartitionTracker
+
+	// undo, when non-nil, records the prior state of every user the current
+	// batch touches so ApplyBatch can roll back (batch.go).
+	undo *batchUndo
 }
 
 // New creates an empty PEB-tree whose pages live in pool. policies supplies
@@ -101,9 +105,49 @@ func (t *Tree) SetSV(uid motion.UserID, sv float64) error {
 	if err != nil {
 		return err
 	}
+	t.touch(uid)
 	t.svEnc[uid] = enc
 	return nil
 }
+
+// UnsetSV removes uid's sequence value, undoing a provisional SetSV after a
+// failed insert so no orphan value lingers. Like SetSV, it is rejected for
+// indexed users.
+func (t *Tree) UnsetSV(uid motion.UserID) error {
+	if _, indexed := t.cur[uid]; indexed {
+		return fmt.Errorf("core: cannot unset SV of indexed user %d", uid)
+	}
+	t.touch(uid)
+	delete(t.svEnc, uid)
+	return nil
+}
+
+// SetPolicies swaps the policy store queries evaluate against. peb.DB calls
+// it after a copy-on-write policy mutation; views taken before the swap
+// keep their original store. The caller must hold exclusive access.
+func (t *Tree) SetPolicies(p *policy.Store) error {
+	if p == nil {
+		return fmt.Errorf("core: nil policy store")
+	}
+	t.policies = p
+	return nil
+}
+
+// Seal makes the current index state immutable for pinned views: later
+// mutations copy-on-write instead of rewriting pages in place. Returns the
+// new version (see btree.Tree.Seal).
+func (t *Tree) Seal() uint64 { return t.tree.Seal() }
+
+// Unseal returns to in-place mutation once no pinned views remain.
+func (t *Tree) Unseal() { t.tree.Unseal() }
+
+// Version returns the current seal version.
+func (t *Tree) Version() uint64 { return t.tree.Version() }
+
+// TakeRetired returns and clears the pages superseded by copy-on-write
+// since the last call; the owner frees them (Pool().Release) once no pinned
+// view can reach them.
+func (t *Tree) TakeRetired() []store.PageID { return t.tree.TakeRetired() }
 
 // SV returns uid's registered fixed-point sequence value.
 func (t *Tree) SV(uid motion.UserID) (uint64, bool) {
@@ -132,6 +176,7 @@ func (t *Tree) Insert(o motion.Object) error {
 	if err != nil {
 		return err
 	}
+	t.touch(o.UID)
 	if old, ok := t.cur[o.UID]; ok {
 		if err := t.removeEntry(o.UID, old); err != nil {
 			return err
@@ -163,6 +208,7 @@ func (t *Tree) Get(uid motion.UserID) (motion.Object, bool, error) {
 }
 
 func (t *Tree) removeEntry(uid motion.UserID, kv btree.KV) error {
+	t.touch(uid)
 	found, err := t.tree.Delete(kv)
 	if err != nil {
 		return fmt.Errorf("core: delete u%d: %w", uid, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -18,6 +19,7 @@ type Neighbor = bxtree.Neighbor
 // [TID ⊕ SV ⊕ ZVs, TID ⊕ SV ⊕ ZVe] for that friend and round.
 type pknnSearch struct {
 	v          *View
+	ctx        context.Context
 	issuer     motion.UserID
 	qx, qy, tq float64
 	rq         float64 // per-round radius increment (Dk/k)
@@ -72,6 +74,15 @@ func (t *Tree) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]
 // PKNN answers the privacy-aware k-nearest-neighbor query (Definition 3):
 // the k users nearest to (qx, qy) at tq among those whose policies let
 // issuer see them there and then, sorted by ascending distance.
+func (v *View) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+	return v.PKNNCtx(context.Background(), issuer, qx, qy, k, tq)
+}
+
+// PKNNCtx is PKNN with cancellation: ctx is checked between leaf pages of
+// every index scan the search issues, so a canceled context stops the query
+// within one page and returns ctx.Err(). A kNN result is a ranking, so
+// unlike PRQStream there is no incremental form — a partial result would
+// not be the k nearest.
 //
 // Following Sec. 5.4, the search space is a matrix of friend SVs × window
 // enlargement rounds, visited in triangular (anti-diagonal) order so cells
@@ -81,12 +92,12 @@ func (t *Tree) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]
 // final vertical pass re-checks every friend within the window clamped to
 // twice the k'th candidate distance (Sec. 5.4's last step), which
 // guarantees no closer qualified user was missed.
-func (v *View) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+func (v *View) PKNNCtx(ctx context.Context, issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	if v.cfg.Layout == ZVFirst {
-		return v.pknnZVFirst(issuer, qx, qy, k, tq)
+		return v.pknnZVFirst(ctx, issuer, qx, qy, k, tq)
 	}
 	groups := v.friendGroups(issuer)
 	if len(groups) == 0 {
@@ -95,6 +106,7 @@ func (v *View) PKNN(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]
 
 	s := &pknnSearch{
 		v:      v,
+		ctx:    ctx,
 		issuer: issuer,
 		qx:     qx,
 		qy:     qy,
@@ -271,7 +283,10 @@ func (s *pknnSearch) scanDelta(r int, sv, tid uint64, iv zcurve.Interval) error 
 		// Leaf-opportunistic: every entry on the fetched pages is
 		// considered, so the row's friend is located the first time any
 		// page of its SV band is read.
-		err := s.v.scanLeafRange(loK, hiK, func(o motion.Object) { s.consider(o) })
+		err := s.v.scanLeafRange(s.ctx, loK, hiK, func(o motion.Object) bool {
+			s.consider(o)
+			return true
+		})
 		if err != nil {
 			return err
 		}
@@ -337,7 +352,7 @@ func (s *pknnSearch) finalScan(k int) error {
 // pknnZVFirst answers PkNN on the ablation layout: the friend dimension
 // cannot prune the scan, so windows are enlarged round by round scanning
 // the full SV span, exactly like a privacy-unaware kNN with post-filtering.
-func (v *View) pknnZVFirst(issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
+func (v *View) pknnZVFirst(ctx context.Context, issuer motion.UserID, qx, qy float64, k int, tq float64) ([]Neighbor, error) {
 	friends := v.friendSet(issuer)
 	if len(friends) == 0 {
 		return nil, nil
@@ -382,18 +397,19 @@ func (v *View) pknnZVFirst(issuer motion.UserID, qx, qy float64, k int, tq float
 			scanned[pr.TID] = iv
 			for _, d := range todo {
 				loK, hiK := v.cfg.ZVRange(pr.TID, d.Lo, d.Hi)
-				err := v.scanRange(loK, hiK, func(o motion.Object) {
+				err := v.scanRange(ctx, loK, hiK, func(o motion.Object) bool {
 					if processed[o.UID] {
-						return
+						return true
 					}
 					processed[o.UID] = true
 					if o.UID == issuer || !friends[o.UID] {
-						return
+						return true
 					}
 					if !v.qualifies(o, issuer, tq) {
-						return
+						return true
 					}
 					found[o.UID] = Neighbor{Object: o, Dist: o.DistanceAt(tq, qx, qy)}
+					return true
 				})
 				if err != nil {
 					return nil, err

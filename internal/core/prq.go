@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bxtree"
@@ -16,7 +17,22 @@ func (t *Tree) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.
 
 // PRQ answers the privacy-aware range query (Definition 2): all users whose
 // position at tq lies inside w and whose privacy policy lets issuer see
-// them there and then.
+// them there and then. It materializes the full result; use PRQStream for
+// incremental delivery and cancellation.
+func (v *View) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.Object, error) {
+	var out []motion.Object
+	err := v.PRQStream(context.Background(), issuer, w, tq, func(o motion.Object) bool {
+		out = append(out, o)
+		return true
+	})
+	return out, err
+}
+
+// PRQStream is the streaming form of PRQ: qualified users are delivered to
+// yield as the index scan discovers them, in scan order (not sorted), and
+// ctx is checked between leaf pages, so a canceled context stops the query
+// within one page and surfaces ctx.Err(). yield returning false ends the
+// query early with a nil error.
 //
 // Following Sec. 5.3, the search combines the location constraint (the
 // enlarged window's Z-value intervals) with the policy constraint (the
@@ -24,20 +40,20 @@ func (t *Tree) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.
 // interval, the key range [TID ⊕ SV ⊕ ZVs, TID ⊕ SV ⊕ ZVe] is scanned.
 // Once a friend has been located, the remaining intervals formed by that
 // friend's SV are skipped — a user has only one location.
-func (v *View) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.Object, error) {
+func (v *View) PRQStream(ctx context.Context, issuer motion.UserID, w bxtree.Window, tq float64, yield func(motion.Object) bool) error {
 	if !w.Valid() {
-		return nil, fmt.Errorf("core: invalid query window %v", w)
+		return fmt.Errorf("core: invalid query window %v", w)
 	}
 	if v.cfg.Layout == ZVFirst {
-		return v.prqZVFirst(issuer, w, tq)
+		return v.prqZVFirst(ctx, issuer, w, tq, yield)
 	}
 
 	groups := v.friendGroups(issuer)
 	if len(groups) == 0 {
-		return nil, nil
+		return nil
 	}
 	located := make(map[motion.UserID]bool)
-	var out []motion.Object
+	stopped := false
 
 	for _, pr := range v.parts.Active(tq) {
 		ew := w.Enlarge(v.cfg.Base.MaxSpeed * pr.Gap)
@@ -47,7 +63,7 @@ func (v *View) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.
 		}
 		ivs, err := v.cfg.Base.DecomposeRect(rect)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, g := range groups {
 			if allLocated(g, located) {
@@ -59,17 +75,24 @@ func (v *View) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.
 				// examined, so a friend stored on the page — even outside
 				// this Z interval or SV band — is located at no extra I/O,
 				// and their remaining search intervals are skipped.
-				err := v.scanLeafRange(loK, hiK, func(o motion.Object) {
+				err := v.scanLeafRange(ctx, loK, hiK, func(o motion.Object) bool {
 					if located[o.UID] {
-						return
+						return true
 					}
 					located[o.UID] = true
 					if x, y := o.PositionAt(tq); w.Contains(x, y) && v.qualifies(o, issuer, tq) {
-						out = append(out, o)
+						if !yield(o) {
+							stopped = true
+							return false
+						}
 					}
+					return true
 				})
 				if err != nil {
-					return nil, err
+					return err
+				}
+				if stopped {
+					return nil
 				}
 				if allLocated(g, located) {
 					break // skip remaining intervals for this SV
@@ -77,19 +100,19 @@ func (v *View) PRQ(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // prqZVFirst answers PRQ on the ablation layout: with ZV above SV in the
 // key, friend SVs cannot prune the scan, so the whole window is scanned —
 // the full SV span per Z interval — and candidates are filtered afterwards,
 // which is exactly the weakness the paper's SV-first ordering avoids.
-func (v *View) prqZVFirst(issuer motion.UserID, w bxtree.Window, tq float64) ([]motion.Object, error) {
+func (v *View) prqZVFirst(ctx context.Context, issuer motion.UserID, w bxtree.Window, tq float64, yield func(motion.Object) bool) error {
 	friends := v.friendSet(issuer)
 	if len(friends) == 0 {
-		return nil, nil
+		return nil
 	}
-	var out []motion.Object
+	stopped := false
 	for _, pr := range v.parts.Active(tq) {
 		ew := w.Enlarge(v.cfg.Base.MaxSpeed * pr.Gap)
 		rect, ok := v.cfg.Base.Grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
@@ -98,24 +121,31 @@ func (v *View) prqZVFirst(issuer motion.UserID, w bxtree.Window, tq float64) ([]
 		}
 		ivs, err := v.cfg.Base.DecomposeRect(rect)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, iv := range ivs {
 			loK, hiK := v.cfg.ZVRange(pr.TID, iv.Lo, iv.Hi)
-			err := v.scanRange(loK, hiK, func(o motion.Object) {
+			err := v.scanRange(ctx, loK, hiK, func(o motion.Object) bool {
 				if !friends[o.UID] {
-					return
+					return true
 				}
 				if x, y := o.PositionAt(tq); w.Contains(x, y) && v.qualifies(o, issuer, tq) {
-					out = append(out, o)
+					if !yield(o) {
+						stopped = true
+						return false
+					}
 				}
+				return true
 			})
 			if err != nil {
-				return nil, err
+				return err
+			}
+			if stopped {
+				return nil
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // allLocated reports whether every friend in the group has been located.

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/btree"
 	"repro/internal/bxtree"
 	"repro/internal/motion"
 	"repro/internal/policy"
+	"repro/internal/store"
 )
 
 // View is a read-only snapshot of a PEB-tree used to execute queries. The
@@ -51,11 +53,48 @@ func (t *Tree) View() *View {
 	}
 }
 
+// PinnedView returns a View that stays coherent across later mutations
+// without any external fencing: the in-memory tables are deep-copied
+// (O(population)), the B+-tree linkage is pinned at the current version —
+// the caller must Seal() the tree first so mutations copy-on-write rather
+// than rewriting reachable pages — and every page request is additionally
+// recorded into io (when non-nil) for per-handle I/O statistics.
+//
+// The policy store is shared by reference, not copied: the owner must treat
+// it as immutable while pinned views exist (peb.DB does copy-on-write
+// policy mutations). The view stays valid until the owner frees the pages
+// retired after the pinning seal.
+func (t *Tree) PinnedView(io *store.IOCounter) *View {
+	svEnc := make(map[motion.UserID]uint64, len(t.svEnc))
+	for uid, sv := range t.svEnc {
+		svEnc[uid] = sv
+	}
+	cur := make(map[motion.UserID]btree.KV, len(t.cur))
+	for uid, kv := range t.cur {
+		cur[uid] = kv
+	}
+	return &View{
+		cfg:      t.cfg,
+		tree:     t.tree.Reader().WithIO(io),
+		policies: t.policies,
+		svEnc:    svEnc,
+		cur:      cur,
+		parts:    t.parts.Clone(),
+	}
+}
+
+// Policies returns the policy store the view evaluates queries against.
+func (v *View) Policies() *policy.Store { return v.policies }
+
 // Config returns the tree configuration the view was taken under.
 func (v *View) Config() Config { return v.cfg }
 
 // Size returns the number of indexed objects at view time.
 func (v *View) Size() int { return len(v.cur) }
+
+// LeafCount returns the number of B+-tree leaf pages at view time (the
+// cost model's Nl).
+func (v *View) LeafCount() int { return v.tree.LeafCount() }
 
 // SV returns uid's registered fixed-point sequence value.
 func (v *View) SV(uid motion.UserID) (uint64, bool) {
@@ -129,23 +168,23 @@ func (v *View) friendSet(issuer motion.UserID) map[motion.UserID]bool {
 	return out
 }
 
-// scanRange delivers every stored object with key in [loK, hiK].
-func (v *View) scanRange(loK, hiK uint64, emit func(motion.Object)) error {
+// scanRange delivers every stored object with key in [loK, hiK]. The scan
+// honors ctx between leaf pages; emit returning false stops it early.
+func (v *View) scanRange(ctx context.Context, loK, hiK uint64, emit func(motion.Object) bool) error {
 	lo := btree.KV{Key: loK, UID: 0}
 	hi := btree.KV{Key: hiK, UID: ^uint32(0)}
-	return v.tree.RangeScan(lo, hi, func(kv btree.KV, p btree.Payload) bool {
-		emit(motion.DecodePayload(motion.UserID(kv.UID), p))
-		return true
+	return v.tree.RangeScanCtx(ctx, lo, hi, func(kv btree.KV, p btree.Payload) bool {
+		return emit(motion.DecodePayload(motion.UserID(kv.UID), p))
 	})
 }
 
 // scanLeafRange delivers every stored object on the leaf pages covering
 // [loK, hiK] — a superset of scanRange's results at identical page I/O.
-func (v *View) scanLeafRange(loK, hiK uint64, emit func(motion.Object)) error {
+// The scan honors ctx between leaf pages; emit returning false stops it.
+func (v *View) scanLeafRange(ctx context.Context, loK, hiK uint64, emit func(motion.Object) bool) error {
 	lo := btree.KV{Key: loK, UID: 0}
 	hi := btree.KV{Key: hiK, UID: ^uint32(0)}
-	return v.tree.ScanLeaves(lo, hi, func(kv btree.KV, p btree.Payload) bool {
-		emit(motion.DecodePayload(motion.UserID(kv.UID), p))
-		return true
+	return v.tree.ScanLeavesCtx(ctx, lo, hi, func(kv btree.KV, p btree.Payload) bool {
+		return emit(motion.DecodePayload(motion.UserID(kv.UID), p))
 	})
 }

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/motion"
+	"repro/internal/workload"
+	"repro/peb"
+)
+
+// The bulkload experiment measures what write batching buys: loading the
+// same population into a fresh peb.DB once with per-call Upsert (N lock
+// round-trips, N view republishes) and once with a staged Batch applied
+// atomically (one of each). Reported per population size: view swaps and
+// buffer write I/O (misses + write-backs) for both paths, and the
+// wall-clock speedup of the batched load. This is not a paper figure; it
+// validates the handle-based API against ROADMAP's bulk-ingest goal.
+
+// bulkloadUsers are the population sizes swept (scaled by Options.Scale).
+var bulkloadUsers = []int{10_000, 20_000, 40_000}
+
+const (
+	bulkloadID     = "bulkload"
+	bulkloadTitle  = "Bulk load: Apply(batch) vs per-call Upsert (view swaps, write I/O, time)"
+	bulkloadXLabel = "users"
+)
+
+var bulkloadColumns = []string{"swaps_percall", "swaps_batch", "io_percall", "io_batch", "speedup"}
+
+// loadResult captures one load's cost.
+type loadResult struct {
+	swaps   uint64
+	io      float64
+	elapsed time.Duration
+}
+
+// runLoad opens a fresh DB and loads objs through fn, measuring view swaps,
+// write I/O (buffer misses plus write-backs — bulk loading is write-heavy,
+// so eviction write-backs are the dominant disk traffic), and wall time.
+func runLoad(cfg Config, objs []motion.Object, fn func(db *peb.DB) error) (loadResult, error) {
+	db, err := peb.Open(peb.Options{
+		SpaceSide: cfg.Workload.Space,
+		DayLength: cfg.Workload.DayLen,
+		MaxSpeed:  cfg.Workload.MaxSpeed,
+		// The paper's 50-page buffer: bulk load I/O dominated by evictions.
+		BufferPages: cfg.Buffer,
+	})
+	if err != nil {
+		return loadResult{}, err
+	}
+	defer db.Close()
+	db.ResetStats()
+	swapsBefore := db.ViewSwaps()
+	start := time.Now()
+	if err := fn(db); err != nil {
+		return loadResult{}, err
+	}
+	elapsed := time.Since(start)
+	stats := db.IOStats()
+	return loadResult{
+		swaps:   db.ViewSwaps() - swapsBefore,
+		io:      float64(stats.Misses + stats.WriteBack),
+		elapsed: elapsed,
+	}, nil
+}
+
+var expBulkload = Experiment{
+	ID:      bulkloadID,
+	Title:   bulkloadTitle,
+	XLabel:  bulkloadXLabel,
+	Columns: bulkloadColumns,
+	Run: func(o Options) (*Table, error) {
+		o.normalize()
+		rows := make([]Row, 0, len(bulkloadUsers))
+		for _, n := range bulkloadUsers {
+			cfg := o.baseConfig()
+			cfg.Workload.NumUsers = o.users(n)
+			// Bulk load exercises only movement ingest; policies are not
+			// needed and generating them would dominate setup time.
+			cfg.Workload.PoliciesPerUser = 0
+			ds, err := workload.Generate(cfg.Workload)
+			if err != nil {
+				return nil, err
+			}
+
+			perCall, err := runLoad(cfg, ds.Objects, func(db *peb.DB) error {
+				for _, obj := range ds.Objects {
+					if err := db.Upsert(obj); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			batched, err := runLoad(cfg, ds.Objects, func(db *peb.DB) error {
+				b := db.NewBatch()
+				for _, obj := range ds.Objects {
+					b.Upsert(obj)
+				}
+				return db.Apply(b)
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			speedup := 0.0
+			if batched.elapsed > 0 {
+				speedup = float64(perCall.elapsed) / float64(batched.elapsed)
+			}
+			o.logf("bulkload n=%d: per-call %d swaps %.0f io %v; batch %d swaps %.0f io %v (%.2fx)",
+				cfg.Workload.NumUsers, perCall.swaps, perCall.io, perCall.elapsed.Round(time.Millisecond),
+				batched.swaps, batched.io, batched.elapsed.Round(time.Millisecond), speedup)
+			rows = append(rows, Row{X: float64(cfg.Workload.NumUsers), Vals: []float64{
+				float64(perCall.swaps), float64(batched.swaps), perCall.io, batched.io, speedup,
+			}})
+		}
+		return &Table{ID: bulkloadID, Title: bulkloadTitle, XLabel: bulkloadXLabel,
+			Columns: bulkloadColumns, Rows: rows}, nil
+	},
+}

@@ -27,9 +27,11 @@ var scalingGoroutines = []int{1, 2, 4, 8}
 
 // BuildDB assembles a peb.DB over a generated workload via the public API:
 // the dataset's policy store is snapshotted into the DB (which re-runs
-// policy encoding), then every object is upserted. bufferPages sizes the
-// LRU buffer; pass 0 for an index-resident buffer, which isolates
-// lock-and-snapshot scaling from eviction churn.
+// policy encoding), then the whole population is bulk-loaded with one
+// staged Batch — one lock acquisition and one view republish, the handle
+// the API provides for exactly this. bufferPages sizes the LRU buffer;
+// pass 0 for an index-resident buffer, which isolates lock-and-snapshot
+// scaling from eviction churn.
 func BuildDB(cfg Config, bufferPages int) (*peb.DB, *workload.Dataset, error) {
 	ds, err := workload.Generate(cfg.Workload)
 	if err != nil {
@@ -58,11 +60,13 @@ func BuildDB(cfg Config, bufferPages int) (*peb.DB, *workload.Dataset, error) {
 		db.Close()
 		return nil, nil, err
 	}
+	batch := db.NewBatch()
 	for _, o := range ds.Objects {
-		if err := db.Upsert(o); err != nil {
-			db.Close()
-			return nil, nil, err
-		}
+		batch.Upsert(o)
+	}
+	if err := db.Apply(batch); err != nil {
+		db.Close()
+		return nil, nil, err
 	}
 	return db, ds, nil
 }

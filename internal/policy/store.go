@@ -44,6 +44,45 @@ func NewStore(space Region, dayLen float64) (*Store, error) {
 	}, nil
 }
 
+// Clone returns an independent deep copy of the store. peb.DB uses it for
+// copy-on-write policy updates: while a pinned snapshot references a store,
+// mutations go to a clone that is swapped in atomically, so the snapshot
+// keeps evaluating the policies that were in force when it was taken.
+// Policies change rarely (the paper's premise), so paying O(store) per
+// policy mutation to keep snapshot reads lock-free is the right trade.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		space:       s.space,
+		dayLen:      s.dayLen,
+		relations:   make(map[UserID]map[UserID]Role, len(s.relations)),
+		policies:    make(map[UserID]map[Role][]Policy, len(s.policies)),
+		grantors:    make(map[UserID]map[UserID]bool, len(s.grantors)),
+		numPolicies: s.numPolicies,
+	}
+	for owner, rel := range s.relations {
+		m := make(map[UserID]Role, len(rel))
+		for peer, role := range rel {
+			m[peer] = role
+		}
+		c.relations[owner] = m
+	}
+	for owner, byRole := range s.policies {
+		m := make(map[Role][]Policy, len(byRole))
+		for role, ps := range byRole {
+			m[role] = append([]Policy(nil), ps...)
+		}
+		c.policies[owner] = m
+	}
+	for viewer, owners := range s.grantors {
+		m := make(map[UserID]bool, len(owners))
+		for o := range owners {
+			m[o] = true
+		}
+		c.grantors[viewer] = m
+	}
+	return c
+}
+
 // Space returns the space domain used for normalization.
 func (s *Store) Space() Region { return s.space }
 

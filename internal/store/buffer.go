@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferStats counts logical page requests against a BufferPool.
@@ -19,6 +20,37 @@ type BufferStats struct {
 
 // Accesses returns the total number of logical page requests.
 func (s BufferStats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// IOCounter accumulates hit/miss counts for one handle (e.g. a pinned
+// snapshot), independently of the pool's global counters. A nil *IOCounter
+// is valid everywhere one is accepted and records nothing. All methods are
+// safe for concurrent use.
+type IOCounter struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Stats returns the counter's accumulated values. Only Hits and Misses are
+// populated: evictions and write-backs are pool-wide effects that cannot be
+// attributed to one handle.
+func (c *IOCounter) Stats() BufferStats {
+	if c == nil {
+		return BufferStats{}
+	}
+	return BufferStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// record notes one page request and whether it missed.
+func (c *IOCounter) record(miss bool) {
+	if c == nil {
+		return
+	}
+	if miss {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+}
 
 // BufferPool caches pages in memory with an LRU replacement policy, exactly
 // the "50-page LRU buffer" simulated by the paper (Sec. 7.1).
@@ -93,7 +125,12 @@ func (bp *BufferPool) ResetStats() {
 }
 
 // Fetch returns the page with the given id, pinned. The caller must Unpin it.
-func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) { return bp.FetchCounted(id, nil) }
+
+// FetchCounted is Fetch with an additional per-handle counter: the request's
+// hit/miss outcome is recorded into c (when non-nil) as well as the pool's
+// global statistics. Query handles use it to report per-session I/O.
+func (bp *BufferPool) FetchCounted(id PageID, c *IOCounter) (*Page, error) {
 	if id == InvalidPageID {
 		return nil, fmt.Errorf("store: fetch of invalid page id")
 	}
@@ -101,10 +138,12 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	defer bp.mu.Unlock()
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
+		c.record(false)
 		bp.pin(f)
 		return &f.page, nil
 	}
 	bp.stats.Misses++
+	c.record(true)
 	f, err := bp.admit(id)
 	if err != nil {
 		return nil, err
@@ -174,6 +213,27 @@ func (bp *BufferPool) FreePage(id PageID) error {
 		return fmt.Errorf("store: free of page %d with %d pins, want 1", id, f.page.pins)
 	}
 	delete(bp.frames, id)
+	return bp.disk.Free(id)
+}
+
+// Release frees a page that is no longer referenced by any tree version:
+// unlike FreePage it does not require the caller to hold a pin (the page
+// may not even be resident). A resident frame is dropped without write-back
+// — the contents are garbage by definition — and the page returns to the
+// disk allocator. Releasing a pinned page is an error.
+func (bp *BufferPool) Release(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		if f.page.pins > 0 {
+			return fmt.Errorf("store: release of pinned page %d", id)
+		}
+		if f.elem != nil {
+			bp.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		delete(bp.frames, id)
+	}
 	return bp.disk.Free(id)
 }
 

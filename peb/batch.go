@@ -1,0 +1,176 @@
+package peb
+
+import (
+	"repro/internal/core"
+	"repro/internal/motion"
+	"repro/internal/policy"
+)
+
+// Batch stages mutations in memory for atomic application by DB.Apply.
+// Staging methods never touch the database and never fail; validation
+// happens at Apply time. A Batch is not safe for concurrent use (stage
+// from one goroutine, or make one batch per goroutine); it is independent
+// of any DB until applied and may be applied once or discarded.
+//
+// Why batch: a bulk load of N objects through per-call Upsert pays N write
+// lock round-trips and republishes the query view N times. Apply takes the
+// lock once, applies every staged mutation, and republishes once — and it
+// is atomic: if any operation fails, the database is left exactly as it
+// was, with no partial batch visible to any query (past, concurrent, or
+// future).
+type Batch struct {
+	ops []stagedOp
+}
+
+type opKind uint8
+
+const (
+	opUpsert opKind = iota
+	opRemove
+	opRelation
+	opGrant
+)
+
+type stagedOp struct {
+	kind opKind
+	obj  Object       // opUpsert
+	uid  UserID       // opRemove
+	own  UserID       // opRelation, opGrant
+	peer UserID       // opRelation
+	role Role         // opRelation, opGrant
+	locr Region       // opGrant
+	tint TimeInterval // opGrant
+}
+
+// NewBatch returns an empty staging buffer.
+func (db *DB) NewBatch() *Batch { return &Batch{} }
+
+// Len returns the number of staged operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Upsert stages a movement update (see DB.Upsert).
+func (b *Batch) Upsert(o Object) {
+	b.ops = append(b.ops, stagedOp{kind: opUpsert, obj: o})
+}
+
+// Remove stages deletion of a user's index entry (see DB.Remove). Removing
+// a user with no index entry fails the whole batch at Apply time.
+func (b *Batch) Remove(uid UserID) {
+	b.ops = append(b.ops, stagedOp{kind: opRemove, uid: uid})
+}
+
+// DefineRelation stages a role relation (see DB.DefineRelation).
+func (b *Batch) DefineRelation(owner, peer UserID, role Role) {
+	b.ops = append(b.ops, stagedOp{kind: opRelation, own: owner, peer: peer, role: role})
+}
+
+// Grant stages a location-privacy policy (see DB.Grant).
+func (b *Batch) Grant(owner UserID, role Role, locr Region, tint TimeInterval) {
+	b.ops = append(b.ops, stagedOp{kind: opGrant, own: owner, role: role, locr: locr, tint: tint})
+}
+
+// Apply applies every staged operation atomically: one write-lock
+// acquisition, all-or-nothing semantics, one view republish. On error the
+// database — index, policies, sequence values, and the published query
+// view — is exactly as it was before Apply.
+//
+// Ordering: index operations take effect in staging order relative to each
+// other, as do policy operations; the two groups are independent (policy
+// changes influence queries, not the staged index keys), so their relative
+// interleaving does not matter. As with DB.Grant/DefineRelation, applied
+// policy changes take effect on new sequence values only after
+// EncodePolicies.
+func (db *DB) Apply(b *Batch) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+
+	// Validate cheap, stateless preconditions before touching anything.
+	for i := range b.ops {
+		if b.ops[i].kind == opGrant && !b.ops[i].locr.Valid() {
+			return &InvalidRegionError{Region: b.ops[i].locr}
+		}
+	}
+
+	// Policy phase: apply to a clone, swap only on full success. (A clone
+	// is needed for rollback even when no snapshot pins the store.)
+	hasPolicy := false
+	for i := range b.ops {
+		if b.ops[i].kind == opRelation || b.ops[i].kind == opGrant {
+			hasPolicy = true
+			break
+		}
+	}
+	ps := db.policies
+	if hasPolicy {
+		ps = db.policies.Clone()
+		for i := range b.ops {
+			op := &b.ops[i]
+			switch op.kind {
+			case opRelation:
+				ps.SetRelation(policy.UserID(op.own), policy.UserID(op.peer), op.role)
+			case opGrant:
+				if err := ps.AddPolicy(policy.UserID(op.own), policy.Policy{Role: op.role, Locr: op.locr, Tint: op.tint}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Index phase: translate staged ops, handing fresh singleton sequence
+	// values to users the index has not seen (committed only on success).
+	nextSV := db.nextSV
+	var ops []core.BatchOp
+	svStaged := make(map[UserID]bool)
+	for i := range b.ops {
+		op := &b.ops[i]
+		switch op.kind {
+		case opUpsert:
+			uid := op.obj.UID
+			if _, ok := db.tree.SV(uid); !ok && !svStaged[uid] {
+				nextSV += 2 // δ spacing, a fresh singleton anchor (Fig. 5)
+				ops = append(ops, core.BatchOp{Kind: core.OpSetSV, UID: motion.UserID(uid), SV: nextSV})
+				svStaged[uid] = true
+			}
+			ops = append(ops, core.BatchOp{Kind: core.OpUpsert, Obj: op.obj})
+		case opRemove:
+			ops = append(ops, core.BatchOp{Kind: core.OpRemove, UID: motion.UserID(op.uid)})
+		}
+	}
+	if err := db.tree.ApplyBatch(ops); err != nil {
+		// The tree rolled itself back; the published view still describes
+		// the (unchanged) committed state, so it is NOT republished, and
+		// the cloned policy store is dropped unapplied.
+		db.collectGarbage()
+		return err
+	}
+
+	// Commit: swap policies, register users, publish the new view once.
+	if hasPolicy {
+		db.policies = ps
+		_ = db.tree.SetPolicies(ps) // ps is never nil here
+		db.policiesPinned = false
+		db.encoded = false
+	}
+	db.nextSV = nextSV
+	for i := range b.ops {
+		op := &b.ops[i]
+		switch op.kind {
+		case opUpsert:
+			db.noteUser(op.obj.UID)
+		case opRelation:
+			db.noteUser(op.own)
+			db.noteUser(op.peer)
+		case opGrant:
+			db.noteUser(op.own)
+		}
+	}
+	db.refreshView()
+	db.collectGarbage()
+	return nil
+}

@@ -40,6 +40,9 @@ const metaVersion = 1
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	if db.fileDisk == nil {
 		return fmt.Errorf("peb: checkpoint requires a file-backed DB (Options.Path)")
 	}
@@ -80,9 +83,12 @@ func (db *DB) Checkpoint() error {
 // name the same backing file; the other options must match the original
 // configuration (they are not persisted).
 func OpenExisting(opts Options) (*DB, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts.setDefaults()
 	if opts.Path == "" {
-		return nil, fmt.Errorf("peb: OpenExisting requires Options.Path")
+		return nil, fmt.Errorf("%w: OpenExisting requires Options.Path", ErrBadOptions)
 	}
 	metaData, err := os.ReadFile(opts.Path + ".meta")
 	if err != nil {
@@ -141,6 +147,8 @@ func OpenExisting(opts Options) (*DB, error) {
 		view:     tree.View(),
 		disk:     fd,
 		fileDisk: fd,
+		gen:      1,
+		snaps:    make(map[*Snapshot]struct{}),
 		users:    make(map[UserID]bool),
 		nextSV:   mf.NextSV,
 		encoded:  true,

@@ -1,6 +1,7 @@
 package peb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -218,6 +219,163 @@ func TestConcurrentQueriesAgainstOracle(t *testing.T) {
 		for err := range errs {
 			t.Fatal(err)
 		}
+	}
+}
+
+// oracleSnapPRQ answers Definition 2 by brute force against a frozen
+// object table and a snapshot's pinned policy view.
+func oracleSnapPRQ(snap *Snapshot, objs map[UserID]Object, issuer UserID, r Region, tq float64) map[UserID]bool {
+	out := make(map[UserID]bool)
+	for u, o := range objs {
+		if u == issuer {
+			continue
+		}
+		x, y := o.PositionAt(tq)
+		if x < r.MinX || x > r.MaxX || y < r.MinY || y > r.MaxY {
+			continue
+		}
+		if snap.Allows(u, issuer, x, y, tq) {
+			out[u] = true
+		}
+	}
+	return out
+}
+
+// TestSnapshotOracleUnderConcurrentWrites pins a Snapshot, freezes a copy
+// of the object table, then races a continuous writer against snapshot
+// readers: every concurrent snapshot query — eager and streaming — must
+// match the frozen oracle exactly, for the whole life of the snapshot.
+// This is the lock-free counterpart of TestConcurrentQueriesAgainstOracle:
+// there the DB is quiescent during reads; here it never is. Run with -race.
+func TestSnapshotOracleUnderConcurrentWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db, objs := buildStressDB(t, rng)
+
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	frozen := make(map[UserID]Object, len(objs))
+	for u, o := range objs {
+		frozen[u] = o
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, stressReaders+1)
+
+	// Writer: continuous churn — moves, removals, re-inserts, new users,
+	// policy changes — all invisible to the pinned snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(77))
+		for i := 0; i < 300; i++ {
+			u := UserID(1 + wrng.Intn(stressUsers))
+			switch i % 10 {
+			case 7:
+				if err := db.Remove(u); err != nil {
+					errs <- fmt.Errorf("writer remove u%d: %w", u, err)
+					return
+				}
+				if err := db.Upsert(randomObject(u, float64(i)/50, wrng)); err != nil {
+					errs <- err
+					return
+				}
+			case 8:
+				nu := UserID(10_000 + i)
+				if err := db.Upsert(randomObject(nu, float64(i)/50, wrng)); err != nil {
+					errs <- err
+					return
+				}
+			case 9:
+				if err := db.DefineRelation(u, UserID(1+wrng.Intn(stressUsers)), "friend"); err != nil {
+					errs <- err
+					return
+				}
+			default:
+				if err := db.Upsert(randomObject(u, float64(i)/50, wrng)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	for r := 0; r < stressReaders; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rg := rand.New(rand.NewSource(seed))
+			for i := 0; i < 25; i++ {
+				issuer := UserID(1 + rg.Intn(stressUsers))
+				x0, y0 := rg.Float64()*700, rg.Float64()*700
+				reg := Region{MinX: x0, MinY: y0, MaxX: x0 + 300, MaxY: y0 + 300}
+				tq := 5.0
+				want := oracleSnapPRQ(snap, frozen, issuer, reg, tq)
+
+				got, err := snap.RangeQuery(issuer, reg, tq)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("issuer %d: snapshot PRQ returned %d users, oracle says %d", issuer, len(got), len(want))
+					return
+				}
+				for _, o := range got {
+					if !want[o.UID] {
+						errs <- fmt.Errorf("issuer %d: snapshot PRQ returned unexpected u%d", issuer, o.UID)
+						return
+					}
+				}
+
+				// The streaming form must agree with the oracle too.
+				streamed := 0
+				for o, serr := range snap.RangeQueryCtx(context.Background(), issuer, reg, tq) {
+					if serr != nil {
+						errs <- serr
+						return
+					}
+					if !want[o.UID] {
+						errs <- fmt.Errorf("issuer %d: stream yielded unexpected u%d", issuer, o.UID)
+						return
+					}
+					streamed++
+				}
+				if streamed != len(want) {
+					errs <- fmt.Errorf("issuer %d: stream yielded %d users, oracle says %d", issuer, streamed, len(want))
+					return
+				}
+
+				if i%5 == 0 {
+					if _, err := snap.NearestNeighbors(issuer, rg.Float64()*1000, rg.Float64()*1000, 3, tq); err != nil {
+						errs <- err
+						return
+					}
+					snap.IOStats()
+				}
+			}
+		}(int64(5000 + r))
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the dust settles the snapshot still matches the frozen oracle
+	// (and the live DB has moved on).
+	issuer := UserID(3)
+	reg := Region{MinX: 100, MinY: 100, MaxX: 600, MaxY: 600}
+	want := oracleSnapPRQ(snap, frozen, issuer, reg, 5)
+	got, err := snap.RangeQuery(issuer, reg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-churn snapshot PRQ %d results, oracle %d", len(got), len(want))
 	}
 }
 

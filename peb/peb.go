@@ -11,24 +11,48 @@
 //   - the PEB-tree index over the users' moving positions, whose keys
 //     embed both the sequence values and a Z-curve location code.
 //
+// # Handles
+//
+// The API is organized around three explicit handles:
+//
+//   - DB is the live database. Its one-shot methods (Upsert, RangeQuery,
+//     ...) are convenience wrappers: each takes the appropriate lock for
+//     the duration of that single call.
+//   - Snapshot (DB.Snapshot) is a pinned, immutable read handle: a
+//     consistent multi-query session that runs without holding any lock
+//     across calls, with per-snapshot I/O statistics and streaming,
+//     context-aware queries. Writers proceed concurrently; the snapshot
+//     keeps answering from the state it pinned.
+//   - Batch (DB.NewBatch) stages writes in memory; DB.Apply applies them
+//     atomically — one lock acquisition, all-or-nothing semantics, and a
+//     single republish of the query snapshot, where N separate Upserts
+//     would republish N times.
+//
 // Basic use:
 //
 //	db, _ := peb.Open(peb.Options{})
 //	db.DefineRelation(alice, bob, "friend")
 //	db.Grant(alice, "friend", downtown, mornings)
 //	db.EncodePolicies()                      // offline phase, run after policy changes
-//	db.Upsert(peb.Object{UID: alice, X: 10, Y: 20, VX: 1, VY: 0, T: 0})
-//	visible, _ := db.RangeQuery(bob, area, now)
-//	nearest, _ := db.NearestNeighbors(bob, x, y, 5, now)
+//
+//	b := db.NewBatch()                       // bulk load
+//	b.Upsert(peb.Object{UID: alice, X: 10, Y: 20, VX: 1, VY: 0, T: 0})
+//	db.Apply(b)
+//
+//	snap, _ := db.Snapshot()                 // consistent read session
+//	defer snap.Close()
+//	visible, _ := snap.RangeQuery(bob, area, now)
+//	nearest, _ := snap.NearestNeighbors(bob, x, y, 5, now)
+//	for o, err := range snap.RangeQueryCtx(ctx, bob, area, now) { ... }
 //
 // All DB methods are safe for concurrent use. The DB follows a
-// single-writer/multi-reader discipline: updates (Upsert, Remove, Grant,
-// DefineRelation, EncodePolicies, LoadPolicies) serialize behind a write
-// lock, while queries (RangeQuery, NearestNeighbors, Lookup, Allows) take
-// the read side and execute in parallel against an immutable snapshot of
-// the index that is refreshed on every update. Read-heavy workloads — the
-// paper's setting, where millions of users query far more often than
-// policies change — therefore scale with the number of cores.
+// single-writer/multi-reader discipline: updates (Upsert, Remove, Apply,
+// Grant, DefineRelation, EncodePolicies, LoadPolicies) serialize behind a
+// write lock, while one-shot queries (RangeQuery, NearestNeighbors, Lookup,
+// Allows) take the read side and execute in parallel against an immutable
+// snapshot of the index that is refreshed on every update. Pinned Snapshots
+// go further: after creation they take no DB lock at all — the index pages
+// they reach are copy-on-write-protected until the snapshot is closed.
 package peb
 
 import (
@@ -64,7 +88,8 @@ type (
 
 // Options configures a DB. The zero value selects the paper's defaults:
 // a 1000 × 1000 space, 2^10 grid, 120-unit maximum update interval,
-// 1440-unit day, and a 50-page buffer over an in-memory disk.
+// 1440-unit day, and a 50-page buffer over an in-memory disk. Negative
+// values are rejected by Open with an error wrapping ErrBadOptions.
 type Options struct {
 	// SpaceSide is the side length of the square service space.
 	SpaceSide float64
@@ -99,24 +124,50 @@ func (o *Options) setDefaults() {
 	}
 }
 
+// gcBatch is a group of index pages superseded by copy-on-write at a given
+// seal version, awaiting release until no snapshot pinned at or before that
+// version remains.
+type gcBatch struct {
+	ver   uint64
+	pages []store.PageID
+}
+
 // DB is a privacy-aware moving-object database.
 type DB struct {
 	// mu implements the single-writer/multi-reader discipline: every
 	// update path holds the write lock; every query path holds the read
 	// lock and runs against view, so queries from concurrent clients
-	// proceed in parallel.
+	// proceed in parallel. Pinned Snapshots bypass mu entirely after
+	// creation (copy-on-write keeps their pages stable).
 	mu sync.RWMutex
 
 	opts     Options
 	policies *policy.Store
 	tree     *core.Tree
-	// view is the read-only snapshot queries execute on. It is replaced
-	// (under the write lock) by every operation that mutates the index,
-	// so a query sees the latest committed state for its whole duration
-	// and never an in-progress update.
+	// view is the read-only snapshot one-shot queries execute on. It is
+	// replaced (under the write lock) by every operation that mutates the
+	// index, so a query sees the latest committed state for its whole
+	// duration and never an in-progress update.
 	view     *core.View
 	disk     store.DiskManager
 	fileDisk *store.FileDisk // non-nil when file-backed
+	closed   bool
+
+	// viewSwaps counts view republishes — the quantity Apply amortizes:
+	// a batch of N mutations republishes once where N Upserts republish N
+	// times.
+	viewSwaps uint64
+
+	// Snapshot bookkeeping. gen identifies the current tree incarnation
+	// (EncodePolicies and LoadPolicies rebuild the tree, starting a new
+	// generation); snaps holds every open snapshot; garbage holds retired
+	// pages of the current generation awaiting release; policiesPinned
+	// marks the policy store as referenced by some snapshot, forcing
+	// policy mutations to copy-on-write.
+	gen            uint64
+	snaps          map[*Snapshot]struct{}
+	garbage        []gcBatch
+	policiesPinned bool
 
 	// users is every id ever seen (policies or movement), the population
 	// the encoding phase assigns sequence values over.
@@ -128,8 +179,12 @@ type DB struct {
 	encoded    bool
 }
 
-// Open creates a DB.
+// Open creates a DB. Invalid options are rejected with an error wrapping
+// ErrBadOptions.
 func Open(opts Options) (*DB, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts.setDefaults()
 	space := Region{MinX: 0, MinY: 0, MaxX: opts.SpaceSide, MaxY: opts.SpaceSide}
 	policies, err := policy.NewStore(space, opts.DayLength)
@@ -140,6 +195,7 @@ func Open(opts Options) (*DB, error) {
 		opts:     opts,
 		policies: policies,
 		users:    make(map[UserID]bool),
+		snaps:    make(map[*Snapshot]struct{}),
 	}
 	if err := db.newTree(policy.Assignment{}); err != nil {
 		return nil, err
@@ -147,7 +203,10 @@ func Open(opts Options) (*DB, error) {
 	return db, nil
 }
 
-// newTree replaces the index with a fresh one under the given assignment.
+// newTree replaces the index with a fresh one under the given assignment,
+// starting a new snapshot generation: snapshots taken against the previous
+// tree keep reading it (their pool is unreachable from the new tree), and
+// the previous generation's garbage is dropped with the old disk.
 func (db *DB) newTree(assignment policy.Assignment) error {
 	var disk store.DiskManager
 	var fd *store.FileDisk
@@ -180,10 +239,12 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 		db.fileDisk.Close()
 	}
 	db.tree = tree
-	db.view = tree.View()
 	db.disk = disk
 	db.fileDisk = fd
 	db.assignment = assignment
+	db.gen++
+	db.garbage = nil
+	db.refreshView()
 	db.nextSV = assignment.MaxSV
 	if db.nextSV < 2 {
 		db.nextSV = 2
@@ -193,12 +254,79 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 
 // refreshView republishes the query snapshot after an index mutation. The
 // caller holds the write lock, so no query observes the swap mid-flight.
-func (db *DB) refreshView() { db.view = db.tree.View() }
+func (db *DB) refreshView() {
+	db.view = db.tree.View()
+	db.viewSwaps++
+}
 
-// Close releases the DB's resources (the backing file, if any).
+// ViewSwaps returns the number of view republishes since Open — an
+// observability hook for verifying write batching: Apply republishes once
+// per batch, per-call Upserts once per call.
+func (db *DB) ViewSwaps() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.viewSwaps
+}
+
+// collectGarbage moves freshly retired pages into the garbage list, then
+// releases every batch no live snapshot of the current generation can
+// reach. With no snapshots left at all it also returns the tree to cheap
+// in-place mutation and unpins the policy store. Caller holds the write
+// lock.
+func (db *DB) collectGarbage() {
+	if pages := db.tree.TakeRetired(); len(pages) > 0 {
+		db.garbage = append(db.garbage, gcBatch{ver: db.tree.Version(), pages: pages})
+	}
+	minVer, live := db.minLiveVersion()
+	kept := db.garbage[:0]
+	for _, b := range db.garbage {
+		if !live || b.ver < minVer {
+			for _, pid := range b.pages {
+				// A failed release leaks one disk page; correctness is
+				// unaffected, so the mutation that triggered collection
+				// still reports success.
+				_ = db.tree.Pool().Release(pid)
+			}
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	db.garbage = kept
+	if !live {
+		db.tree.Unseal()
+	}
+	if len(db.snaps) == 0 {
+		db.policiesPinned = false
+	}
+}
+
+// minLiveVersion returns the smallest pinned version among open snapshots
+// of the current generation.
+func (db *DB) minLiveVersion() (uint64, bool) {
+	var min uint64
+	live := false
+	for s := range db.snaps {
+		if s.gen != db.gen {
+			continue
+		}
+		if !live || s.version < min {
+			min = s.version
+			live = true
+		}
+	}
+	return min, live
+}
+
+// Close releases the DB's resources (the backing file, if any). All
+// subsequent method calls — and queries on any still-open Snapshot of a
+// file-backed DB — return ErrClosed or a disk error. Close is idempotent.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
 	if db.fileDisk != nil {
 		err := db.fileDisk.Close()
 		db.fileDisk = nil
@@ -209,13 +337,19 @@ func (db *DB) Close() error {
 
 // DefineRelation records that owner considers peer to hold role. Policies
 // owner has granted to that role then apply to peer.
-func (db *DB) DefineRelation(owner, peer UserID, role Role) {
+func (db *DB) DefineRelation(owner, peer UserID, role Role) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.policies.SetRelation(policy.UserID(owner), policy.UserID(peer), role)
+	if db.closed {
+		return ErrClosed
+	}
+	db.mutatePolicies(func(ps *policy.Store) {
+		ps.SetRelation(policy.UserID(owner), policy.UserID(peer), role)
+	})
 	db.noteUser(owner)
 	db.noteUser(peer)
 	db.encoded = false
+	return nil
 }
 
 // Grant adds a location-privacy policy for owner: users related to owner
@@ -223,7 +357,16 @@ func (db *DB) DefineRelation(owner, peer UserID, role Role) {
 func (db *DB) Grant(owner UserID, role Role, locr Region, tint TimeInterval) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	err := db.policies.AddPolicy(policy.UserID(owner), policy.Policy{Role: role, Locr: locr, Tint: tint})
+	if db.closed {
+		return ErrClosed
+	}
+	if !locr.Valid() {
+		return &InvalidRegionError{Region: locr}
+	}
+	var err error
+	db.mutatePolicies(func(ps *policy.Store) {
+		err = ps.AddPolicy(policy.UserID(owner), policy.Policy{Role: role, Locr: locr, Tint: tint})
+	})
 	if err != nil {
 		return err
 	}
@@ -232,11 +375,33 @@ func (db *DB) Grant(owner UserID, role Role, locr Region, tint TimeInterval) err
 	return nil
 }
 
+// mutatePolicies runs fn against the policy store, copying the store first
+// if any snapshot has it pinned: snapshots keep evaluating the policies in
+// force when they were taken, without any locking on their read path. The
+// caller holds the write lock.
+func (db *DB) mutatePolicies(fn func(*policy.Store)) {
+	ps := db.policies
+	if db.policiesPinned {
+		ps = ps.Clone()
+	}
+	fn(ps)
+	if ps != db.policies {
+		db.policies = ps
+		_ = db.tree.SetPolicies(ps) // ps is never nil here
+		db.refreshView()            // the view carries a policy-store reference
+		db.policiesPinned = false
+	}
+}
+
 // Allows reports whether viewer may currently see owner located at (x, y)
-// at time t — the raw policy predicate, evaluated without the index.
+// at time t — the raw policy predicate, evaluated without the index. On a
+// closed DB it reports false.
 func (db *DB) Allows(owner, viewer UserID, x, y, t float64) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return false
+	}
 	return db.policies.Allows(policy.UserID(owner), policy.UserID(viewer), x, y, t)
 }
 
@@ -245,9 +410,16 @@ func (db *DB) Allows(owner, viewer UserID, x, y, t float64) bool {
 // index is rebuilt so every stored user adopts its new key. Call it after
 // batches of policy changes; queries work without it, but clustering — and
 // therefore query I/O — is only as good as the latest encoding.
+//
+// Open snapshots keep reading the pre-encoding index (memory-backed DBs;
+// on a file-backed DB the rebuild reuses the backing file, so snapshots
+// from before the rebuild return errors).
 func (db *DB) EncodePolicies() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	return db.encodePoliciesLocked()
 }
 
@@ -294,28 +466,54 @@ func (db *DB) encodePoliciesLocked() error {
 
 // Upsert stores or replaces a user's movement update. Users that appeared
 // after the last EncodePolicies call receive a fresh singleton sequence
-// value immediately; run EncodePolicies to integrate them properly.
+// value immediately; run EncodePolicies to integrate them properly. The
+// sequence value is committed only if the insert succeeds — a failed
+// insert leaves no orphan value behind.
+//
+// Bulk loads should stage updates in a Batch and call Apply: one lock
+// acquisition and one view republish for the whole batch.
 func (db *DB) Upsert(o Object) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.noteUser(o.UID)
+	if db.closed {
+		return ErrClosed
+	}
+	freshSV := false
 	if _, ok := db.tree.SV(o.UID); !ok {
-		db.nextSV += 2 // δ spacing, a fresh singleton anchor (Fig. 5)
-		if err := db.tree.SetSV(o.UID, db.nextSV); err != nil {
+		if err := db.tree.SetSV(o.UID, db.nextSV+2); err != nil {
 			return err
 		}
+		freshSV = true
 	}
-	err := db.tree.Insert(o)
+	if err := db.tree.Insert(o); err != nil {
+		if freshSV {
+			// Stage-and-commit: the provisional sequence value is withdrawn
+			// so the failed insert leaves no orphan SV and no burned anchor.
+			_ = db.tree.UnsetSV(o.UID)
+		}
+		db.refreshView()
+		db.collectGarbage()
+		return err
+	}
+	if freshSV {
+		db.nextSV += 2 // δ spacing, a fresh singleton anchor (Fig. 5)
+	}
+	db.noteUser(o.UID)
 	db.refreshView()
-	return err
+	db.collectGarbage()
+	return nil
 }
 
 // Remove deletes a user's index entry (the user's policies remain).
 func (db *DB) Remove(uid UserID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	err := db.tree.Delete(uid)
 	db.refreshView()
+	db.collectGarbage()
 	return err
 }
 
@@ -323,41 +521,61 @@ func (db *DB) Remove(uid UserID) error {
 func (db *DB) Lookup(uid UserID) (Object, bool, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return Object{}, false, ErrClosed
+	}
 	return db.view.Get(uid)
 }
 
-// Size returns the number of indexed users.
+// Size returns the number of indexed users (0 on a closed DB).
 func (db *DB) Size() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return 0
+	}
 	return db.view.Size()
 }
 
 // RangeQuery returns the users inside r at time t whose policies let
 // issuer see them there and then (the paper's PRQ, Definition 2).
+//
+// RangeQuery is a convenience wrapper: it is equivalent to taking a
+// Snapshot, running the same query, and closing it, without the pinning
+// cost. For multi-query consistency or streaming, use a Snapshot.
 func (db *DB) RangeQuery(issuer UserID, r Region, t float64) ([]Object, error) {
 	if !r.Valid() {
-		return nil, fmt.Errorf("peb: invalid query region %v", r)
+		return nil, &InvalidRegionError{Region: r}
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
 	w := bxtree.Window{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
 	return db.view.PRQ(issuer, w, t)
 }
 
 // NearestNeighbors returns the k users nearest to (x, y) at time t whose
 // policies let issuer see them (the paper's PkNN, Definition 3), sorted by
-// ascending distance.
+// ascending distance. Like RangeQuery, it is a per-call-snapshot wrapper.
 func (db *DB) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([]Neighbor, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
 	return db.view.PKNN(issuer, x, y, k, t)
 }
 
 // IOStats reports the index's buffer statistics since the last ResetStats.
+// For the I/O of one query session, use Snapshot.IOStats instead.
 func (db *DB) IOStats() store.BufferStats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return store.BufferStats{}
+	}
 	return db.tree.Pool().Stats()
 }
 
@@ -365,7 +583,28 @@ func (db *DB) IOStats() store.BufferStats {
 func (db *DB) ResetStats() {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return
+	}
 	db.tree.Pool().ResetStats()
+}
+
+// DropCaches flushes and empties the page buffer and zeroes the I/O
+// counters, producing a cold cache for reproducible I/O measurements
+// (every index has its own buffer, so comparisons must cold-start both
+// sides identically). It fails if any query holds a page pinned at this
+// instant — avoid calling it while snapshot queries are in flight.
+func (db *DB) DropCaches() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.tree.Pool().DropAll(); err != nil {
+		return err
+	}
+	db.tree.Pool().ResetStats()
+	return nil
 }
 
 // noteUser registers a user id in the population (caller holds the lock).
@@ -379,6 +618,9 @@ func (db *DB) noteUser(uid UserID) {
 func (db *DB) SavePolicies(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
 	return db.policies.Save(w)
 }
 
@@ -388,6 +630,9 @@ func (db *DB) SavePolicies(w io.Writer) error {
 func (db *DB) LoadPolicies(r io.Reader) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	loaded, err := policy.Load(r)
 	if err != nil {
 		return err
@@ -396,7 +641,11 @@ func (db *DB) LoadPolicies(r io.Reader) error {
 		return fmt.Errorf("peb: snapshot domain %v/%g does not match DB %v/%g",
 			loaded.Space(), loaded.DayLength(), db.policies.Space(), db.policies.DayLength())
 	}
+	// The loaded store is a fresh object: open snapshots keep their pinned
+	// store, and the new one is unpinned by construction.
 	db.policies = loaded
+	_ = db.tree.SetPolicies(loaded) // loaded is never nil here
+	db.policiesPinned = false       // fresh store object: no snapshot pins it
 	loaded.ForEachGrant(func(owner, viewer policy.UserID, _ policy.Policy) bool {
 		db.users[UserID(owner)] = true
 		db.users[UserID(viewer)] = true
