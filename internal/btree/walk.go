@@ -1,0 +1,85 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// WalkPages traverses the tree top-down and returns every reachable page
+// id. Unlike Check it is defensive: it is meant to run against pages that
+// may be arbitrary garbage (a corrupt or mismatched checkpoint), so every
+// structural property is validated *before* a node is decoded — node type,
+// entry count against the page capacity, child ids against maxPage, cycles,
+// and leaf depth against the tree's height — and a violation is reported as
+// an error instead of an out-of-range panic deep in the node codec.
+//
+// maxPage, when non-zero, is the highest page id the backing store holds;
+// any reference beyond it is corruption. The walk is also how checkpoints
+// compute reachability: every allocated page not returned here (and not
+// pinned by a snapshot) is dead and can be freed.
+func (t *Tree) WalkPages(maxPage store.PageID) ([]store.PageID, error) {
+	visited := make(map[store.PageID]bool)
+	out := make([]store.PageID, 0, t.leafCount*2)
+	var walk func(pid store.PageID, depth int) error
+	walk = func(pid store.PageID, depth int) error {
+		if pid == store.InvalidPageID {
+			return fmt.Errorf("btree: invalid page id at depth %d", depth)
+		}
+		if maxPage > 0 && pid > maxPage {
+			return fmt.Errorf("btree: page %d beyond store of %d pages", pid, maxPage)
+		}
+		if visited[pid] {
+			return fmt.Errorf("btree: page %d reachable twice", pid)
+		}
+		if depth > t.height {
+			return fmt.Errorf("btree: node %d at depth %d exceeds height %d", pid, depth, t.height)
+		}
+		visited[pid] = true
+		out = append(out, pid)
+
+		p, err := t.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		var children []store.PageID
+		typ, n := pageType(p), pageCount(p)
+		switch typ {
+		case leafType:
+			if n > LeafCapacity {
+				err = fmt.Errorf("btree: leaf %d claims %d entries (cap %d)", pid, n, LeafCapacity)
+			} else if depth != t.height {
+				err = fmt.Errorf("btree: leaf %d at depth %d, height is %d", pid, depth, t.height)
+			}
+		case internalType:
+			if n > InternalCapacity {
+				err = fmt.Errorf("btree: internal %d claims %d separators (cap %d)", pid, n, InternalCapacity)
+			} else if depth == t.height {
+				err = fmt.Errorf("btree: internal %d at leaf depth %d", pid, depth)
+			} else {
+				children = append(children, readInternal(p).children...)
+			}
+		default:
+			err = fmt.Errorf("btree: page %d has unknown type %d", pid, typ)
+		}
+		if uerr := t.pool.Unpin(pid, false); err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if t.height < 1 {
+		return nil, fmt.Errorf("btree: invalid height %d", t.height)
+	}
+	if err := walk(t.root, 1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -94,6 +94,11 @@ func (t *Tree) LeafCount() int { return t.tree.LeafCount() }
 // Pool returns the underlying buffer pool, for I/O accounting.
 func (t *Tree) Pool() *store.BufferPool { return t.tree.Pool() }
 
+// Pages returns every page id reachable from the tree's current root.
+// Checkpoints use it to compute liveness: an allocated page that is neither
+// reachable nor pinned by a snapshot is dead and may be freed.
+func (t *Tree) Pages() ([]store.PageID, error) { return t.tree.WalkPages(0) }
+
 // SetSV registers or updates uid's sequence value. Policy encoding is an
 // offline phase (Sec. 5.1); re-registering a user that is currently indexed
 // is rejected — delete and re-insert to move an entry.

@@ -36,6 +36,16 @@ func (t *Tree) Snapshot() Snapshot {
 // rebuilt by one scan of the leaf chain; every scanned entry is validated
 // against the snapshot's sequence values.
 func Open(cfg Config, pool *store.BufferPool, policies *policy.Store, snap Snapshot) (*Tree, error) {
+	return OpenChecked(cfg, pool, policies, snap, 0)
+}
+
+// OpenChecked is Open with structural validation against the store's size:
+// maxPage, when non-zero, is the number of pages the backing device holds,
+// and any node reference beyond it — or any node whose type or entry count
+// is garbage — is reported as an error rather than a decode panic. Use it
+// when the snapshot comes from an untrusted source, e.g. a checkpoint file
+// that may be truncated or mismatched with its page file.
+func OpenChecked(cfg Config, pool *store.BufferPool, policies *policy.Store, snap Snapshot, maxPage store.PageID) (*Tree, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,6 +54,11 @@ func Open(cfg Config, pool *store.BufferPool, policies *policy.Store, snap Snaps
 	}
 	bt, err := btree.Open(pool, snap.Tree)
 	if err != nil {
+		return nil, err
+	}
+	// Validate reachability before the leaf scan below decodes anything:
+	// the scan trusts node structure, the walk does not.
+	if _, err := bt.WalkPages(maxPage); err != nil {
 		return nil, err
 	}
 	t := &Tree{

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/peb"
+)
+
+// The durability experiment measures what crash safety costs at the commit
+// path: the same single-object commits run against a file-backed DB under
+// each write-ahead-log sync policy, at increasing commit concurrency.
+// Reported per concurrency level: mean commit latency (µs) for
+// DurabilitySync (fsync before every ack), DurabilityGrouped (gathering
+// window + shared fsync), and DurabilityAsync (ack before fsync), plus the
+// number of physical fsyncs the sync and grouped policies performed —
+// group commit's whole point is syncs ≪ commits. This is not a paper
+// figure; it validates the ROADMAP's durability subsystem (PR 3).
+
+const (
+	durabilityID     = "durability"
+	durabilityTitle  = "Commit latency vs. WAL sync policy (µs/commit; fsyncs shared via group commit)"
+	durabilityXLabel = "committers"
+)
+
+var durabilityColumns = []string{"sync_us", "group_us", "async_us", "syncs_sync", "syncs_group"}
+
+// durabilityCommitters is the concurrency sweep.
+var durabilityCommitters = []int{1, 2, 8}
+
+// commitBench drives committers goroutines, each performing per single-
+// object commits against a fresh durable DB, and returns the mean commit
+// latency and the WAL's fsync count.
+func commitBench(dir string, d peb.Durability, committers, per int) (meanUS float64, syncs uint64, err error) {
+	path := filepath.Join(dir, fmt.Sprintf("dur-%d-%d.idx", d, committers))
+	db, err := peb.Open(peb.Options{Path: path, Durability: d})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer db.Close()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		total   time.Duration
+		firstEr error
+	)
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var local time.Duration
+			for i := 0; i < per; i++ {
+				uid := peb.UserID(g*1_000_000 + i + 1)
+				o := peb.Object{UID: uid, X: float64(i % 1000), Y: float64(g % 1000), T: float64(i)}
+				start := time.Now()
+				err := db.Upsert(o)
+				local += time.Since(start)
+				if err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return 0, 0, firstEr
+	}
+	commits := committers * per
+	stats := db.WALStats()
+	return float64(total.Microseconds()) / float64(commits), stats.Syncs, nil
+}
+
+var expDurability = Experiment{
+	ID:      durabilityID,
+	Title:   durabilityTitle,
+	XLabel:  durabilityXLabel,
+	Columns: durabilityColumns,
+	Run: func(o Options) (*Table, error) {
+		o.normalize()
+		// Commits per goroutine: scaled like populations, floored so even
+		// -quick exercises group sharing.
+		per := int(200 * o.Scale)
+		if per < 25 {
+			per = 25
+		}
+		dir, err := os.MkdirTemp("", "pebbench-durability-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+
+		rows := make([]Row, 0, len(durabilityCommitters))
+		for _, committers := range durabilityCommitters {
+			syncUS, syncSyncs, err := commitBench(dir, peb.DurabilitySync, committers, per)
+			if err != nil {
+				return nil, err
+			}
+			groupUS, groupSyncs, err := commitBench(dir, peb.DurabilityGrouped, committers, per)
+			if err != nil {
+				return nil, err
+			}
+			asyncUS, _, err := commitBench(dir, peb.DurabilityAsync, committers, per)
+			if err != nil {
+				return nil, err
+			}
+			o.logf("durability c=%d: sync %.1fµs (%d fsyncs), grouped %.1fµs (%d fsyncs), async %.1fµs over %d commits",
+				committers, syncUS, syncSyncs, groupUS, groupSyncs, asyncUS, committers*per)
+			rows = append(rows, Row{X: float64(committers), Vals: []float64{
+				syncUS, groupUS, asyncUS, float64(syncSyncs), float64(groupSyncs),
+			}})
+		}
+		return &Table{ID: durabilityID, Title: durabilityTitle, XLabel: durabilityXLabel,
+			Columns: durabilityColumns, Rows: rows}, nil
+	},
+}

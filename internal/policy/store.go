@@ -112,7 +112,10 @@ func (s *Store) Relation(owner, peer UserID) (Role, bool) {
 // AddPolicy stores a policy for owner. Multiple policies per role are kept
 // in insertion order; PolicyFor returns the first (the paper computes
 // compatibility from one policy per pair and lists multiples as future
-// work, Sec. 8).
+// work, Sec. 8). Re-adding a policy identical to one the owner already
+// holds is a no-op: the duplicate would change no query answer, and the
+// idempotence makes crash-recovery log replay safe to overlap with a
+// checkpointed policy snapshot.
 func (s *Store) AddPolicy(owner UserID, p Policy) error {
 	if !p.Locr.Valid() {
 		return fmt.Errorf("policy: invalid locr %v", p.Locr)
@@ -121,6 +124,11 @@ func (s *Store) AddPolicy(owner UserID, p Policy) error {
 	if m == nil {
 		m = make(map[Role][]Policy)
 		s.policies[owner] = m
+	}
+	for _, q := range m[p.Role] {
+		if q == p {
+			return nil
+		}
 	}
 	m[p.Role] = append(m[p.Role], p)
 	s.numPolicies++

@@ -26,6 +26,9 @@ type DiskManager interface {
 	Read(id PageID, buf []byte) error
 	// Write stores buf (len PageSize) as the page's contents.
 	Write(id PageID, buf []byte) error
+	// Sync makes every completed Write durable (fsync). A no-op for
+	// volatile devices.
+	Sync() error
 	// Stats returns cumulative physical I/O counters.
 	Stats() DiskStats
 	// ResetStats zeroes the counters (allocation gauges are preserved).
@@ -121,6 +124,10 @@ func (d *MemDisk) Write(id PageID, buf []byte) error {
 	d.stats.Writes++
 	return nil
 }
+
+// Sync implements DiskManager. MemDisk is volatile by definition, so there
+// is nothing to make durable.
+func (d *MemDisk) Sync() error { return nil }
 
 // Stats implements DiskManager.
 func (d *MemDisk) Stats() DiskStats { return d.stats }

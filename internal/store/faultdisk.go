@@ -59,6 +59,14 @@ func (d *FaultDisk) Write(id PageID, buf []byte) error {
 	return d.Inner.Write(id, buf)
 }
 
+// Sync implements DiskManager.
+func (d *FaultDisk) Sync() error {
+	if err := d.tick(); err != nil {
+		return err
+	}
+	return d.Inner.Sync()
+}
+
 // Stats implements DiskManager.
 func (d *FaultDisk) Stats() DiskStats { return d.Inner.Stats() }
 

@@ -2,35 +2,47 @@ package store
 
 import (
 	"fmt"
-	"os"
+	"sort"
 )
 
-// FileDisk is a DiskManager backed by a regular file, for users who want
-// indexes that persist across processes. Page id N lives at byte offset
-// (N-1)*PageSize. The free list is kept in memory only; a production system
-// would persist it, but experiments in this repository rebuild indexes from
-// workloads, so persistence of the allocator is out of scope.
+// FileDisk is a DiskManager backed by a regular file (through a VFS, so
+// crash tests can substitute CrashFS), for indexes that persist across
+// processes. Page id N lives at byte offset (N-1)*PageSize.
+//
+// The allocator state — the high-water mark and the free list — is held in
+// memory; the owner persists it in its checkpoint metadata and restores it
+// with Reconcile after reopening, so pages freed before a checkpoint are
+// reusable after a restart instead of leaking. Without Reconcile an
+// existing file is treated conservatively as fully allocated up to its
+// length (the pre-free-list behavior, still used for v1 checkpoints).
 type FileDisk struct {
-	f     *os.File
+	f     VFile
 	next  PageID
 	free  []PageID
 	alive map[PageID]bool
 	stats DiskStats
 }
 
-// OpenFileDisk opens (creating if necessary) a file-backed disk at path.
-// An existing file is treated as fully allocated up to its length.
+// OpenFileDisk opens (creating if necessary) a file-backed disk at path on
+// the operating system's filesystem.
 func OpenFileDisk(path string) (*FileDisk, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFileDiskOn(OSFS{}, path)
+}
+
+// OpenFileDiskOn opens (creating if necessary) a file-backed disk at path
+// on fs. An existing file is treated as fully allocated up to its length;
+// call Reconcile to restore checkpointed allocator state.
+func OpenFileDiskOn(fs VFS, path string) (*FileDisk, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: open file disk: %w", err)
 	}
-	info, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: stat file disk: %w", err)
 	}
-	pages := PageID(info.Size() / PageSize)
+	pages := PageID(size / PageSize)
 	fd := &FileDisk{f: f, next: pages + 1, alive: make(map[PageID]bool)}
 	for id := PageID(1); id <= pages; id++ {
 		fd.alive[id] = true
@@ -39,13 +51,83 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 	return fd, nil
 }
 
+// Reconcile restores checkpointed allocator state: the disk holds numPages
+// pages of which free are unallocated. The backing file must cover all
+// numPages (a shorter file means the checkpoint references pages that were
+// never made durable — corruption the caller should have detected). Extra
+// file length beyond numPages (pages allocated after the checkpoint being
+// restored) is abandoned; those byte ranges are rewritten when the ids are
+// allocated again.
+func (d *FileDisk) Reconcile(numPages uint64, free []PageID) error {
+	size, err := d.f.Size()
+	if err != nil {
+		return fmt.Errorf("store: stat file disk: %w", err)
+	}
+	if uint64(size/PageSize) < numPages {
+		return fmt.Errorf("store: file holds %d pages, checkpoint expects %d", size/PageSize, numPages)
+	}
+	alive := make(map[PageID]bool, numPages)
+	for id := PageID(1); id <= PageID(numPages); id++ {
+		alive[id] = true
+	}
+	for _, id := range free {
+		if id == InvalidPageID || uint64(id) > numPages {
+			return fmt.Errorf("store: free page %d outside disk of %d pages", id, numPages)
+		}
+		if !alive[id] {
+			return fmt.Errorf("store: page %d freed twice in checkpoint", id)
+		}
+		delete(alive, id)
+	}
+	d.next = PageID(numPages) + 1
+	d.free = append([]PageID(nil), free...)
+	// Pop the smallest id first, for deterministic layouts (like MemDisk).
+	sort.Slice(d.free, func(i, j int) bool { return d.free[i] > d.free[j] })
+	d.alive = alive
+	d.stats.PagesAlive = uint64(len(alive))
+	return nil
+}
+
+// NumPages returns the allocator's high-water mark: every page id ever
+// allocated is ≤ NumPages.
+func (d *FileDisk) NumPages() uint64 { return uint64(d.next - 1) }
+
+// FreeList returns the currently free page ids (ascending).
+func (d *FileDisk) FreeList() []PageID {
+	out := append([]PageID(nil), d.free...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AliveList returns the currently allocated page ids (ascending).
+func (d *FileDisk) AliveList() []PageID {
+	out := make([]PageID, 0, len(d.alive))
+	for id := range d.alive {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Close flushes and closes the underlying file.
 func (d *FileDisk) Close() error { return d.f.Close() }
+
+// Sync implements DiskManager: it fsyncs the backing file, making every
+// completed Write durable.
+func (d *FileDisk) Sync() error {
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync file disk: %w", err)
+	}
+	return nil
+}
 
 // Allocate implements DiskManager.
 func (d *FileDisk) Allocate() (PageID, error) {
 	var id PageID
 	if n := len(d.free); n > 0 {
+		// Reused slots are not re-zeroed: every allocation goes through
+		// BufferPool.NewPage, which zeroes the frame and marks it dirty,
+		// so the slot is rewritten before anything can read it.
 		id = d.free[n-1]
 		d.free = d.free[:n-1]
 	} else {
@@ -57,6 +139,7 @@ func (d *FileDisk) Allocate() (PageID, error) {
 		// Extend the file so reads of the fresh page succeed.
 		var zero [PageSize]byte
 		if _, err := d.f.WriteAt(zero[:], int64(id-1)*PageSize); err != nil {
+			d.next-- // return the id so the allocator does not leak it
 			return InvalidPageID, fmt.Errorf("store: extend file disk: %w", err)
 		}
 	}

@@ -1,0 +1,357 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Write-ahead log.
+//
+// The WAL is an append-only file of length-prefixed, CRC-checksummed
+// records. Callers append a record per committed logical batch and then
+// wait for the record to become durable (Commit); on restart, Records
+// returns exactly the durable prefix — a torn or corrupt tail (the record
+// being appended when power was lost) is detected by the checksum and cut
+// off.
+//
+// Record framing:
+//
+//	[4 bytes] payload length (big endian)
+//	[4 bytes] CRC-32 (Castagnoli) of the payload
+//	[n bytes] payload (opaque to the WAL)
+//
+// Group commit: Append only buffers the record in the file; Commit makes it
+// durable according to the sync policy. Under WALSyncAlways the first
+// committer becomes the sync leader and fsyncs everything appended so far,
+// so concurrent commits share one fsync (the classic group commit).
+// WALSyncGrouped adds a short gathering window before the leader syncs,
+// trading commit latency for fewer fsyncs under load. WALSyncNone never
+// syncs on commit — the OS (or the next checkpoint/Close) flushes — so a
+// crash may lose a suffix of acknowledged commits, but recovery still sees
+// a clean committed prefix.
+//
+// Error handling is strict: after any write or sync failure the WAL is
+// poisoned and every subsequent Append/Commit fails. A log that may have a
+// hole must never accept later records, or recovery would silently skip
+// committed work.
+
+// WALSyncPolicy selects how Commit waits for durability.
+type WALSyncPolicy int
+
+const (
+	// WALSyncAlways fsyncs before Commit returns; concurrent commits share
+	// a single fsync opportunistically.
+	WALSyncAlways WALSyncPolicy = iota
+	// WALSyncGrouped is WALSyncAlways plus a short gathering window, so
+	// even lightly concurrent committers amortize one fsync.
+	WALSyncGrouped
+	// WALSyncNone returns from Commit without syncing. Durability is
+	// deferred to the OS, Sync, Truncate, or Close.
+	WALSyncNone
+)
+
+// DefaultGroupWindow is the gathering delay of WALSyncGrouped.
+const DefaultGroupWindow = 500 * time.Microsecond
+
+// walMaxRecord bounds a record's payload, rejecting absurd lengths that a
+// corrupt header would otherwise turn into huge allocations.
+const walMaxRecord = 64 << 20
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WALToken identifies an appended record for Commit. The zero token is
+// never returned by Append and commits trivially.
+type WALToken int64
+
+// WAL is an append-only commit log over a VFile. All methods are safe for
+// concurrent use.
+type WAL struct {
+	f      VFile
+	policy WALSyncPolicy
+	window time.Duration
+
+	// mu guards the append offset and the logical byte counter.
+	mu      sync.Mutex
+	fileOff int64 // physical append position
+	base    int64 // logical bytes truncated away so far
+	err     error // poisoned: every later Append/Commit fails
+
+	// sm guards the group-commit state. Lock ordering: sm is never held
+	// while acquiring mu is waited on by an mu holder — appenders release
+	// mu before touching sm, the sync leader releases sm before taking mu.
+	sm      sync.Mutex
+	sc      *sync.Cond
+	syncing bool
+	synced  int64 // logical offset made durable
+
+	appends atomic.Uint64
+	syncs   atomic.Uint64
+}
+
+// OpenWAL opens (creating if needed) the log at path and scans it: the
+// returned records are the durable committed prefix, in append order. A
+// torn or corrupt tail is truncated away so subsequent appends extend a
+// clean log.
+func OpenWAL(fs VFS, path string, policy WALSyncPolicy) (*WAL, [][]byte, error) {
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: stat wal: %w", err)
+	}
+	var data []byte
+	if size > 0 {
+		data = make([]byte, size)
+		if _, err := f.ReadAt(data, 0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: read wal: %w", err)
+		}
+	}
+	records, valid := scanWAL(data)
+	if int64(valid) < size {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: drop torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: sync truncated wal: %w", err)
+		}
+	}
+	w := &WAL{f: f, policy: policy, window: DefaultGroupWindow, fileOff: int64(valid), synced: int64(valid)}
+	w.sc = sync.NewCond(&w.sm)
+	return w, records, nil
+}
+
+// scanWAL walks the framing and returns the valid records plus the byte
+// length of the valid prefix. A zero length is treated as tail garbage,
+// not an empty record: an all-zero header would otherwise self-validate
+// (the CRC-32C of an empty payload is 0), and a crashed filesystem often
+// leaves exactly that — a file extended with zeros before the data
+// reached disk. Append enforces the matching non-empty invariant.
+func scanWAL(data []byte) ([][]byte, int) {
+	var records [][]byte
+	off := 0
+	for {
+		if off+8 > len(data) {
+			return records, off
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		if n == 0 || n > walMaxRecord || off+8+n > len(data) {
+			return records, off
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, walCRC) != crc {
+			return records, off
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off += 8 + n
+	}
+}
+
+// Poison permanently disables the log with err: every subsequent Append
+// and Commit fails. Owners call it when they applied a mutation but could
+// not produce its record — the log now has a hole, and fail-stop is the
+// only state that cannot silently lose the unlogged commit on recovery.
+func (w *WAL) Poison(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = fmt.Errorf("store: wal poisoned: %w", err)
+	}
+}
+
+// Stats returns the number of records appended and fsyncs performed since
+// OpenWAL.
+func (w *WAL) Stats() (appends, syncs uint64) {
+	return w.appends.Load(), w.syncs.Load()
+}
+
+// Append buffers one record at the log's tail and returns a token for
+// Commit. Appends are durable only after a Commit (or Sync) covering the
+// token. On any error the WAL is poisoned.
+func (w *WAL) Append(payload []byte) (WALToken, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	// Validation failures poison too: callers apply state before logging,
+	// so ANY record this log fails to take leaves the log with a hole —
+	// accepting later records would let recovery silently skip committed
+	// work (the fail-stop contract).
+	if len(payload) == 0 {
+		// Empty records are indistinguishable from a zero-filled torn
+		// tail (see scanWAL) and would be dropped by recovery.
+		w.err = fmt.Errorf("store: wal record must not be empty")
+		return 0, w.err
+	}
+	if len(payload) > walMaxRecord {
+		w.err = fmt.Errorf("store: wal record %d bytes exceeds limit", len(payload))
+		return 0, w.err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.Checksum(payload, walCRC))
+	copy(buf[8:], payload)
+	if _, err := w.f.WriteAt(buf, w.fileOff); err != nil {
+		w.err = fmt.Errorf("store: wal append: %w", err)
+		return 0, w.err
+	}
+	w.fileOff += int64(len(buf))
+	w.appends.Add(1)
+	return WALToken(w.base + w.fileOff), nil
+}
+
+// Commit waits until the record identified by token is durable, per the
+// sync policy. Records checkpointed away by Truncate count as durable.
+func (w *WAL) Commit(token WALToken) error {
+	if token == 0 {
+		return nil
+	}
+	if w.policy == WALSyncNone {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.err
+	}
+	return w.syncTo(int64(token))
+}
+
+// Sync forces everything appended so far to disk, regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	target := w.base + w.fileOff
+	err := w.err
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.syncTo(target)
+}
+
+// syncTo blocks until the logical offset target is durable, electing a
+// group-commit leader as needed.
+func (w *WAL) syncTo(target int64) error {
+	w.sm.Lock()
+	for {
+		// Durability first, poison second: a record that some earlier
+		// fsync (or Truncate-after-checkpoint) already covered is
+		// committed, and a failure that poisoned the log afterwards must
+		// not retroactively fail it.
+		if w.synced >= target {
+			w.sm.Unlock()
+			return nil
+		}
+		w.mu.Lock()
+		err := w.err
+		w.mu.Unlock()
+		if err != nil {
+			w.sm.Unlock()
+			return err
+		}
+		if !w.syncing {
+			break
+		}
+		w.sc.Wait()
+	}
+	w.syncing = true
+	w.sm.Unlock()
+
+	if w.policy == WALSyncGrouped && w.window > 0 {
+		// Gather companions: commits arriving during the window ride this
+		// fsync instead of paying their own.
+		time.Sleep(w.window)
+	}
+	w.mu.Lock()
+	end := w.base + w.fileOff
+	w.mu.Unlock()
+	serr := w.f.Sync()
+
+	w.sm.Lock()
+	w.syncing = false
+	if serr == nil {
+		if end > w.synced {
+			w.synced = end
+		}
+		w.syncs.Add(1)
+	}
+	w.sc.Broadcast()
+	w.sm.Unlock()
+
+	if serr != nil {
+		w.mu.Lock()
+		if w.err == nil {
+			w.err = fmt.Errorf("store: wal sync: %w", serr)
+		}
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Truncate empties the log after a checkpoint has made its records
+// redundant. Outstanding commits for pre-truncation records are satisfied
+// (the checkpoint made them durable by other means).
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		w.err = fmt.Errorf("store: wal truncate: %w", err)
+		w.mu.Unlock()
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("store: wal truncate sync: %w", err)
+		w.mu.Unlock()
+		return w.err
+	}
+	w.base += w.fileOff
+	w.fileOff = 0
+	newBase := w.base
+	// sm is taken only after releasing mu (syncTo holds sm while briefly
+	// taking mu; holding both here would invert that order and deadlock).
+	w.mu.Unlock()
+	w.sm.Lock()
+	if newBase > w.synced {
+		w.synced = newBase
+	}
+	w.sc.Broadcast()
+	w.sm.Unlock()
+	return nil
+}
+
+// Size returns the log's current length in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fileOff
+}
+
+// Close syncs and closes the log. A clean Close therefore loses nothing
+// even under WALSyncNone.
+func (w *WAL) Close() error {
+	serr := w.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cerr := w.f.Close()
+	if w.err == nil {
+		w.err = fmt.Errorf("store: wal is closed")
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/motion"
 	"repro/internal/policy"
+	"repro/internal/store"
 )
 
 // Batch stages mutations in memory for atomic application by DB.Apply.
@@ -81,19 +82,27 @@ func (b *Batch) Grant(owner UserID, role Role, locr Region, tint TimeInterval) {
 // policy changes take effect on new sequence values only after
 // EncodePolicies.
 func (db *DB) Apply(b *Batch) error {
+	tok, err := db.applyCommit(b)
+	if err != nil {
+		return err
+	}
+	return db.walSync(tok)
+}
+
+func (db *DB) applyCommit(b *Batch) (store.WALToken, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if b == nil || len(b.ops) == 0 {
-		return nil
+		return 0, nil
 	}
 
 	// Validate cheap, stateless preconditions before touching anything.
 	for i := range b.ops {
 		if b.ops[i].kind == opGrant && !b.ops[i].locr.Valid() {
-			return &InvalidRegionError{Region: b.ops[i].locr}
+			return 0, &InvalidRegionError{Region: b.ops[i].locr}
 		}
 	}
 
@@ -116,7 +125,7 @@ func (db *DB) Apply(b *Batch) error {
 				ps.SetRelation(policy.UserID(op.own), policy.UserID(op.peer), op.role)
 			case opGrant:
 				if err := ps.AddPolicy(policy.UserID(op.own), policy.Policy{Role: op.role, Locr: op.locr, Tint: op.tint}); err != nil {
-					return err
+					return 0, err
 				}
 			}
 		}
@@ -147,7 +156,7 @@ func (db *DB) Apply(b *Batch) error {
 		// the (unchanged) committed state, so it is NOT republished, and
 		// the cloned policy store is dropped unapplied.
 		db.collectGarbage()
-		return err
+		return 0, err
 	}
 
 	// Commit: swap policies, register users, publish the new view once.
@@ -172,5 +181,33 @@ func (db *DB) Apply(b *Batch) error {
 	}
 	db.refreshView()
 	db.collectGarbage()
-	return nil
+
+	// Log the commit: policy operations in staging order, then the index
+	// operations with their resolved sequence values (the same list the
+	// tree applied, so replay needs no nondeterministic re-derivation).
+	var wops []walOp
+	if db.wal != nil {
+		wops = make([]walOp, 0, len(b.ops)+len(ops))
+		for i := range b.ops {
+			op := &b.ops[i]
+			switch op.kind {
+			case opRelation:
+				wops = append(wops, walOp{Kind: walOpRelation, Own: op.own, Peer: op.peer, Role: op.role})
+			case opGrant:
+				wops = append(wops, walOp{Kind: walOpGrant, Own: op.own, Role: op.role, Locr: op.locr, Tint: op.tint})
+			}
+		}
+		for i := range ops {
+			op := &ops[i]
+			switch op.Kind {
+			case core.OpSetSV:
+				wops = append(wops, walOp{Kind: walOpSetSV, UID: UserID(op.UID), SV: op.SV})
+			case core.OpUpsert:
+				wops = append(wops, walOp{Kind: walOpUpsert, Obj: op.Obj})
+			case core.OpRemove:
+				wops = append(wops, walOp{Kind: walOpRemove, UID: UserID(op.UID)})
+			}
+		}
+	}
+	return db.walAppend(wops)
 }

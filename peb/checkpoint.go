@@ -1,9 +1,12 @@
 package peb
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
+	"sort"
 
 	"repro/internal/btree"
 	"repro/internal/core"
@@ -12,10 +15,34 @@ import (
 )
 
 // Checkpoint/restore: a file-backed DB (Options.Path) persists its index
-// pages continuously; Checkpoint flushes them and writes two side files —
-// <Path>.meta (JSON: tree linkage, sequence values) and <Path>.policies
-// (the policy-store snapshot) — so OpenExisting can re-attach to the pages
+// pages continuously; Checkpoint makes a crash-consistent cut of that
+// state and OpenExisting (or, with durability, Open) re-attaches to it
 // without reinsertion or re-encoding.
+//
+// A checkpoint is three files, published in a strict order:
+//
+//	<Path>              the page file (flushed, then fsynced)
+//	<Path>.policies.<n> the policy-store snapshot, written under a name
+//	                    unique to this checkpoint (temp + fsync + rename)
+//	<Path>.meta         JSON: tree linkage, sequence values, allocator
+//	                    state, WAL horizon, and the *name* of the paired
+//	                    policies file (temp + fsync + rename — the COMMIT
+//	                    POINT)
+//
+// The meta rename is atomic and the policies file it names is never
+// rewritten (each checkpoint writes a fresh one; the previous is deleted
+// only after the new meta commits), so a crash anywhere in the sequence
+// leaves either the old checkpoint — old meta, old policies file intact —
+// or the new one, never a torn pairing of one era's policies with the
+// other era's index. The page image both metas describe stays valid
+// because the tree is sealed after each checkpoint: later mutations
+// copy-on-write fresh pages and checkpointed pages are quarantined from
+// reuse until the *next* checkpoint commits (see DB.ckptSealed).
+//
+// With a write-ahead log, the meta records the log sequence number of the
+// last commit the checkpoint covers; recovery replays only newer records,
+// and Checkpoint truncates the log afterwards (pure space reclamation —
+// correctness never depends on the truncation happening).
 
 // metaFile is the JSON side-file format.
 type metaFile struct {
@@ -26,6 +53,20 @@ type metaFile struct {
 	LeafCount int
 	NextSV    float64
 	SVs       []svRec
+
+	// Version 2 fields. NumPages/Free persist the page allocator (v1
+	// readers treated the whole file as allocated, leaking every page
+	// freed before the checkpoint); WalSeq is the WAL horizon; Users and
+	// Encoded restore the encoding population and its freshness; CkptSeq
+	// numbers checkpoints and Policies names the policies snapshot
+	// written by this one (empty: the legacy unversioned <Path>.policies).
+	NumPages uint64   `json:",omitempty"`
+	Free     []uint32 `json:",omitempty"`
+	WalSeq   uint64   `json:",omitempty"`
+	Users    []UserID `json:",omitempty"`
+	Encoded  bool     `json:",omitempty"`
+	CkptSeq  uint64   `json:",omitempty"`
+	Policies string   `json:",omitempty"`
 }
 
 type svRec struct {
@@ -33,10 +74,20 @@ type svRec struct {
 	SV  uint64
 }
 
-const metaVersion = 1
+// metaVersion is the current side-file version. Version 1 files (no
+// allocator state, no WAL horizon) are still read.
+const metaVersion = 2
 
-// Checkpoint flushes all index pages to the backing file and writes the
-// side files. Only file-backed DBs can checkpoint.
+// Checkpoint flushes all index pages to the backing file, fsyncs it, and
+// atomically publishes the side files. Only file-backed DBs can
+// checkpoint. On return the checkpoint is durable: a crash at any later
+// point recovers at least this state (plus, with durability enabled, every
+// commit the WAL holds).
+//
+// Checkpoint is also the storage reclamation point: pages that became
+// unreachable since the last checkpoint (superseded by copy-on-write,
+// abandoned by an index rebuild) and are not pinned by an open Snapshot
+// are returned to the allocator, and the write-ahead log is truncated.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -46,9 +97,119 @@ func (db *DB) Checkpoint() error {
 	if db.fileDisk == nil {
 		return fmt.Errorf("peb: checkpoint requires a file-backed DB (Options.Path)")
 	}
+
+	// Account pending retirements so the snapshot-pin arithmetic below
+	// sees every page, then persist the page image.
+	if pages := db.tree.TakeRetired(); len(pages) > 0 {
+		db.garbage = append(db.garbage, gcBatch{ver: db.tree.Version(), pages: pages})
+	}
 	if err := db.tree.Pool().FlushAll(); err != nil {
 		return err
 	}
+	if err := db.fileDisk.Sync(); err != nil {
+		return err
+	}
+
+	// Liveness: a page survives if the current tree reaches it or an open
+	// snapshot still pins it; everything else allocated is dead. The dead
+	// set is only *computed* here — the allocator is untouched until the
+	// meta rename commits, so a crash in between leaves the previous
+	// checkpoint's view fully intact.
+	reach, err := db.tree.Pages()
+	if err != nil {
+		return err
+	}
+	keep := make(map[store.PageID]bool, len(reach))
+	for _, id := range reach {
+		keep[id] = true
+	}
+	minVer, live := db.minLiveVersion()
+	var keptGarbage []gcBatch
+	for _, b := range db.garbage {
+		if live && b.ver >= minVer {
+			keptGarbage = append(keptGarbage, b)
+			for _, id := range b.pages {
+				keep[id] = true
+			}
+		}
+	}
+	var dead []store.PageID
+	for _, id := range db.fileDisk.AliveList() {
+		if !keep[id] {
+			dead = append(dead, id)
+		}
+	}
+	freeAll := db.fileDisk.FreeList()
+	freeAll = append(freeAll, dead...)
+	sort.Slice(freeAll, func(i, j int) bool { return freeAll[i] < freeAll[j] })
+
+	// Publish the side files: the policies snapshot under a fresh
+	// checkpoint-unique name, then the meta naming it — the commit point.
+	// Until the meta rename lands, the previous checkpoint's files are
+	// untouched, so there is no crash point that pairs one checkpoint's
+	// policies with the other's index.
+	newSeq := db.ckptSeq + 1
+	polName := fmt.Sprintf("%s.policies.%d", db.opts.Path, newSeq)
+	if err := db.writePolicies(polName); err != nil {
+		return err
+	}
+	if err := db.writeMeta(freeAll, newSeq, polName); err != nil {
+		return err
+	}
+
+	// Committed. Seal before anything else — even a failure in the
+	// reclamation below must not leave the tree rewriting the pages the
+	// just-published meta references in place.
+	db.ckptSealed = true
+	db.tree.Seal()
+	db.garbage = keptGarbage
+	db.ckptSeq = newSeq
+	if db.prevPolicies != "" && db.prevPolicies != polName {
+		// Best effort: the superseded snapshot is dead weight. A crash
+		// before this Remove orphans it; OpenExisting sweeps the
+		// predecessor name on the next recovery.
+		_ = db.opts.FS.Remove(db.prevPolicies)
+	}
+	db.prevPolicies = polName
+
+	// Reclamation is safe now. Release evicts stale frames from the
+	// buffer pool as well as freeing the ids, so a future reallocation
+	// cannot collide with a cached ghost. Failures only leak the page
+	// until the next checkpoint's sweep finds it alive-but-unreachable
+	// again, so they do not fail the (already committed) checkpoint.
+	for _, id := range dead {
+		_ = db.tree.Pool().Release(id)
+	}
+	if db.wal != nil {
+		if err := db.wal.Truncate(); err != nil {
+			// The checkpoint itself committed; this failure only disables
+			// the (poisoned, fail-stop) log. Say so rather than reporting
+			// the checkpoint as failed.
+			return fmt.Errorf("peb: checkpoint committed, but log truncation failed and the write-ahead log is now disabled — reopen to restore durability: %w", err)
+		}
+	} else if ok, _ := db.opts.FS.Exists(db.opts.Path + ".wal"); ok {
+		// Non-durable DB over a leftover log from a durable run: this
+		// checkpoint's WalSeq covers every replayed record, so the log is
+		// dead weight — drop it (best effort).
+		_ = db.opts.FS.Remove(db.opts.Path + ".wal")
+	}
+	return nil
+}
+
+// writePolicies durably writes the policy snapshot under name.
+func (db *DB) writePolicies(name string) error {
+	var buf bytes.Buffer
+	if err := db.policies.Save(&buf); err != nil {
+		return fmt.Errorf("peb: checkpoint policies: %w", err)
+	}
+	if err := store.WriteFileAtomic(db.opts.FS, name, buf.Bytes()); err != nil {
+		return fmt.Errorf("peb: checkpoint policies: %w", err)
+	}
+	return nil
+}
+
+// writeMeta atomically replaces <Path>.meta — the checkpoint commit point.
+func (db *DB) writeMeta(free []store.PageID, ckptSeq uint64, polName string) error {
 	snap := db.tree.Snapshot()
 	mf := metaFile{
 		Version:   metaVersion,
@@ -57,31 +218,51 @@ func (db *DB) Checkpoint() error {
 		Size:      snap.Tree.Size,
 		LeafCount: snap.Tree.LeafCount,
 		NextSV:    db.nextSV,
+		NumPages:  db.fileDisk.NumPages(),
+		WalSeq:    db.walSeq,
+		Encoded:   db.encoded,
+		CkptSeq:   ckptSeq,
+		Policies:  polName,
 	}
 	for uid, sv := range snap.SVs {
 		mf.SVs = append(mf.SVs, svRec{UID: uid, SV: sv})
 	}
+	sort.Slice(mf.SVs, func(i, j int) bool { return mf.SVs[i].UID < mf.SVs[j].UID })
+	for _, id := range free {
+		mf.Free = append(mf.Free, uint32(id))
+	}
+	for uid := range db.users {
+		mf.Users = append(mf.Users, uid)
+	}
+	sort.Slice(mf.Users, func(i, j int) bool { return mf.Users[i] < mf.Users[j] })
+
 	data, err := json.Marshal(mf)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(db.opts.Path+".meta", data, 0o644); err != nil {
-		return err
+	if err := store.WriteFileAtomic(db.opts.FS, db.opts.Path+".meta", data); err != nil {
+		return fmt.Errorf("peb: checkpoint meta: %w", err)
 	}
-	pf, err := os.Create(db.opts.Path + ".policies")
-	if err != nil {
-		return err
-	}
-	if err := db.policies.Save(pf); err != nil {
-		pf.Close()
-		return err
-	}
-	return pf.Close()
+	return nil
 }
 
-// OpenExisting re-opens a DB from a previous Checkpoint. opts.Path must
-// name the same backing file; the other options must match the original
-// configuration (they are not persisted).
+// corruptf wraps a violation as an ErrCorruptCheckpoint.
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrCorruptCheckpoint, fmt.Sprintf(format, args...))
+}
+
+// OpenExisting re-opens a DB from its on-disk state: the last Checkpoint
+// plus — when a write-ahead log is present — every commit logged after it,
+// so after a crash the DB contains exactly the committed prefix of its
+// history. opts.Path must name the same backing file; the other options
+// must match the original configuration (they are not persisted).
+//
+// Invalid on-disk state (truncated files, unparsable metadata, index
+// structure that does not match the page file) is reported as an error
+// wrapping ErrCorruptCheckpoint rather than a panic.
+//
+// A log without any checkpoint (the DB crashed before its first
+// Checkpoint) recovers too: replay starts from an empty index.
 func OpenExisting(opts Options) (*DB, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -90,37 +271,75 @@ func OpenExisting(opts Options) (*DB, error) {
 	if opts.Path == "" {
 		return nil, fmt.Errorf("%w: OpenExisting requires Options.Path", ErrBadOptions)
 	}
-	metaData, err := os.ReadFile(opts.Path + ".meta")
-	if err != nil {
+
+	metaData, err := opts.FS.ReadFile(opts.Path + ".meta")
+	switch {
+	case err == nil:
+		return openFromCheckpoint(opts, metaData)
+	case errors.Is(err, fs.ErrNotExist):
+		hasWAL, werr := opts.FS.Exists(opts.Path + ".wal")
+		if werr != nil {
+			return nil, fmt.Errorf("peb: probe wal: %w", werr)
+		}
+		if !hasWAL {
+			return nil, fmt.Errorf("peb: read checkpoint meta: %w", err)
+		}
+		return openFromWALOnly(opts)
+	default:
 		return nil, fmt.Errorf("peb: read checkpoint meta: %w", err)
 	}
+}
+
+// openFromCheckpoint re-attaches to a checkpoint and replays any log tail.
+func openFromCheckpoint(opts Options, metaData []byte) (*DB, error) {
 	var mf metaFile
 	if err := json.Unmarshal(metaData, &mf); err != nil {
-		return nil, fmt.Errorf("peb: parse checkpoint meta: %w", err)
+		return nil, corruptf("parse checkpoint meta: %v", err)
 	}
-	if mf.Version != metaVersion {
+	if mf.Version < 1 || mf.Version > metaVersion {
 		return nil, fmt.Errorf("peb: checkpoint version %d not supported", mf.Version)
 	}
-	pf, err := os.Open(opts.Path + ".policies")
-	if err != nil {
-		return nil, fmt.Errorf("peb: read checkpoint policies: %w", err)
+
+	polName := mf.Policies
+	if polName == "" {
+		polName = opts.Path + ".policies" // legacy unversioned snapshot
 	}
-	policies, err := policy.Load(pf)
-	pf.Close()
+	pf, err := opts.FS.ReadFile(polName)
 	if err != nil {
-		return nil, err
+		return nil, corruptf("read checkpoint policies: %v", err)
+	}
+	policies, err := policy.Load(bytes.NewReader(pf))
+	if err != nil {
+		return nil, corruptf("parse checkpoint policies: %v", err)
 	}
 
-	fd, err := store.OpenFileDisk(opts.Path)
+	fd, err := store.OpenFileDiskOn(opts.FS, opts.Path)
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig()
-	grid := cfg.Base.Grid
-	grid.Side = opts.SpaceSide
-	cfg.Base.Grid = grid
-	cfg.Base.MaxSpeed = opts.MaxSpeed
-	cfg.Base.DeltaTmu = opts.MaxUpdateInterval
+	// Restore (v2) or derive (v1) the allocator state, and validate the
+	// meta's linkage against it before touching any page.
+	numPages := fd.NumPages() // v1: every file page allocated
+	if mf.Version >= 2 {
+		free := make([]store.PageID, 0, len(mf.Free))
+		for _, id := range mf.Free {
+			free = append(free, store.PageID(id))
+		}
+		if err := fd.Reconcile(mf.NumPages, free); err != nil {
+			fd.Close()
+			return nil, corruptf("%v", err)
+		}
+		numPages = mf.NumPages
+	}
+	if mf.Root == 0 || uint64(mf.Root) > numPages {
+		fd.Close()
+		return nil, corruptf("root page %d outside file of %d pages", mf.Root, numPages)
+	}
+	if mf.Height < 1 || mf.Size < 0 || mf.LeafCount < 1 {
+		fd.Close()
+		return nil, corruptf("implausible tree shape: height %d, size %d, %d leaves",
+			mf.Height, mf.Size, mf.LeafCount)
+	}
 
 	snap := core.Snapshot{
 		Tree: btree.Meta{
@@ -134,30 +353,150 @@ func OpenExisting(opts Options) (*DB, error) {
 	for _, rec := range mf.SVs {
 		snap.SVs[rec.UID] = rec.SV
 	}
-	tree, err := core.Open(cfg, store.NewBufferPool(fd, opts.BufferPages), policies, snap)
+	tree, err := core.OpenChecked(opts.coreConfig(), store.NewBufferPool(fd, opts.BufferPages),
+		policies, snap, store.PageID(numPages))
 	if err != nil {
 		fd.Close()
-		return nil, err
+		return nil, corruptf("%v", err)
 	}
 
 	db := &DB{
-		opts:     opts,
-		policies: policies,
-		tree:     tree,
-		view:     tree.View(),
-		disk:     fd,
-		fileDisk: fd,
-		gen:      1,
-		snaps:    make(map[*Snapshot]struct{}),
-		users:    make(map[UserID]bool),
-		nextSV:   mf.NextSV,
-		encoded:  true,
+		opts:         opts,
+		policies:     policies,
+		tree:         tree,
+		view:         tree.View(),
+		disk:         fd,
+		fileDisk:     fd,
+		gen:          1,
+		snaps:        make(map[*Snapshot]struct{}),
+		users:        make(map[UserID]bool),
+		nextSV:       mf.NextSV,
+		walSeq:       mf.WalSeq,
+		ckptSeq:      mf.CkptSeq,
+		prevPolicies: polName,
+	}
+	if mf.Version >= 2 {
+		db.encoded = mf.Encoded
+		for _, uid := range mf.Users {
+			db.users[uid] = true
+		}
+	} else {
+		db.encoded = true
 	}
 	for uid := range snap.SVs {
 		db.users[uid] = true
 	}
+	policies.ForEachGrant(func(owner, viewer policy.UserID, _ policy.Policy) bool {
+		db.users[UserID(owner)] = true
+		db.users[UserID(viewer)] = true
+		return true
+	})
 	if db.nextSV < 2 {
 		db.nextSV = 2
 	}
+	// The attached image IS a checkpoint: seal immediately so nothing —
+	// including WAL replay below — overwrites its pages in place.
+	db.ckptSealed = true
+	db.tree.Seal()
+	// Sweep snapshots a crash may have orphaned: the predecessor version
+	// (a crash between the meta rename and the predecessor removal leaks
+	// exactly it) and, once versioned snapshots are in use, the legacy
+	// unversioned file.
+	if mf.CkptSeq >= 2 {
+		_ = opts.FS.Remove(fmt.Sprintf("%s.policies.%d", opts.Path, mf.CkptSeq-1))
+	}
+	if mf.Policies != "" {
+		_ = opts.FS.Remove(opts.Path + ".policies")
+	}
+	if err := db.attachWAL(mf.WalSeq); err != nil {
+		db.fileDisk.Close()
+		return nil, err
+	}
 	return db, nil
+}
+
+// openFromWALOnly recovers a durable DB that crashed before its first
+// checkpoint: the page file holds no committed image, so it is discarded
+// first and the log is replayed from an empty index.
+func openFromWALOnly(opts Options) (*DB, error) {
+	f, err := opts.FS.OpenFile(opts.Path)
+	if err != nil {
+		return nil, fmt.Errorf("peb: discard uncheckpointed pages: %w", err)
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("peb: discard uncheckpointed pages: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("peb: discard uncheckpointed pages: %w", err)
+	}
+
+	fresh := opts
+	// attachWAL below opens the log itself (openFresh would refuse the
+	// non-empty one).
+	fresh.Durability = DurabilityNone
+	db, err := openFresh(fresh)
+	if err != nil {
+		return nil, err
+	}
+	db.opts = opts
+	if err := db.attachWAL(0); err != nil {
+		db.fileDisk.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// attachWAL opens the log, replays every record newer than afterSeq, and —
+// when the DB is durable — installs the log for subsequent commits. A
+// non-durable reopen replays too (committed data must not be dropped) and
+// then leaves the log in place: the replayed state exists only in memory,
+// so the old checkpoint plus the old log remain its sole durable
+// description. The log stays inert — every record's Seq is ≤ the restored
+// walSeq, so a future Checkpoint's WalSeq covers it (Checkpoint then
+// removes it) and a re-recovery before that reproduces this same state.
+func (db *DB) attachWAL(afterSeq uint64) error {
+	hasWAL, err := db.opts.FS.Exists(db.opts.Path + ".wal")
+	if err != nil {
+		return fmt.Errorf("peb: probe wal: %w", err)
+	}
+	if !hasWAL && db.opts.Durability == DurabilityNone {
+		return nil
+	}
+	wal, records, err := store.OpenWAL(db.opts.FS, db.opts.Path+".wal", db.opts.Durability.walPolicy())
+	if err != nil {
+		return err
+	}
+	for i, payload := range records {
+		rec, err := unmarshalRecord(payload)
+		if err != nil {
+			wal.Close()
+			return corruptf("wal record %d: %v", i, err)
+		}
+		if rec.Seq <= afterSeq {
+			continue // covered by the checkpoint
+		}
+		if err := db.replayRecord(rec); err != nil {
+			wal.Close()
+			return fmt.Errorf("peb: replay wal record %d: %w", i, err)
+		}
+	}
+	db.refreshView()
+	db.collectGarbage()
+	if db.opts.Durability == DurabilityNone {
+		return wal.Close()
+	}
+	db.wal = wal
+	return nil
+}
+
+// coreConfig derives the index configuration from the options.
+func (o Options) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	grid := cfg.Base.Grid
+	grid.Side = o.SpaceSide
+	cfg.Base.Grid = grid
+	cfg.Base.MaxSpeed = o.MaxSpeed
+	cfg.Base.DeltaTmu = o.MaxUpdateInterval
+	return cfg
 }

@@ -21,6 +21,14 @@ var (
 	// ErrInvalidRegion is wrapped by the typed *InvalidRegionError that
 	// queries return for a malformed query region.
 	ErrInvalidRegion = errors.New("peb: invalid region")
+
+	// ErrCorruptCheckpoint is wrapped by every error OpenExisting returns
+	// for on-disk state that cannot be a valid checkpoint: an unparsable
+	// meta or policies file, a truncated backing file, a root or free list
+	// referencing pages the file does not hold, or index pages whose
+	// structure is garbage. It means the checkpoint cannot be trusted, not
+	// merely that an option was wrong.
+	ErrCorruptCheckpoint = errors.New("peb: corrupt checkpoint")
 )
 
 // InvalidRegionError reports the malformed region a query was given
@@ -58,6 +66,12 @@ func (o Options) validate() error {
 	}
 	if o.BufferPages < 0 {
 		bad = append(bad, fmt.Sprintf("BufferPages %d < 0", o.BufferPages))
+	}
+	if o.Durability < DurabilityNone || o.Durability > DurabilityAsync {
+		bad = append(bad, fmt.Sprintf("unknown Durability %d", o.Durability))
+	}
+	if o.Durability != DurabilityNone && o.Path == "" {
+		bad = append(bad, "Durability requires Path")
 	}
 	if len(bad) == 0 {
 		return nil

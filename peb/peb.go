@@ -56,6 +56,7 @@
 package peb
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -86,6 +87,62 @@ type (
 	Neighbor = bxtree.Neighbor
 )
 
+// Durability selects how much committed data a crash may cost on a
+// file-backed DB. Anything stronger than DurabilityNone attaches a
+// write-ahead log (<Path>.wal): every committed mutation is logged before
+// the commit call returns, and Open/OpenExisting replay the log on top of
+// the last checkpoint, so a crash — a power cut, a kill -9 — loses at most
+// the commits the level lets it lose.
+type Durability int
+
+const (
+	// DurabilityNone keeps no log. Data persists only via Checkpoint; a
+	// crash loses everything after the last one. The default.
+	DurabilityNone Durability = iota
+	// DurabilitySync fsyncs the log before every commit returns: an
+	// acknowledged commit is never lost. Concurrent commits share one
+	// fsync opportunistically (group commit).
+	DurabilitySync
+	// DurabilityGrouped is DurabilitySync with a short gathering window
+	// before each fsync, so even loosely overlapping commits amortize one
+	// sync. Slightly higher commit latency, far fewer fsyncs under load;
+	// the same no-lost-acknowledged-commit guarantee.
+	DurabilityGrouped
+	// DurabilityAsync appends to the log without waiting for fsync: a
+	// crash may lose a suffix of recently acknowledged commits, but
+	// recovery still restores an exact committed prefix. A clean Close
+	// syncs, so only crashes lose anything.
+	DurabilityAsync
+)
+
+// String implements fmt.Stringer.
+func (d Durability) String() string {
+	switch d {
+	case DurabilityNone:
+		return "none"
+	case DurabilitySync:
+		return "sync"
+	case DurabilityGrouped:
+		return "grouped"
+	case DurabilityAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("Durability(%d)", int(d))
+	}
+}
+
+// walPolicy maps the durability level to the WAL's sync policy.
+func (d Durability) walPolicy() store.WALSyncPolicy {
+	switch d {
+	case DurabilityGrouped:
+		return store.WALSyncGrouped
+	case DurabilityAsync:
+		return store.WALSyncNone
+	default:
+		return store.WALSyncAlways
+	}
+}
+
 // Options configures a DB. The zero value selects the paper's defaults:
 // a 1000 × 1000 space, 2^10 grid, 120-unit maximum update interval,
 // 1440-unit day, and a 50-page buffer over an in-memory disk. Negative
@@ -102,8 +159,18 @@ type Options struct {
 	// BufferPages is the LRU buffer capacity.
 	BufferPages int
 	// Path, when non-empty, backs the index with a file instead of memory.
-	// The file holds pages only; the index is rebuilt via Upsert on open.
+	// Checkpoint persists the index; with Durability enabled a write-ahead
+	// log at <Path>.wal additionally makes every commit crash-safe.
 	Path string
+	// Durability selects the crash-safety level (see the constants).
+	// Requires Path; with it, Open recovers existing on-disk state instead
+	// of starting fresh.
+	Durability Durability
+	// FS substitutes the filesystem the data file, log, and checkpoint
+	// side files are accessed through. Nil means the operating system's.
+	// Tests inject store.CrashFS here to simulate torn writes and power
+	// cuts.
+	FS store.VFS
 }
 
 func (o *Options) setDefaults() {
@@ -121,6 +188,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.BufferPages == 0 {
 		o.BufferPages = store.DefaultBufferPages
+	}
+	if o.FS == nil {
+		o.FS = store.OSFS{}
 	}
 }
 
@@ -153,6 +223,24 @@ type DB struct {
 	fileDisk *store.FileDisk // non-nil when file-backed
 	closed   bool
 
+	// Durability state. wal is non-nil when Options.Durability is enabled;
+	// walSeq numbers committed records (persisted in checkpoint meta, so
+	// replay knows where the checkpoint's coverage ends). ckptSeq numbers
+	// checkpoints: each writes its policies snapshot under a unique name,
+	// of which prevPolicies is the live one (deleted when the next
+	// checkpoint supersedes it). ckptSealed is true once a checkpoint
+	// image exists for the current tree/disk incarnation: from then on
+	// the tree stays permanently sealed (mutations copy-on-write) and
+	// retired pages are quarantined rather than reused, so nothing ever
+	// overwrites a page the checkpoint references — the invariant that
+	// makes the image a valid recovery base under any crash. The next
+	// Checkpoint's reachability sweep reclaims the quarantined pages.
+	wal          *store.WAL
+	walSeq       uint64
+	ckptSeq      uint64
+	prevPolicies string
+	ckptSealed   bool
+
 	// viewSwaps counts view republishes — the quantity Apply amortizes:
 	// a batch of N mutations republishes once where N Upserts republish N
 	// times.
@@ -181,11 +269,46 @@ type DB struct {
 
 // Open creates a DB. Invalid options are rejected with an error wrapping
 // ErrBadOptions.
+//
+// With Durability enabled, Open is open-or-recover: if the path already
+// holds a checkpoint or a write-ahead log — say, from a process that
+// crashed — Open behaves as OpenExisting, replaying the log on top of the
+// last checkpoint, so "crash, restart, Open" resumes exactly the committed
+// state. A fresh path starts a fresh DB. Without durability Open starts
+// fresh, but refuses a path holding a write-ahead log: the log's commits
+// were acknowledged as durable, so discarding them must be explicit
+// (recover via OpenExisting, or delete the log).
 func Open(opts Options) (*DB, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	opts.setDefaults()
+	if opts.Path != "" {
+		hasMeta, err := opts.FS.Exists(opts.Path + ".meta")
+		if err != nil {
+			return nil, fmt.Errorf("peb: probe checkpoint: %w", err)
+		}
+		hasWAL, err := opts.FS.Exists(opts.Path + ".wal")
+		if err != nil {
+			return nil, fmt.Errorf("peb: probe wal: %w", err)
+		}
+		if opts.Durability != DurabilityNone && (hasMeta || hasWAL) {
+			return OpenExisting(opts)
+		}
+		if opts.Durability == DurabilityNone && hasWAL {
+			// The log holds commits that were acknowledged as durable;
+			// starting a fresh unlogged history here would silently
+			// destroy them. Make the data loss opt-in.
+			return nil, fmt.Errorf(
+				"peb: %s.wal holds logged commits; Open with Durability set (or OpenExisting) to recover them, or delete the log to discard them",
+				opts.Path)
+		}
+	}
+	return openFresh(opts)
+}
+
+// openFresh builds an empty DB (and, when durable, an empty log).
+func openFresh(opts Options) (*DB, error) {
 	space := Region{MinX: 0, MinY: 0, MaxX: opts.SpaceSide, MaxY: opts.SpaceSide}
 	policies, err := policy.NewStore(space, opts.DayLength)
 	if err != nil {
@@ -200,6 +323,21 @@ func Open(opts Options) (*DB, error) {
 	if err := db.newTree(policy.Assignment{}); err != nil {
 		return nil, err
 	}
+	if opts.Durability != DurabilityNone {
+		wal, records, err := store.OpenWAL(opts.FS, opts.Path+".wal", opts.Durability.walPolicy())
+		if err != nil {
+			db.fileDisk.Close()
+			return nil, err
+		}
+		if len(records) > 0 {
+			// Unreachable from Open (it routes existing logs to recovery),
+			// but guard against a caller constructing this state by hand.
+			wal.Close()
+			db.fileDisk.Close()
+			return nil, fmt.Errorf("peb: refusing to start fresh over a non-empty wal")
+		}
+		db.wal = wal
+	}
 	return db, nil
 }
 
@@ -212,7 +350,7 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 	var fd *store.FileDisk
 	if db.opts.Path != "" {
 		var err error
-		fd, err = store.OpenFileDisk(db.opts.Path)
+		fd, err = store.OpenFileDiskOn(db.opts.FS, db.opts.Path)
 		if err != nil {
 			return err
 		}
@@ -221,14 +359,7 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 		disk = store.NewMemDisk()
 	}
 
-	cfg := core.DefaultConfig()
-	grid := cfg.Base.Grid
-	grid.Side = db.opts.SpaceSide
-	cfg.Base.Grid = grid
-	cfg.Base.MaxSpeed = db.opts.MaxSpeed
-	cfg.Base.DeltaTmu = db.opts.MaxUpdateInterval
-
-	tree, err := core.New(cfg, store.NewBufferPool(disk, db.opts.BufferPages), db.policies, assignment)
+	tree, err := core.New(db.opts.coreConfig(), store.NewBufferPool(disk, db.opts.BufferPages), db.policies, assignment)
 	if err != nil {
 		if fd != nil {
 			fd.Close()
@@ -244,6 +375,12 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 	db.assignment = assignment
 	db.gen++
 	db.garbage = nil
+	// The fresh tree starts a new incarnation with no checkpoint image of
+	// its own. Any *previous* checkpoint on the same file stays recoverable
+	// regardless: the fresh FileDisk marks every existing page allocated
+	// and its free list starts empty, so nothing the old meta references
+	// can be overwritten before the next Checkpoint supersedes it.
+	db.ckptSealed = false
 	db.refreshView()
 	db.nextSV = assignment.MaxSV
 	if db.nextSV < 2 {
@@ -269,10 +406,17 @@ func (db *DB) ViewSwaps() uint64 {
 }
 
 // collectGarbage moves freshly retired pages into the garbage list, then
-// releases every batch no live snapshot of the current generation can
-// reach. With no snapshots left at all it also returns the tree to cheap
-// in-place mutation and unpins the policy store. Caller holds the write
-// lock.
+// disposes of every batch no live snapshot of the current generation can
+// reach. With no snapshots left at all it also unpins the policy store,
+// and — unless a checkpoint image must stay intact — returns the tree to
+// cheap in-place mutation. Caller holds the write lock.
+//
+// Disposal depends on whether a checkpoint exists (ckptSealed): without
+// one, unpinned pages go straight back to the allocator. With one, a
+// retired page may be part of the on-disk checkpoint image, so reusing it
+// would corrupt the recovery base; unpinned batches are instead dropped
+// and the pages stay allocated until the next Checkpoint's reachability
+// sweep frees the ones the new image does not contain.
 func (db *DB) collectGarbage() {
 	if pages := db.tree.TakeRetired(); len(pages) > 0 {
 		db.garbage = append(db.garbage, gcBatch{ver: db.tree.Version(), pages: pages})
@@ -280,19 +424,22 @@ func (db *DB) collectGarbage() {
 	minVer, live := db.minLiveVersion()
 	kept := db.garbage[:0]
 	for _, b := range db.garbage {
-		if !live || b.ver < minVer {
+		switch {
+		case live && b.ver >= minVer:
+			kept = append(kept, b)
+		case db.ckptSealed:
+			// Quarantined: freed (if dead) by the next checkpoint's sweep.
+		default:
 			for _, pid := range b.pages {
 				// A failed release leaks one disk page; correctness is
 				// unaffected, so the mutation that triggered collection
 				// still reports success.
 				_ = db.tree.Pool().Release(pid)
 			}
-		} else {
-			kept = append(kept, b)
 		}
 	}
 	db.garbage = kept
-	if !live {
+	if !live && !db.ckptSealed {
 		db.tree.Unseal()
 	}
 	if len(db.snaps) == 0 {
@@ -317,9 +464,11 @@ func (db *DB) minLiveVersion() (uint64, bool) {
 	return min, live
 }
 
-// Close releases the DB's resources (the backing file, if any). All
-// subsequent method calls — and queries on any still-open Snapshot of a
-// file-backed DB — return ErrClosed or a disk error. Close is idempotent.
+// Close releases the DB's resources (the backing file and write-ahead
+// log, if any). The log is synced before closing, so a clean Close loses
+// nothing even under DurabilityAsync. All subsequent method calls — and
+// queries on any still-open Snapshot of a file-backed DB — return
+// ErrClosed or a disk error. Close is idempotent.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -327,21 +476,35 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	if db.fileDisk != nil {
-		err := db.fileDisk.Close()
-		db.fileDisk = nil
-		return err
+	var firstErr error
+	if db.wal != nil {
+		firstErr = db.wal.Close()
+		db.wal = nil
 	}
-	return nil
+	if db.fileDisk != nil {
+		if err := db.fileDisk.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		db.fileDisk = nil
+	}
+	return firstErr
 }
 
 // DefineRelation records that owner considers peer to hold role. Policies
 // owner has granted to that role then apply to peer.
 func (db *DB) DefineRelation(owner, peer UserID, role Role) error {
+	tok, err := db.defineRelationCommit(owner, peer, role)
+	if err != nil {
+		return err
+	}
+	return db.walSync(tok)
+}
+
+func (db *DB) defineRelationCommit(owner, peer UserID, role Role) (store.WALToken, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	db.mutatePolicies(func(ps *policy.Store) {
 		ps.SetRelation(policy.UserID(owner), policy.UserID(peer), role)
@@ -349,30 +512,38 @@ func (db *DB) DefineRelation(owner, peer UserID, role Role) error {
 	db.noteUser(owner)
 	db.noteUser(peer)
 	db.encoded = false
-	return nil
+	return db.walAppend([]walOp{{Kind: walOpRelation, Own: owner, Peer: peer, Role: role}})
 }
 
 // Grant adds a location-privacy policy for owner: users related to owner
 // by role may see owner's location while owner is inside locr during tint.
 func (db *DB) Grant(owner UserID, role Role, locr Region, tint TimeInterval) error {
+	tok, err := db.grantCommit(owner, role, locr, tint)
+	if err != nil {
+		return err
+	}
+	return db.walSync(tok)
+}
+
+func (db *DB) grantCommit(owner UserID, role Role, locr Region, tint TimeInterval) (store.WALToken, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if !locr.Valid() {
-		return &InvalidRegionError{Region: locr}
+		return 0, &InvalidRegionError{Region: locr}
 	}
 	var err error
 	db.mutatePolicies(func(ps *policy.Store) {
 		err = ps.AddPolicy(policy.UserID(owner), policy.Policy{Role: role, Locr: locr, Tint: tint})
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	db.noteUser(owner)
 	db.encoded = false
-	return nil
+	return db.walAppend([]walOp{{Kind: walOpGrant, Own: owner, Role: role, Locr: locr, Tint: tint}})
 }
 
 // mutatePolicies runs fn against the policy store, copying the store first
@@ -415,18 +586,33 @@ func (db *DB) Allows(owner, viewer UserID, x, y, t float64) bool {
 // on a file-backed DB the rebuild reuses the backing file, so snapshots
 // from before the rebuild return errors).
 func (db *DB) EncodePolicies() error {
+	tok, err := db.encodePoliciesCommit()
+	if err != nil {
+		return err
+	}
+	return db.walSync(tok)
+}
+
+func (db *DB) encodePoliciesCommit() (store.WALToken, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
-	return db.encodePoliciesLocked()
+	assignment, err := db.encodePoliciesLocked()
+	if err != nil {
+		return 0, err
+	}
+	recs, maxSV, groups := encodeAssignment(assignment)
+	return db.walAppend([]walOp{{Kind: walOpEncode, Assign: recs, MaxSV: maxSV, Groups: groups}})
 }
 
 // encodePoliciesLocked is EncodePolicies' body; the caller holds the write
 // lock (LoadPolicies runs it in the same critical section as its policy
-// swap, so no query ever sees the new policies with the old encoding).
-func (db *DB) encodePoliciesLocked() error {
+// swap, so no query ever sees the new policies with the old encoding). The
+// computed assignment is returned so the caller can log it: replay uses
+// the logged values rather than re-running the assignment algorithm.
+func (db *DB) encodePoliciesLocked() (policy.Assignment, error) {
 	users := make([]policy.UserID, 0, len(db.users))
 	for u := range db.users {
 		users = append(users, policy.UserID(u))
@@ -434,11 +620,20 @@ func (db *DB) encodePoliciesLocked() error {
 	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
 	assignment, err := policy.AssignSequenceValues(db.policies, users, policy.AssignOptions{})
 	if err != nil {
-		return err
+		return policy.Assignment{}, err
 	}
+	if err := db.rebuildLocked(assignment); err != nil {
+		return policy.Assignment{}, err
+	}
+	return assignment, nil
+}
 
-	// Rebuild: collect the current population, swap in a fresh tree under
-	// the new assignment, re-insert everything.
+// rebuildLocked swaps in a fresh index under assignment and re-inserts the
+// current population — the shared tail of EncodePolicies and WAL replay of
+// an encode record. Caller holds the write lock.
+func (db *DB) rebuildLocked(assignment policy.Assignment) error {
+	// Collect the current population, swap in a fresh tree under the new
+	// assignment, re-insert everything.
 	objs := make([]Object, 0, db.tree.Size())
 	for u := range db.users {
 		o, ok, err := db.tree.Get(u)
@@ -473,15 +668,24 @@ func (db *DB) encodePoliciesLocked() error {
 // Bulk loads should stage updates in a Batch and call Apply: one lock
 // acquisition and one view republish for the whole batch.
 func (db *DB) Upsert(o Object) error {
+	tok, err := db.upsertCommit(o)
+	if err != nil {
+		return err
+	}
+	return db.walSync(tok)
+}
+
+func (db *DB) upsertCommit(o Object) (store.WALToken, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	freshSV := false
+	sv := db.nextSV + 2
 	if _, ok := db.tree.SV(o.UID); !ok {
-		if err := db.tree.SetSV(o.UID, db.nextSV+2); err != nil {
-			return err
+		if err := db.tree.SetSV(o.UID, sv); err != nil {
+			return 0, err
 		}
 		freshSV = true
 	}
@@ -493,7 +697,7 @@ func (db *DB) Upsert(o Object) error {
 		}
 		db.refreshView()
 		db.collectGarbage()
-		return err
+		return 0, err
 	}
 	if freshSV {
 		db.nextSV += 2 // δ spacing, a fresh singleton anchor (Fig. 5)
@@ -501,20 +705,36 @@ func (db *DB) Upsert(o Object) error {
 	db.noteUser(o.UID)
 	db.refreshView()
 	db.collectGarbage()
-	return nil
+	ops := make([]walOp, 0, 2)
+	if freshSV {
+		ops = append(ops, walOp{Kind: walOpSetSV, UID: o.UID, SV: sv})
+	}
+	ops = append(ops, walOp{Kind: walOpUpsert, Obj: o})
+	return db.walAppend(ops)
 }
 
 // Remove deletes a user's index entry (the user's policies remain).
 func (db *DB) Remove(uid UserID) error {
+	tok, err := db.removeCommit(uid)
+	if err != nil {
+		return err
+	}
+	return db.walSync(tok)
+}
+
+func (db *DB) removeCommit(uid UserID) (store.WALToken, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	err := db.tree.Delete(uid)
 	db.refreshView()
 	db.collectGarbage()
-	return err
+	if err != nil {
+		return 0, err
+	}
+	return db.walAppend([]walOp{{Kind: walOpRemove, UID: uid}})
 }
 
 // Lookup returns a user's stored movement state.
@@ -566,6 +786,25 @@ func (db *DB) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([
 		return nil, ErrClosed
 	}
 	return db.view.PKNN(issuer, x, y, k, t)
+}
+
+// WALStats reports write-ahead-log activity: records appended and fsyncs
+// performed. Under group commit, syncs < appends shows how many commits
+// shared a sync. Zero-valued on a DB without durability.
+type WALStats struct {
+	Appends uint64
+	Syncs   uint64
+}
+
+// WALStats returns the log's activity counters since open.
+func (db *DB) WALStats() WALStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil {
+		return WALStats{}
+	}
+	appends, syncs := db.wal.Stats()
+	return WALStats{Appends: appends, Syncs: syncs}
 }
 
 // IOStats reports the index's buffer statistics since the last ResetStats.
@@ -628,17 +867,25 @@ func (db *DB) SavePolicies(w io.Writer) error {
 // written by SavePolicies, then re-runs policy encoding and rebuilds the
 // index so stored users adopt keys under the restored policies.
 func (db *DB) LoadPolicies(r io.Reader) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	loaded, err := policy.Load(r)
+	tok, err := db.loadPoliciesCommit(r)
 	if err != nil {
 		return err
 	}
+	return db.walSync(tok)
+}
+
+func (db *DB) loadPoliciesCommit(r io.Reader) (store.WALToken, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	loaded, err := policy.Load(r)
+	if err != nil {
+		return 0, err
+	}
 	if loaded.Space() != db.policies.Space() || loaded.DayLength() != db.policies.DayLength() {
-		return fmt.Errorf("peb: snapshot domain %v/%g does not match DB %v/%g",
+		return 0, fmt.Errorf("peb: snapshot domain %v/%g does not match DB %v/%g",
 			loaded.Space(), loaded.DayLength(), db.policies.Space(), db.policies.DayLength())
 	}
 	// The loaded store is a fresh object: open snapshots keep their pinned
@@ -654,5 +901,23 @@ func (db *DB) LoadPolicies(r io.Reader) error {
 	db.encoded = false
 	// Re-encode and rebuild in the same critical section: no query may
 	// see the new policies paired with the old sequence-value encoding.
-	return db.encodePoliciesLocked()
+	assignment, err := db.encodePoliciesLocked()
+	if err != nil {
+		return 0, err
+	}
+	if db.wal == nil {
+		return 0, nil
+	}
+	// One record carries the whole state swap: the policy snapshot (in its
+	// canonical serialized form) plus the assignment the index was rebuilt
+	// under, so replay is a wholesale, idempotent replacement.
+	var blob bytes.Buffer
+	if err := loaded.Save(&blob); err != nil {
+		return 0, fmt.Errorf("peb: serialize policies for wal: %w", err)
+	}
+	recs, maxSV, groups := encodeAssignment(assignment)
+	return db.walAppend([]walOp{
+		{Kind: walOpLoadPolicies, Blob: blob.Bytes()},
+		{Kind: walOpEncode, Assign: recs, MaxSV: maxSV, Groups: groups},
+	})
 }

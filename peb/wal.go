@@ -1,0 +1,254 @@
+package peb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/motion"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// Logical write-ahead logging.
+//
+// Every committed mutation appends one walRecord describing the operation
+// with all nondeterminism resolved: fresh sequence values are logged as
+// explicit SetSV operations, and EncodePolicies logs the computed
+// assignment rather than its inputs, so replay reproduces the committed
+// state exactly without re-running the assignment algorithm.
+//
+// Commit protocol: the mutation is applied in memory first (validating it),
+// the record is appended under the write lock (so log order equals apply
+// order), and the commit waits for the WAL sync *after* releasing the lock
+// — which is what lets concurrent commits share one fsync (group commit).
+// The published query view may therefore briefly show a commit that is not
+// yet durable; a crash in that window loses only unacknowledged commits.
+//
+// Replay never double-applies: the meta file — the checkpoint's atomic
+// commit point — names the exact policies snapshot and page image it
+// pairs with (each checkpoint writes its policies under a fresh name), so
+// recovery always starts from one checkpoint's complete state and applies
+// only records past its WAL horizon. Policy operations are idempotent
+// anyway (SetRelation by construction, AddPolicy deduplicates exact
+// duplicates, load/encode replace state wholesale) as defense in depth.
+
+type walOpKind uint8
+
+const (
+	walOpSetSV walOpKind = iota
+	walOpUpsert
+	walOpRemove
+	walOpRelation
+	walOpGrant
+	walOpEncode
+	walOpLoadPolicies
+)
+
+// assignRec is one user's entry of a logged sequence-value assignment.
+type assignRec struct {
+	UID UserID
+	SV  float64
+}
+
+// walOp is one logical operation inside a committed record. Exactly the
+// fields for Kind are populated.
+type walOp struct {
+	Kind walOpKind
+
+	Obj  Object       // walOpUpsert
+	UID  UserID       // walOpSetSV, walOpRemove
+	SV   float64      // walOpSetSV
+	Own  UserID       // walOpRelation, walOpGrant
+	Peer UserID       // walOpRelation
+	Role Role         // walOpRelation, walOpGrant
+	Locr Region       // walOpGrant
+	Tint TimeInterval // walOpGrant
+
+	// walOpEncode: the assignment the index was rebuilt under.
+	Assign []assignRec
+	MaxSV  float64
+	Groups int
+
+	// walOpLoadPolicies: the policy snapshot (policy.Store gob format).
+	Blob []byte
+}
+
+// walRecord is one commit: a batch of operations applied atomically, plus
+// the post-commit nextSV so replay restores the sequence-value cursor.
+type walRecord struct {
+	Seq    uint64
+	NextSV float64
+	Ops    []walOp
+}
+
+// encodeAssignment flattens an assignment into deterministic (sorted)
+// records for logging.
+func encodeAssignment(a policy.Assignment) ([]assignRec, float64, int) {
+	recs := make([]assignRec, 0, len(a.SV))
+	for uid, sv := range a.SV {
+		recs = append(recs, assignRec{UID: UserID(uid), SV: sv})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].UID < recs[j].UID })
+	return recs, a.MaxSV, a.Groups
+}
+
+// decodeAssignment rebuilds the assignment a walOpEncode logged.
+func decodeAssignment(op walOp) policy.Assignment {
+	a := policy.Assignment{
+		SV:     make(map[policy.UserID]float64, len(op.Assign)),
+		MaxSV:  op.MaxSV,
+		Groups: op.Groups,
+	}
+	for _, r := range op.Assign {
+		a.SV[policy.UserID(r.UID)] = r.SV
+	}
+	return a
+}
+
+// marshalRecord serializes a record for the WAL (self-contained gob stream
+// per record, so each record decodes independently during replay).
+func marshalRecord(rec *walRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("peb: encode wal record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalRecord(data []byte) (walRecord, error) {
+	var rec walRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return walRecord{}, fmt.Errorf("peb: decode wal record: %w", err)
+	}
+	return rec, nil
+}
+
+// walAppend logs one committed mutation. The caller holds the write lock
+// and has already applied the mutation in memory successfully. The returned
+// token is passed to walSync after the lock is released. A nil WAL (or a
+// replay in progress) logs nothing.
+//
+// An append failure poisons the WAL: the in-memory state is ahead of the
+// log, and accepting any later record would persist a history with a hole.
+// All subsequent commits fail until the DB is reopened; reads and the
+// already-applied mutation remain visible in memory.
+func (db *DB) walAppend(ops []walOp) (store.WALToken, error) {
+	if db.wal == nil {
+		return 0, nil
+	}
+	db.walSeq++
+	rec := walRecord{Seq: db.walSeq, NextSV: db.nextSV, Ops: ops}
+	payload, err := marshalRecord(&rec)
+	if err != nil {
+		// The mutation is already applied; a record we cannot produce is
+		// a hole, so the log must go fail-stop (see WAL.Poison).
+		db.wal.Poison(err)
+		return 0, err
+	}
+	tok, err := db.wal.Append(payload)
+	if err != nil {
+		return 0, fmt.Errorf("peb: wal append: %w", err)
+	}
+	return tok, nil
+}
+
+// walSync completes a commit: it blocks until the record is durable
+// according to the configured durability level. Called without the write
+// lock (that is the point — waiters here share fsyncs with concurrent
+// committers). The WAL pointer is re-read under the read lock because a
+// concurrent Close may detach it; Close syncs the log first, so a commit
+// that finds the WAL gone is already durable.
+func (db *DB) walSync(tok store.WALToken) error {
+	if tok == 0 {
+		return nil
+	}
+	db.mu.RLock()
+	w := db.wal
+	db.mu.RUnlock()
+	if w == nil {
+		return nil
+	}
+	if err := w.Commit(tok); err != nil {
+		return fmt.Errorf("peb: wal commit: %w", err)
+	}
+	return nil
+}
+
+// replayRecord re-applies one committed record during recovery. The DB is
+// mid-open: no snapshots exist, no WAL is attached (nothing re-logs), and
+// the caller refreshes the view afterwards.
+func (db *DB) replayRecord(rec walRecord) error {
+	var index []core.BatchOp
+	for i := range rec.Ops {
+		op := &rec.Ops[i]
+		switch op.Kind {
+		case walOpSetSV:
+			index = append(index, core.BatchOp{Kind: core.OpSetSV, UID: motion.UserID(op.UID), SV: op.SV})
+		case walOpUpsert:
+			index = append(index, core.BatchOp{Kind: core.OpUpsert, Obj: op.Obj})
+			db.noteUser(op.Obj.UID)
+		case walOpRemove:
+			index = append(index, core.BatchOp{Kind: core.OpRemove, UID: motion.UserID(op.UID)})
+		case walOpRelation:
+			db.policies.SetRelation(policy.UserID(op.Own), policy.UserID(op.Peer), op.Role)
+			db.noteUser(op.Own)
+			db.noteUser(op.Peer)
+			db.encoded = false
+		case walOpGrant:
+			if err := db.policies.AddPolicy(policy.UserID(op.Own), policy.Policy{Role: op.Role, Locr: op.Locr, Tint: op.Tint}); err != nil {
+				return fmt.Errorf("peb: replay grant: %w", err)
+			}
+			db.noteUser(op.Own)
+			db.encoded = false
+		case walOpEncode:
+			// Flush any index ops staged before the rebuild (ordering within
+			// a record is apply order).
+			if err := db.replayIndexOps(index); err != nil {
+				return err
+			}
+			index = nil
+			if err := db.rebuildLocked(decodeAssignment(*op)); err != nil {
+				return fmt.Errorf("peb: replay encode: %w", err)
+			}
+		case walOpLoadPolicies:
+			loaded, err := policy.Load(bytes.NewReader(op.Blob))
+			if err != nil {
+				return fmt.Errorf("peb: replay load-policies: %w", err)
+			}
+			db.policies = loaded
+			_ = db.tree.SetPolicies(loaded)
+			loaded.ForEachGrant(func(owner, viewer policy.UserID, _ policy.Policy) bool {
+				db.users[UserID(owner)] = true
+				db.users[UserID(viewer)] = true
+				return true
+			})
+			db.encoded = false
+		default:
+			return fmt.Errorf("peb: unknown wal op kind %d", op.Kind)
+		}
+	}
+	if err := db.replayIndexOps(index); err != nil {
+		return err
+	}
+	db.nextSV = rec.NextSV
+	if db.nextSV < 2 {
+		db.nextSV = 2
+	}
+	db.walSeq = rec.Seq
+	return nil
+}
+
+// replayIndexOps applies a record's index operations through the same
+// batch machinery commits use.
+func (db *DB) replayIndexOps(ops []core.BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if err := db.tree.ApplyBatch(ops); err != nil {
+		return fmt.Errorf("peb: replay batch: %w", err)
+	}
+	return nil
+}
