@@ -19,8 +19,20 @@ import (
 // compute reachability: every allocated page not returned here (and not
 // pinned by a snapshot) is dead and can be freed.
 func (t *Tree) WalkPages(maxPage store.PageID) ([]store.PageID, error) {
+	return t.Reader().WalkPages(maxPage)
+}
+
+// WalkPages is the reachability walk on a fixed view of the tree (see
+// Tree.WalkPages for the validation it performs). Because a Reader is
+// pinned at its creation, a checkpoint can capture one inside its cut
+// critical section — right after sealing the tree — and run the walk
+// during its lock-free build phase: sealed pages are immutable (concurrent
+// mutations copy-on-write fresh pages that the sealed root cannot reach),
+// so the walk observes exactly the cut image no matter how many commits
+// land meanwhile.
+func (r *Reader) WalkPages(maxPage store.PageID) ([]store.PageID, error) {
 	visited := make(map[store.PageID]bool)
-	out := make([]store.PageID, 0, t.leafCount*2)
+	out := make([]store.PageID, 0, r.leafCount*2)
 	var walk func(pid store.PageID, depth int) error
 	walk = func(pid store.PageID, depth int) error {
 		if pid == store.InvalidPageID {
@@ -32,13 +44,13 @@ func (t *Tree) WalkPages(maxPage store.PageID) ([]store.PageID, error) {
 		if visited[pid] {
 			return fmt.Errorf("btree: page %d reachable twice", pid)
 		}
-		if depth > t.height {
-			return fmt.Errorf("btree: node %d at depth %d exceeds height %d", pid, depth, t.height)
+		if depth > r.height {
+			return fmt.Errorf("btree: node %d at depth %d exceeds height %d", pid, depth, r.height)
 		}
 		visited[pid] = true
 		out = append(out, pid)
 
-		p, err := t.pool.Fetch(pid)
+		p, err := r.fetch(pid)
 		if err != nil {
 			return err
 		}
@@ -48,13 +60,13 @@ func (t *Tree) WalkPages(maxPage store.PageID) ([]store.PageID, error) {
 		case leafType:
 			if n > LeafCapacity {
 				err = fmt.Errorf("btree: leaf %d claims %d entries (cap %d)", pid, n, LeafCapacity)
-			} else if depth != t.height {
-				err = fmt.Errorf("btree: leaf %d at depth %d, height is %d", pid, depth, t.height)
+			} else if depth != r.height {
+				err = fmt.Errorf("btree: leaf %d at depth %d, height is %d", pid, depth, r.height)
 			}
 		case internalType:
 			if n > InternalCapacity {
 				err = fmt.Errorf("btree: internal %d claims %d separators (cap %d)", pid, n, InternalCapacity)
-			} else if depth == t.height {
+			} else if depth == r.height {
 				err = fmt.Errorf("btree: internal %d at leaf depth %d", pid, depth)
 			} else {
 				children = append(children, readInternal(p).children...)
@@ -62,7 +74,7 @@ func (t *Tree) WalkPages(maxPage store.PageID) ([]store.PageID, error) {
 		default:
 			err = fmt.Errorf("btree: page %d has unknown type %d", pid, typ)
 		}
-		if uerr := t.pool.Unpin(pid, false); err == nil {
+		if uerr := r.pool.Unpin(pid, false); err == nil {
 			err = uerr
 		}
 		if err != nil {
@@ -75,10 +87,10 @@ func (t *Tree) WalkPages(maxPage store.PageID) ([]store.PageID, error) {
 		}
 		return nil
 	}
-	if t.height < 1 {
-		return nil, fmt.Errorf("btree: invalid height %d", t.height)
+	if r.height < 1 {
+		return nil, fmt.Errorf("btree: invalid height %d", r.height)
 	}
-	if err := walk(t.root, 1); err != nil {
+	if err := walk(r.root, 1); err != nil {
 		return nil, err
 	}
 	return out, nil

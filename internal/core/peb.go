@@ -99,6 +99,13 @@ func (t *Tree) Pool() *store.BufferPool { return t.tree.Pool() }
 // reachable nor pinned by a snapshot is dead and may be freed.
 func (t *Tree) Pages() ([]store.PageID, error) { return t.tree.WalkPages(0) }
 
+// Reader returns a read-only B+-tree reader pinned at the current root.
+// A checkpoint captures one in its cut critical section — right after
+// sealing the tree — and runs the reachability sweep (Reader.WalkPages)
+// against it during the lock-free build phase: sealed pages are immutable,
+// so the sweep observes exactly the cut image while commits proceed.
+func (t *Tree) Reader() *btree.Reader { return t.tree.Reader() }
+
 // SetSV registers or updates uid's sequence value. Policy encoding is an
 // offline phase (Sec. 5.1); re-registering a user that is currently indexed
 // is rejected — delete and re-insert to move an entry.

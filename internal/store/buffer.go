@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -239,10 +240,63 @@ func (bp *BufferPool) Release(id PageID) error {
 
 // FlushAll writes every dirty cached page back to disk. Pinned pages are
 // flushed too (they remain resident and pinned).
+//
+// FlushAll holds the pool mutex for the entire sweep, stalling every
+// concurrent Fetch for its duration. Callers that must stay responsive
+// while flushing — the checkpoint build phase — capture DirtyPages and
+// hand the list to FlushPages instead.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	return bp.flushAllLocked()
+}
+
+// DirtyPages returns the ids of every resident dirty page, sorted. A
+// checkpoint captures this list inside its cut critical section; the pages
+// of a just-sealed tree image are immutable from that point on, so the
+// list stays exact until FlushPages writes it out.
+func (bp *BufferPool) DirtyPages() []PageID {
+	bp.mu.Lock()
+	ids := make([]PageID, 0, len(bp.frames))
+	for id, f := range bp.frames {
+		if f.page.dirty {
+			ids = append(ids, id)
+		}
+	}
+	bp.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// FlushPages writes the given pages back to disk, re-acquiring the pool
+// mutex per page so concurrent Fetch/NewPage/Unpin interleave between
+// writes instead of stalling behind the whole sweep (the flush-safety a
+// non-blocking checkpoint build needs). Pages that are no longer resident
+// or no longer dirty — evicted (and therefore already written back) or
+// never redirtied — are skipped. Returns the number of pages written.
+//
+// The caller must guarantee the pages' contents are stable for the
+// duration — e.g. they belong to a sealed tree image, which concurrent
+// mutations only ever copy-on-write, never rewrite.
+func (bp *BufferPool) FlushPages(ids []PageID) (int, error) {
+	flushed := 0
+	for _, id := range ids {
+		bp.mu.Lock()
+		f, ok := bp.frames[id]
+		if !ok || !f.page.dirty {
+			bp.mu.Unlock()
+			continue
+		}
+		if err := bp.disk.Write(id, f.page.data[:]); err != nil {
+			bp.mu.Unlock()
+			return flushed, err
+		}
+		f.page.dirty = false
+		bp.stats.WriteBack++
+		flushed++
+		bp.mu.Unlock()
+	}
+	return flushed, nil
 }
 
 func (bp *BufferPool) flushAllLocked() error {

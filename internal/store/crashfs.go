@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 )
 
@@ -199,6 +200,24 @@ func (c *CrashFS) Remove(name string) error {
 	delete(c.files, name)
 	delete(c.durable, name)
 	return nil
+}
+
+// ListDir implements VFS. CrashFS namespaces are flat; a file belongs to
+// dir when filepath.Dir of its name equals dir (so relative names like
+// "db.idx" live in ".").
+func (c *CrashFS) ListDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, ErrInjected
+	}
+	var names []string
+	for name := range c.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, name)
+		}
+	}
+	return names, nil
 }
 
 // Exists implements VFS.

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // FileDisk is a DiskManager backed by a regular file (through a VFS, so
@@ -15,12 +16,28 @@ import (
 // reusable after a restart instead of leaking. Without Reconcile an
 // existing file is treated conservatively as fully allocated up to its
 // length (the pre-free-list behavior, still used for v1 checkpoints).
+//
+// FileDisk guards its own state with an internal mutex, so the owner may
+// call it from several goroutines — the buffer pool serializing most
+// access, plus a checkpoint build phase reading allocator state and
+// syncing the file without holding the pool's lock.
 type FileDisk struct {
+	mu    sync.Mutex
 	f     VFile
 	next  PageID
 	free  []PageID
 	alive map[PageID]bool
 	stats DiskStats
+
+	// Deferred reclamation (checkpoint builds). While deferFrees is set,
+	// Free parks ids in pending instead of the free list: a page freed
+	// while a checkpoint image is being built must not be reallocated —
+	// and overwritten — before that checkpoint's commit point, because the
+	// *previous* checkpoint may still reference it as live. FlushPending
+	// moves the parked ids to the free list once the new commit point is
+	// durable.
+	deferFrees bool
+	pending    []PageID
 }
 
 // OpenFileDisk opens (creating if necessary) a file-backed disk at path on
@@ -59,6 +76,8 @@ func OpenFileDiskOn(fs VFS, path string) (*FileDisk, error) {
 // restored) is abandoned; those byte ranges are rewritten when the ids are
 // allocated again.
 func (d *FileDisk) Reconcile(numPages uint64, free []PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	size, err := d.f.Size()
 	if err != nil {
 		return fmt.Errorf("store: stat file disk: %w", err)
@@ -90,32 +109,82 @@ func (d *FileDisk) Reconcile(numPages uint64, free []PageID) error {
 
 // NumPages returns the allocator's high-water mark: every page id ever
 // allocated is ≤ NumPages.
-func (d *FileDisk) NumPages() uint64 { return uint64(d.next - 1) }
+func (d *FileDisk) NumPages() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return uint64(d.next - 1)
+}
 
-// FreeList returns the currently free page ids (ascending).
+// FreeList returns the currently free page ids (ascending). Parked ids
+// (see DeferFrees) are not included — use PendingList.
 func (d *FileDisk) FreeList() []PageID {
+	d.mu.Lock()
 	out := append([]PageID(nil), d.free...)
+	d.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // AliveList returns the currently allocated page ids (ascending).
 func (d *FileDisk) AliveList() []PageID {
+	d.mu.Lock()
 	out := make([]PageID, 0, len(d.alive))
 	for id := range d.alive {
 		out = append(out, id)
 	}
+	d.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// DeferFrees toggles deferred reclamation: while enabled, freed pages are
+// parked (unallocated but not reusable) instead of entering the free list.
+// A checkpoint enables it at its cut and flushes the parked ids at its
+// publish, so no page freed mid-build can be reallocated while an on-disk
+// checkpoint might still reference it. Disabling does NOT flush pending —
+// an aborted checkpoint keeps its parked pages out of circulation until a
+// later checkpoint commits (they are reported by PendingList so the later
+// checkpoint's metadata can account for them as free).
+func (d *FileDisk) DeferFrees(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.deferFrees = on
+}
+
+// PendingList returns the parked page ids (ascending).
+func (d *FileDisk) PendingList() []PageID {
+	d.mu.Lock()
+	out := append([]PageID(nil), d.pending...)
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlushPending moves every parked id to the free list, making the pages
+// reallocatable. Called after a checkpoint's commit point is durable.
+func (d *FileDisk) FlushPending() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.free = append(d.free, d.pending...)
+	d.pending = nil
+}
+
 // Close flushes and closes the underlying file.
-func (d *FileDisk) Close() error { return d.f.Close() }
+func (d *FileDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}
 
 // Sync implements DiskManager: it fsyncs the backing file, making every
-// completed Write durable.
+// completed Write durable. Sync deliberately does not hold the disk mutex
+// across the (possibly long) fsync, so concurrent page I/O proceeds; the
+// VFile contract requires Sync to be safe alongside WriteAt.
 func (d *FileDisk) Sync() error {
-	if err := d.f.Sync(); err != nil {
+	d.mu.Lock()
+	f := d.f
+	d.mu.Unlock()
+	if err := f.Sync(); err != nil {
 		return fmt.Errorf("store: sync file disk: %w", err)
 	}
 	return nil
@@ -123,6 +192,8 @@ func (d *FileDisk) Sync() error {
 
 // Allocate implements DiskManager.
 func (d *FileDisk) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var id PageID
 	if n := len(d.free); n > 0 {
 		// Reused slots are not re-zeroed: every allocation goes through
@@ -149,13 +220,20 @@ func (d *FileDisk) Allocate() (PageID, error) {
 	return id, nil
 }
 
-// Free implements DiskManager.
+// Free implements DiskManager. Under DeferFrees the id is parked rather
+// than made reallocatable (see DeferFrees).
 func (d *FileDisk) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if !d.alive[id] {
 		return fmt.Errorf("store: free of unallocated page %d", id)
 	}
 	delete(d.alive, id)
-	d.free = append(d.free, id)
+	if d.deferFrees {
+		d.pending = append(d.pending, id)
+	} else {
+		d.free = append(d.free, id)
+	}
 	d.stats.Frees++
 	d.stats.PagesAlive--
 	return nil
@@ -163,6 +241,8 @@ func (d *FileDisk) Free(id PageID) error {
 
 // Read implements DiskManager.
 func (d *FileDisk) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(buf) != PageSize {
 		return fmt.Errorf("store: read buffer is %d bytes, want %d", len(buf), PageSize)
 	}
@@ -178,6 +258,8 @@ func (d *FileDisk) Read(id PageID, buf []byte) error {
 
 // Write implements DiskManager.
 func (d *FileDisk) Write(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(buf) != PageSize {
 		return fmt.Errorf("store: write buffer is %d bytes, want %d", len(buf), PageSize)
 	}
@@ -192,10 +274,16 @@ func (d *FileDisk) Write(id PageID, buf []byte) error {
 }
 
 // Stats implements DiskManager.
-func (d *FileDisk) Stats() DiskStats { return d.stats }
+func (d *FileDisk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats implements DiskManager.
 func (d *FileDisk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	alive := d.stats.PagesAlive
 	d.stats = DiskStats{PagesAlive: alive}
 }

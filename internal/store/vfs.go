@@ -33,6 +33,10 @@ type VFS interface {
 	Remove(name string) error
 	// Exists reports whether name exists.
 	Exists(name string) (bool, error)
+	// ListDir returns the full paths of the files in dir (no recursion,
+	// no ordering guarantee). Startup housekeeping uses it to sweep
+	// orphaned temp and superseded side files a crash left behind.
+	ListDir(dir string) ([]string, error)
 }
 
 // VFile is an open file of a VFS. Implementations need not be safe for
@@ -107,6 +111,22 @@ func (OSFS) Rename(oldname, newname string) error {
 // Remove implements VFS.
 func (OSFS) Remove(name string) error { return os.Remove(name) }
 
+// ListDir implements VFS.
+func (OSFS) ListDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	return names, nil
+}
+
 // Exists implements VFS.
 func (OSFS) Exists(name string) (bool, error) {
 	_, err := os.Stat(name)
@@ -149,6 +169,19 @@ func notExistError(name string) error {
 // torn mix — the write-temp/fsync/rename pattern checkpoint side files
 // are published with.
 func WriteFileAtomic(vfs VFS, path string, data []byte) error {
+	if err := StageFile(vfs, path, data); err != nil {
+		return err
+	}
+	return CommitStagedFile(vfs, path)
+}
+
+// StageFile durably writes data to path+".tmp" without publishing it: the
+// staged bytes are written, truncated to length, and fsynced, but path
+// itself is untouched. CommitStagedFile publishes the staged content with
+// a single rename. Splitting the two lets a checkpoint pay the content
+// fsyncs in its lock-free build phase and keep only the rename — the
+// commit point — inside its publish critical section.
+func StageFile(vfs VFS, path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := vfs.OpenFile(tmp)
 	if err != nil {
@@ -169,7 +202,13 @@ func WriteFileAtomic(vfs VFS, path string, data []byte) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: write %s: %w", path, err)
 	}
-	if err := vfs.Rename(tmp, path); err != nil {
+	return nil
+}
+
+// CommitStagedFile atomically replaces path with the content StageFile
+// staged at path+".tmp". The rename is durable on return (VFS contract).
+func CommitStagedFile(vfs VFS, path string) error {
+	if err := vfs.Rename(path+".tmp", path); err != nil {
 		return fmt.Errorf("store: write %s: %w", path, err)
 	}
 	return nil

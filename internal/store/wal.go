@@ -70,12 +70,15 @@ type WALToken int64
 // WAL is an append-only commit log over a VFile. All methods are safe for
 // concurrent use.
 type WAL struct {
-	f      VFile
+	fs     VFS
+	path   string
 	policy WALSyncPolicy
 	window time.Duration
 
-	// mu guards the append offset and the logical byte counter.
+	// mu guards the file handle, the append offset, and the logical byte
+	// counter.
 	mu      sync.Mutex
+	f       VFile
 	fileOff int64 // physical append position
 	base    int64 // logical bytes truncated away so far
 	err     error // poisoned: every later Append/Commit fails
@@ -97,6 +100,11 @@ type WAL struct {
 // torn or corrupt tail is truncated away so subsequent appends extend a
 // clean log.
 func OpenWAL(fs VFS, path string, policy WALSyncPolicy) (*WAL, [][]byte, error) {
+	// A crash mid-rotation (TruncateTo) can leave a staging file behind;
+	// it was never renamed, so its content is dead — sweep it.
+	if ok, _ := fs.Exists(path + ".tmp"); ok {
+		_ = fs.Remove(path + ".tmp")
+	}
 	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: open wal: %w", err)
@@ -125,7 +133,8 @@ func OpenWAL(fs VFS, path string, policy WALSyncPolicy) (*WAL, [][]byte, error) 
 			return nil, nil, fmt.Errorf("store: sync truncated wal: %w", err)
 		}
 	}
-	w := &WAL{f: f, policy: policy, window: DefaultGroupWindow, fileOff: int64(valid), synced: int64(valid)}
+	w := &WAL{fs: fs, path: path, f: f, policy: policy, window: DefaultGroupWindow,
+		fileOff: int64(valid), synced: int64(valid)}
 	w.sc = sync.NewCond(&w.sm)
 	return w, records, nil
 }
@@ -270,10 +279,14 @@ func (w *WAL) syncTo(target int64) error {
 		// fsync instead of paying their own.
 		time.Sleep(w.window)
 	}
+	// Capture the handle under mu: TruncateTo swaps it during log rotation
+	// (rotation excludes sync leaders via the syncing flag, but belt and
+	// braces — a stale capture would merely fsync the superseded file).
 	w.mu.Lock()
 	end := w.base + w.fileOff
+	f := w.f
 	w.mu.Unlock()
-	serr := w.f.Sync()
+	serr := f.Sync()
 
 	w.sm.Lock()
 	w.syncing = false
@@ -302,35 +315,108 @@ func (w *WAL) syncTo(target int64) error {
 // redundant. Outstanding commits for pre-truncation records are satisfied
 // (the checkpoint made them durable by other means).
 func (w *WAL) Truncate() error {
+	_, err := w.TruncateTo(w.Mark())
+	return err
+}
+
+// Mark returns the log's current logical end offset — the position after
+// the last appended record. A checkpoint captures the mark at its cut
+// (while its lock excludes appenders) and passes it to TruncateTo at its
+// publish, so only the records the checkpoint covers are dropped.
+func (w *WAL) Mark() int64 {
 	w.mu.Lock()
-	if w.err != nil {
-		err := w.err
-		w.mu.Unlock()
-		return err
-	}
-	if err := w.f.Truncate(0); err != nil {
-		w.err = fmt.Errorf("store: wal truncate: %w", err)
-		w.mu.Unlock()
-		return w.err
-	}
-	if err := w.f.Sync(); err != nil {
-		w.err = fmt.Errorf("store: wal truncate sync: %w", err)
-		w.mu.Unlock()
-		return w.err
-	}
-	w.base += w.fileOff
-	w.fileOff = 0
-	newBase := w.base
-	// sm is taken only after releasing mu (syncTo holds sm while briefly
-	// taking mu; holding both here would invert that order and deadlock).
-	w.mu.Unlock()
+	defer w.mu.Unlock()
+	return w.base + w.fileOff
+}
+
+// TruncateTo drops every record before mark (a value from Mark), keeping
+// the records appended since — the commits a concurrent checkpoint build
+// did not cover. It returns the number of bytes removed.
+//
+// When mark is the current end the file is simply truncated (the old
+// whole-log behavior). Otherwise the log rotates: the surviving tail is
+// staged into <path>.tmp, fsynced, and renamed over the log — atomic on
+// the VFS contract — and the WAL switches to the new file. A crash at any
+// point leaves either the old complete log or the tail-only log; both
+// replay correctly against the checkpoint the caller just committed
+// (records before mark are skipped by their sequence numbers). Either
+// way, everything remaining in the log is durable on return, so
+// outstanding Commit waiters are satisfied.
+func (w *WAL) TruncateTo(mark int64) (int64, error) {
+	// Exclude group-commit sync leaders for the duration: a leader fsyncs
+	// the file handle outside any lock, and rotation replaces that handle.
 	w.sm.Lock()
-	if newBase > w.synced {
-		w.synced = newBase
+	for w.syncing {
+		w.sc.Wait()
+	}
+	w.syncing = true
+	w.sm.Unlock()
+
+	w.mu.Lock()
+	removed, end, err := w.truncateToLocked(mark)
+	w.mu.Unlock()
+
+	w.sm.Lock()
+	w.syncing = false
+	if err == nil && end > w.synced {
+		w.synced = end
 	}
 	w.sc.Broadcast()
 	w.sm.Unlock()
-	return nil
+	return removed, err
+}
+
+// truncateToLocked is TruncateTo's body; the caller holds mu and has
+// blocked out sync leaders. Returns bytes removed and the logical end made
+// durable.
+func (w *WAL) truncateToLocked(mark int64) (int64, int64, error) {
+	if w.err != nil {
+		return 0, 0, w.err
+	}
+	end := w.base + w.fileOff
+	switch {
+	case mark <= w.base:
+		return 0, 0, nil // already truncated past mark
+	case mark > end:
+		w.err = fmt.Errorf("store: wal truncate mark %d beyond log end %d", mark, end)
+		return 0, 0, w.err
+	case mark == end:
+		// No surviving tail: empty the file in place.
+		if err := w.f.Truncate(0); err != nil {
+			w.err = fmt.Errorf("store: wal truncate: %w", err)
+			return 0, 0, w.err
+		}
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("store: wal truncate sync: %w", err)
+			return 0, 0, w.err
+		}
+		removed := mark - w.base
+		w.base = mark
+		w.fileOff = 0
+		return removed, end, nil
+	}
+
+	// Rotate: stage the tail, publish it by rename, adopt the new file.
+	tail := make([]byte, end-mark)
+	if _, err := w.f.ReadAt(tail, mark-w.base); err != nil {
+		w.err = fmt.Errorf("store: wal rotate read: %w", err)
+		return 0, 0, w.err
+	}
+	if err := WriteFileAtomic(w.fs, w.path, tail); err != nil {
+		w.err = fmt.Errorf("store: wal rotate: %w", err)
+		return 0, 0, w.err
+	}
+	nf, err := w.fs.OpenFile(w.path)
+	if err != nil {
+		w.err = fmt.Errorf("store: wal rotate reopen: %w", err)
+		return 0, 0, w.err
+	}
+	_ = w.f.Close()
+	w.f = nf
+	removed := mark - w.base
+	w.base = mark
+	w.fileOff = end - mark
+	return removed, end, nil
 }
 
 // Size returns the log's current length in bytes.

@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/core"
@@ -34,15 +37,53 @@ import (
 // only after the new meta commits), so a crash anywhere in the sequence
 // leaves either the old checkpoint — old meta, old policies file intact —
 // or the new one, never a torn pairing of one era's policies with the
-// other era's index. The page image both metas describe stays valid
-// because the tree is sealed after each checkpoint: later mutations
-// copy-on-write fresh pages and checkpointed pages are quarantined from
-// reuse until the *next* checkpoint commits (see DB.ckptSealed).
+// other era's index.
+//
+// # The phased pipeline
+//
+// Checkpoint no longer stops the world. It runs as three explicit phases,
+// and only the first and last hold the write lock:
+//
+//	cut     (write lock) — seal the tree so every page of the current
+//	        image becomes immutable (later mutations copy-on-write);
+//	        capture the root/meta/sequence-value snapshot, the policy
+//	        store (clone-on-write pinned), the allocator state, the WAL
+//	        horizon and byte mark, and the dirty-page list; switch the
+//	        disk into deferred reclamation. No I/O.
+//	build   (no write lock) — flush the captured dirty pages one at a
+//	        time (the buffer pool re-locks per page, so concurrent
+//	        fetches interleave), fsync the data file, run the
+//	        reachability sweep over the sealed image via a btree.Reader,
+//	        park the dead pages, write the .policies.<n> side file, and
+//	        stage the .meta bytes durably at .meta.tmp. Commits and
+//	        queries proceed against the live tree throughout.
+//	publish (write lock) — rename .meta.tmp over .meta (the commit
+//	        point), flip the parked pages into the allocator's free
+//	        list, and truncate the WAL up to the cut's mark (records
+//	        committed during the build survive, via log rotation). The
+//	        only I/O under the lock is the rename and the log
+//	        truncation — both O(1) in the index size.
+//
+// The cut image stays valid during the build because sealed pages are
+// never rewritten in place, freed pages are parked rather than reused
+// (store.FileDisk.DeferFrees), and retired pages are quarantined
+// (DB.collectGarbage honors ckptBuilding). A crash in any phase before
+// the meta rename leaves the previous checkpoint fully intact; after it,
+// the new one — the same two-generals-free protocol as before, which the
+// brute-force crash sweep (peb/crash_test.go) verifies fault point by
+// fault point.
+//
+// Concurrent Checkpoint calls coalesce: a call that arrives while a
+// pipeline is in flight waits for that pipeline and returns its result.
+// Index rebuilds (EncodePolicies, LoadPolicies) and Close drain the
+// pipeline first (DB.ckptMu). Options.AutoCheckpoint runs this same
+// pipeline from a background maintainer when the write-ahead log crosses
+// a size threshold.
 //
 // With a write-ahead log, the meta records the log sequence number of the
 // last commit the checkpoint covers; recovery replays only newer records,
-// and Checkpoint truncates the log afterwards (pure space reclamation —
-// correctness never depends on the truncation happening).
+// and the publish phase truncates the covered prefix (pure space
+// reclamation — correctness never depends on the truncation happening).
 
 // metaFile is the JSON side-file format.
 type metaFile struct {
@@ -78,114 +119,423 @@ type svRec struct {
 // allocator state, no WAL horizon) are still read.
 const metaVersion = 2
 
-// Checkpoint flushes all index pages to the backing file, fsyncs it, and
-// atomically publishes the side files. Only file-backed DBs can
-// checkpoint. On return the checkpoint is durable: a crash at any later
-// point recovers at least this state (plus, with durability enabled, every
-// commit the WAL holds).
+// CheckpointStats reports checkpoint pipeline activity since Open. The
+// Last* durations describe the most recent committed checkpoint; the
+// Total* durations accumulate across all of them. Cut and Publish are the
+// only phases that hold the write lock, so LastCut+LastPublish bounds the
+// stall the last checkpoint imposed on commits and queries (under
+// Options.StopTheWorldCheckpoints the build holds it too).
+type CheckpointStats struct {
+	// Checkpoints counts committed pipelines; Coalesced counts Checkpoint
+	// calls satisfied by riding an already-in-flight pipeline instead of
+	// running their own; AutoTriggered counts pipelines initiated by the
+	// AutoCheckpoint maintainer.
+	Checkpoints   uint64
+	Coalesced     uint64
+	AutoTriggered uint64
+
+	LastCut, LastBuild, LastPublish    time.Duration
+	TotalCut, TotalBuild, TotalPublish time.Duration
+
+	// PagesFlushed counts dirty pages written by build phases;
+	// PagesReclaimed counts dead pages returned to the allocator;
+	// WALBytesTruncated counts log bytes dropped at publish. All
+	// cumulative.
+	PagesFlushed      uint64
+	PagesReclaimed    uint64
+	WALBytesTruncated uint64
+}
+
+// CheckpointStats returns the pipeline's activity counters since Open.
+func (db *DB) CheckpointStats() CheckpointStats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.ckptStats
+}
+
+// ckptRun is one in-flight pipeline, shared by coalesced Checkpoint calls.
+// cutDone (guarded by DB.ckptCoalMu) flips once the pipeline's cut has
+// captured its image: only callers that arrive BEFORE the cut may
+// coalesce, because only their pre-call commits are inside the image —
+// a later caller riding along would be told "durable" about commits the
+// pipeline never saw (fatal without a fsynced WAL to cover them).
+type ckptRun struct {
+	done    chan struct{}
+	cutDone bool
+	err     error
+}
+
+// ckptImage is everything the build and publish phases need, captured
+// inside the cut critical section so no later phase reads mutable DB
+// state without the lock.
+type ckptImage struct {
+	seq      uint64
+	reader   *btree.Reader // the sealed cut image
+	pool     *store.BufferPool
+	fd       *store.FileDisk
+	dirty    []store.PageID
+	policies *policy.Store
+	snap     core.Snapshot
+	users    []UserID
+	nextSV   float64
+	encoded  bool
+	walSeq   uint64
+	walMark  int64
+	numPages uint64
+	free     []store.PageID        // free ∪ parked ids at cut
+	alive    []store.PageID        // allocated ids at cut
+	keep     map[store.PageID]bool // snapshot-pinned retired pages
+	dead     []store.PageID        // filled by build
+	flushed  int                   // filled by build
+	polName  string                // filled by build
+}
+
+// Checkpoint publishes a crash-consistent cut of the database to its
+// backing files. Only file-backed DBs can checkpoint. On return the
+// checkpoint is durable: a crash at any later point recovers at least
+// this state (plus, with durability enabled, every commit the WAL holds).
+//
+// Checkpoint runs as a three-phase pipeline — cut, build, publish — and
+// holds the write lock only for the cut and publish moments, so commits
+// and queries keep flowing while the bulk of the work (page flushing,
+// fsync, the reachability sweep, side-file writes) happens; commits made
+// during the build are simply not covered by this checkpoint and stay in
+// the write-ahead log. A Checkpoint call that arrives while another is in
+// flight but has not yet taken its cut coalesces with it — it waits for
+// that pipeline and returns its result, which covers every commit the
+// caller made before calling. A call that arrives after the cut waits the
+// pipeline out and runs its own, so the durability promise above holds
+// even without a write-ahead log.
 //
 // Checkpoint is also the storage reclamation point: pages that became
 // unreachable since the last checkpoint (superseded by copy-on-write,
 // abandoned by an index rebuild) and are not pinned by an open Snapshot
-// are returned to the allocator, and the write-ahead log is truncated.
+// are returned to the allocator, and the covered prefix of the
+// write-ahead log is truncated.
 func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if db.fileDisk == nil {
-		return fmt.Errorf("peb: checkpoint requires a file-backed DB (Options.Path)")
+	var run *ckptRun
+	for {
+		db.ckptCoalMu.Lock()
+		inflight := db.ckptInflight
+		if inflight == nil {
+			run = &ckptRun{done: make(chan struct{})}
+			db.ckptInflight = run
+			db.ckptCoalMu.Unlock()
+			break
+		}
+		if !inflight.cutDone {
+			// The in-flight pipeline will cut after this call arrived, so
+			// its image covers our caller's commits: ride it.
+			db.ckptCoalMu.Unlock()
+			<-inflight.done
+			db.statsMu.Lock()
+			db.ckptStats.Coalesced++
+			db.statsMu.Unlock()
+			return inflight.err
+		}
+		// Cut already taken: its image may predate our caller's commits.
+		// Wait it out and run a pipeline of our own.
+		db.ckptCoalMu.Unlock()
+		<-inflight.done
 	}
 
-	// Account pending retirements so the snapshot-pin arithmetic below
-	// sees every page, then persist the page image.
+	run.err = db.runCheckpoint(run)
+
+	db.ckptCoalMu.Lock()
+	db.ckptInflight = nil
+	db.ckptCoalMu.Unlock()
+	close(run.done)
+	return run.err
+}
+
+// runCheckpoint drives one pipeline: cut under the write lock, build
+// without it (unless Options.StopTheWorldCheckpoints), publish under it
+// again. ckptMu is held for the whole pipeline, serializing it against
+// other pipelines, index rebuilds, and Close. run is this pipeline's
+// coalescing record: its cutDone flag flips the moment the image is
+// captured, after which new Checkpoint calls must not ride this run.
+func (db *DB) runCheckpoint(run *ckptRun) error {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	stw := db.opts.StopTheWorldCheckpoints
+
+	cutStart := time.Now()
+	db.mu.Lock()
+	img, err := db.ckptCut()
+	db.ckptCoalMu.Lock()
+	run.cutDone = true
+	db.ckptCoalMu.Unlock()
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	cutDur := time.Since(cutStart)
+	if !stw {
+		db.mu.Unlock()
+	}
+
+	if !stw {
+		db.hook("build")
+	}
+	buildStart := time.Now()
+	buildErr := db.ckptBuild(img)
+	buildDur := time.Since(buildStart)
+
+	if !stw {
+		db.hook("publish")
+		db.mu.Lock()
+	}
+	publishStart := time.Now()
+	if buildErr != nil {
+		db.ckptAbortLocked(img)
+		db.mu.Unlock()
+		return buildErr
+	}
+	committed, walBytes, err := db.ckptPublishLocked(img)
+	if !committed {
+		db.ckptAbortLocked(img)
+		db.mu.Unlock()
+		return err
+	}
+	publishDur := time.Since(publishStart)
+	db.mu.Unlock()
+
+	db.statsMu.Lock()
+	st := &db.ckptStats
+	st.Checkpoints++
+	st.LastCut, st.LastBuild, st.LastPublish = cutDur, buildDur, publishDur
+	st.TotalCut += cutDur
+	st.TotalBuild += buildDur
+	st.TotalPublish += publishDur
+	st.PagesFlushed += uint64(img.flushed)
+	st.PagesReclaimed += uint64(len(img.dead))
+	st.WALBytesTruncated += uint64(walBytes)
+	db.statsMu.Unlock()
+	return err
+}
+
+// hook invokes the test hook, if any, outside any DB lock. Under
+// StopTheWorldCheckpoints the pipeline holds the write lock across the
+// build, so hooks are not invoked at all there (a gating hook would
+// deadlock the DB).
+func (db *DB) hook(phase string) {
+	if db.ckptHook != nil {
+		db.ckptHook(phase)
+	}
+}
+
+// ckptCut is the pipeline's first critical section (caller holds the
+// write lock): freeze the image and capture everything the lock-free
+// build needs. No file I/O happens here.
+func (db *DB) ckptCut() (*ckptImage, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if db.fileDisk == nil {
+		return nil, fmt.Errorf("peb: checkpoint requires a file-backed DB (Options.Path)")
+	}
+
+	// Account pending retirements, then seal: every page reachable right
+	// now becomes immutable, so the capture below stays bit-exact no
+	// matter what commits land during the build.
 	if pages := db.tree.TakeRetired(); len(pages) > 0 {
 		db.garbage = append(db.garbage, gcBatch{ver: db.tree.Version(), pages: pages})
 	}
-	if err := db.tree.Pool().FlushAll(); err != nil {
-		return err
-	}
-	if err := db.fileDisk.Sync(); err != nil {
-		return err
-	}
+	db.tree.Seal()
 
-	// Liveness: a page survives if the current tree reaches it or an open
-	// snapshot still pins it; everything else allocated is dead. The dead
-	// set is only *computed* here — the allocator is untouched until the
-	// meta rename commits, so a crash in between leaves the previous
-	// checkpoint's view fully intact.
-	reach, err := db.tree.Pages()
-	if err != nil {
-		return err
-	}
-	keep := make(map[store.PageID]bool, len(reach))
-	for _, id := range reach {
-		keep[id] = true
-	}
+	// Liveness inputs: a page survives if the cut image reaches it (the
+	// build computes that part) or an open snapshot still pins it. The
+	// snapshot-pinned batches stay in the garbage list; the rest are
+	// dropped here — their pages stay allocated until the build proves
+	// them dead and the publish reclaims them.
 	minVer, live := db.minLiveVersion()
-	var keptGarbage []gcBatch
+	keep := make(map[store.PageID]bool)
+	var kept []gcBatch
 	for _, b := range db.garbage {
 		if live && b.ver >= minVer {
-			keptGarbage = append(keptGarbage, b)
+			kept = append(kept, b)
 			for _, id := range b.pages {
 				keep[id] = true
 			}
 		}
 	}
-	var dead []store.PageID
-	for _, id := range db.fileDisk.AliveList() {
-		if !keep[id] {
-			dead = append(dead, id)
+	db.garbage = kept
+
+	img := &ckptImage{
+		seq:      db.ckptSeq + 1,
+		reader:   db.tree.Reader(),
+		pool:     db.tree.Pool(),
+		fd:       db.fileDisk,
+		policies: db.policies,
+		snap:     db.tree.Snapshot(),
+		nextSV:   db.nextSV,
+		encoded:  db.encoded,
+		walSeq:   db.walSeq,
+		numPages: db.fileDisk.NumPages(),
+		// Parked ids from an earlier aborted pipeline are unreachable and
+		// unallocated: free pages of the new image.
+		free:  append(db.fileDisk.FreeList(), db.fileDisk.PendingList()...),
+		alive: db.fileDisk.AliveList(),
+		keep:  keep,
+	}
+	img.users = make([]UserID, 0, len(db.users))
+	for uid := range db.users {
+		img.users = append(img.users, uid)
+	}
+	sort.Slice(img.users, func(i, j int) bool { return img.users[i] < img.users[j] })
+	if db.wal != nil {
+		img.walMark = db.wal.Mark()
+	}
+
+	// From here until publish/abort: freed pages park instead of becoming
+	// reallocatable, retired pages are quarantined (collectGarbage checks
+	// ckptBuilding), and the policy store is clone-on-write pinned so the
+	// build can serialize it lock-free.
+	db.fileDisk.DeferFrees(true)
+	db.policiesPinned = true
+	db.ckptBuilding = true
+
+	// The dirty list is exact at this instant and can only shrink: sealed
+	// pages are never redirtied, and evictions write pages back.
+	img.dirty = img.pool.DirtyPages()
+	return img, nil
+}
+
+// ckptBuild is the pipeline's heavy phase, run WITHOUT the write lock
+// (commits and queries proceed concurrently): persist the page image,
+// compute liveness against the sealed cut, park the dead pages, and write
+// every side file except the final meta rename.
+func (db *DB) ckptBuild(img *ckptImage) error {
+	flushed, err := img.pool.FlushPages(img.dirty)
+	if err != nil {
+		return err
+	}
+	img.flushed = flushed
+	if err := img.fd.Sync(); err != nil {
+		return err
+	}
+
+	// Liveness: walk the sealed image. Anything allocated at the cut that
+	// the image does not reach and no snapshot pins is dead.
+	reach, err := img.reader.WalkPages(store.PageID(img.numPages))
+	if err != nil {
+		return err
+	}
+	reachable := make(map[store.PageID]bool, len(reach))
+	for _, id := range reach {
+		reachable[id] = true
+	}
+	for _, id := range img.alive {
+		if !reachable[id] && !img.keep[id] {
+			img.dead = append(img.dead, id)
 		}
 	}
-	freeAll := db.fileDisk.FreeList()
-	freeAll = append(freeAll, dead...)
-	sort.Slice(freeAll, func(i, j int) bool { return freeAll[i] < freeAll[j] })
-
-	// Publish the side files: the policies snapshot under a fresh
-	// checkpoint-unique name, then the meta naming it — the commit point.
-	// Until the meta rename lands, the previous checkpoint's files are
-	// untouched, so there is no crash point that pairs one checkpoint's
-	// policies with the other's index.
-	newSeq := db.ckptSeq + 1
-	polName := fmt.Sprintf("%s.policies.%d", db.opts.Path, newSeq)
-	if err := db.writePolicies(polName); err != nil {
-		return err
-	}
-	if err := db.writeMeta(freeAll, newSeq, polName); err != nil {
-		return err
+	// Park the dead pages now: Release evicts stale frames from the
+	// buffer pool as well as freeing the ids, so a future reallocation
+	// cannot collide with a cached ghost. DeferFrees keeps them
+	// unreallocatable until the publish — the previous checkpoint may
+	// still reference them as live.
+	for _, id := range img.dead {
+		if err := img.pool.Release(id); err != nil {
+			return fmt.Errorf("peb: checkpoint reclaim page %d: %w", id, err)
+		}
 	}
 
-	// Committed. Seal before anything else — even a failure in the
-	// reclamation below must not leave the tree rewriting the pages the
-	// just-published meta references in place.
+	// Side files: the policies snapshot under its checkpoint-unique name,
+	// then the meta staged (written + fsynced, NOT renamed) — publishing
+	// the commit point is the publish phase's one job.
+	img.polName = fmt.Sprintf("%s.policies.%d", db.opts.Path, img.seq)
+	var buf bytes.Buffer
+	if err := img.policies.Save(&buf); err != nil {
+		return fmt.Errorf("peb: checkpoint policies: %w", err)
+	}
+	if err := store.WriteFileAtomic(db.opts.FS, img.polName, buf.Bytes()); err != nil {
+		return fmt.Errorf("peb: checkpoint policies: %w", err)
+	}
+	metaData, err := img.metaBytes()
+	if err != nil {
+		return err
+	}
+	if err := store.StageFile(db.opts.FS, db.opts.Path+".meta", metaData); err != nil {
+		return fmt.Errorf("peb: checkpoint meta: %w", err)
+	}
+	return nil
+}
+
+// metaBytes marshals the checkpoint metadata from the cut capture plus
+// the build's liveness result.
+func (img *ckptImage) metaBytes() ([]byte, error) {
+	mf := metaFile{
+		Version:   metaVersion,
+		Root:      uint32(img.snap.Tree.Root),
+		Height:    img.snap.Tree.Height,
+		Size:      img.snap.Tree.Size,
+		LeafCount: img.snap.Tree.LeafCount,
+		NextSV:    img.nextSV,
+		NumPages:  img.numPages,
+		WalSeq:    img.walSeq,
+		Encoded:   img.encoded,
+		CkptSeq:   img.seq,
+		Policies:  img.polName,
+		Users:     img.users,
+	}
+	for uid, sv := range img.snap.SVs {
+		mf.SVs = append(mf.SVs, svRec{UID: uid, SV: sv})
+	}
+	sort.Slice(mf.SVs, func(i, j int) bool { return mf.SVs[i].UID < mf.SVs[j].UID })
+	free := make([]store.PageID, 0, len(img.free)+len(img.dead))
+	free = append(append(free, img.free...), img.dead...)
+	sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+	for _, id := range free {
+		mf.Free = append(mf.Free, uint32(id))
+	}
+	return json.Marshal(mf)
+}
+
+// ckptPublishLocked is the pipeline's final critical section (caller
+// holds the write lock): rename the staged meta — the atomic commit point
+// — then make the reclaimed pages reallocatable and drop the covered WAL
+// prefix. committed reports whether the commit point landed; on
+// committed=true with err != nil the checkpoint succeeded but the log is
+// now disabled (see the error text).
+func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes int64, err error) {
+	if db.closed {
+		// Unreachable — Close drains the pipeline via ckptMu — but never
+		// publish into a torn-down DB.
+		return false, 0, ErrClosed
+	}
+	if err := store.CommitStagedFile(db.opts.FS, db.opts.Path+".meta"); err != nil {
+		return false, 0, fmt.Errorf("peb: checkpoint meta: %w", err)
+	}
+
+	// Committed. The tree has been sealed since the cut; from now on the
+	// image is the recovery base, so the permanent-quarantine regime
+	// (ckptSealed) takes over from the build's temporary one.
 	db.ckptSealed = true
-	db.tree.Seal()
-	db.garbage = keptGarbage
-	db.ckptSeq = newSeq
-	if db.prevPolicies != "" && db.prevPolicies != polName {
+	db.ckptBuilding = false
+	db.ckptSeq = img.seq
+	db.ckptWalSeq = img.walSeq
+	if db.prevPolicies != "" && db.prevPolicies != img.polName {
 		// Best effort: the superseded snapshot is dead weight. A crash
-		// before this Remove orphans it; OpenExisting sweeps the
-		// predecessor name on the next recovery.
+		// before this Remove orphans it; OpenExisting sweeps orphans on
+		// the next recovery.
 		_ = db.opts.FS.Remove(db.prevPolicies)
 	}
-	db.prevPolicies = polName
+	db.prevPolicies = img.polName
 
-	// Reclamation is safe now. Release evicts stale frames from the
-	// buffer pool as well as freeing the ids, so a future reallocation
-	// cannot collide with a cached ghost. Failures only leak the page
-	// until the next checkpoint's sweep finds it alive-but-unreachable
-	// again, so they do not fail the (already committed) checkpoint.
-	for _, id := range dead {
-		_ = db.tree.Pool().Release(id)
-	}
+	// Reclamation is safe now: the parked pages (the build's dead set,
+	// plus anything freed mid-build) become reallocatable.
+	db.fileDisk.FlushPending()
+	db.fileDisk.DeferFrees(false)
+
 	if db.wal != nil {
-		if err := db.wal.Truncate(); err != nil {
+		n, terr := db.wal.TruncateTo(img.walMark)
+		walBytes = n
+		if terr != nil {
 			// The checkpoint itself committed; this failure only disables
 			// the (poisoned, fail-stop) log. Say so rather than reporting
 			// the checkpoint as failed.
-			return fmt.Errorf("peb: checkpoint committed, but log truncation failed and the write-ahead log is now disabled — reopen to restore durability: %w", err)
+			return true, walBytes, fmt.Errorf("peb: checkpoint committed, but log truncation failed and the write-ahead log is now disabled — reopen to restore durability: %w", terr)
 		}
 	} else if ok, _ := db.opts.FS.Exists(db.opts.Path + ".wal"); ok {
 		// Non-durable DB over a leftover log from a durable run: this
@@ -193,57 +543,106 @@ func (db *DB) Checkpoint() error {
 		// dead weight — drop it (best effort).
 		_ = db.opts.FS.Remove(db.opts.Path + ".wal")
 	}
-	return nil
+	return true, walBytes, nil
 }
 
-// writePolicies durably writes the policy snapshot under name.
-func (db *DB) writePolicies(name string) error {
-	var buf bytes.Buffer
-	if err := db.policies.Save(&buf); err != nil {
-		return fmt.Errorf("peb: checkpoint policies: %w", err)
+// ckptAbortLocked unwinds a failed pipeline (caller holds the write
+// lock). The previous checkpoint is untouched; the pages parked during
+// the build stay parked — the old image may reference the dead ones — and
+// are accounted as free by the next successful checkpoint, which also
+// makes them reallocatable. The tree stays sealed; normal garbage
+// collection unseals it once nothing pins it (when no checkpoint exists).
+func (db *DB) ckptAbortLocked(img *ckptImage) {
+	db.ckptBuilding = false
+	db.fileDisk.DeferFrees(false)
+	// Best effort: drop side files the failed build may have left. The
+	// staged meta was never renamed and the policies file is referenced
+	// by no meta, so both are inert either way.
+	_ = db.opts.FS.Remove(db.opts.Path + ".meta.tmp")
+	if img.polName != "" {
+		_ = db.opts.FS.Remove(img.polName)
 	}
-	if err := store.WriteFileAtomic(db.opts.FS, name, buf.Bytes()); err != nil {
-		return fmt.Errorf("peb: checkpoint policies: %w", err)
-	}
-	return nil
 }
 
-// writeMeta atomically replaces <Path>.meta — the checkpoint commit point.
-func (db *DB) writeMeta(free []store.PageID, ckptSeq uint64, polName string) error {
-	snap := db.tree.Snapshot()
-	mf := metaFile{
-		Version:   metaVersion,
-		Root:      uint32(snap.Tree.Root),
-		Height:    snap.Tree.Height,
-		Size:      snap.Tree.Size,
-		LeafCount: snap.Tree.LeafCount,
-		NextSV:    db.nextSV,
-		NumPages:  db.fileDisk.NumPages(),
-		WalSeq:    db.walSeq,
-		Encoded:   db.encoded,
-		CkptSeq:   ckptSeq,
-		Policies:  polName,
+// startAutoCheckpoint launches the background maintainer when the options
+// ask for one (idempotent; no-op without thresholds or without a WAL).
+func (db *DB) startAutoCheckpoint() {
+	if !db.opts.AutoCheckpoint.enabled() || db.wal == nil || db.stopC != nil {
+		return
 	}
-	for uid, sv := range snap.SVs {
-		mf.SVs = append(mf.SVs, svRec{UID: uid, SV: sv})
-	}
-	sort.Slice(mf.SVs, func(i, j int) bool { return mf.SVs[i].UID < mf.SVs[j].UID })
-	for _, id := range free {
-		mf.Free = append(mf.Free, uint32(id))
-	}
-	for uid := range db.users {
-		mf.Users = append(mf.Users, uid)
-	}
-	sort.Slice(mf.Users, func(i, j int) bool { return mf.Users[i] < mf.Users[j] })
+	db.autoC = make(chan struct{}, 1)
+	db.stopC = make(chan struct{})
+	db.maintWG.Add(1)
+	go db.autoCheckpointLoop()
+}
 
-	data, err := json.Marshal(mf)
-	if err != nil {
-		return err
+// stopAutoCheckpoint ends the maintainer and waits for it to exit
+// (idempotent; called by Close before draining the pipeline).
+func (db *DB) stopAutoCheckpoint() {
+	if db.stopC == nil {
+		return
 	}
-	if err := store.WriteFileAtomic(db.opts.FS, db.opts.Path+".meta", data); err != nil {
-		return fmt.Errorf("peb: checkpoint meta: %w", err)
+	db.stopOnce.Do(func() { close(db.stopC) })
+	db.maintWG.Wait()
+}
+
+// autoCheckpointLoop is the maintainer: each trigger from the commit path
+// re-checks the thresholds (the signal may be stale — a coalesced or
+// just-finished checkpoint empties the log) and runs one pipeline.
+// Failures are not fatal; the next threshold crossing retries.
+func (db *DB) autoCheckpointLoop() {
+	defer db.maintWG.Done()
+	for {
+		select {
+		case <-db.stopC:
+			return
+		case <-db.autoC:
+			if !db.autoCheckpointDue() {
+				continue
+			}
+			db.statsMu.Lock()
+			db.ckptStats.AutoTriggered++
+			db.statsMu.Unlock()
+			if err := db.Checkpoint(); errors.Is(err, ErrClosed) {
+				return
+			}
+		}
 	}
-	return nil
+}
+
+// autoCheckpointDue re-evaluates the trigger thresholds.
+func (db *DB) autoCheckpointDue() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed || db.wal == nil {
+		return false
+	}
+	p := db.opts.AutoCheckpoint
+	if p.WALBytes > 0 && db.wal.Size() >= p.WALBytes {
+		return true
+	}
+	if p.WALRecords > 0 && db.walSeq-db.ckptWalSeq >= p.WALRecords {
+		return true
+	}
+	return false
+}
+
+// maybeAutoCheckpoint nudges the maintainer when a commit pushes the WAL
+// over a threshold. Caller holds the write lock; the send never blocks.
+func (db *DB) maybeAutoCheckpoint() {
+	if db.autoC == nil || db.wal == nil {
+		return
+	}
+	p := db.opts.AutoCheckpoint
+	due := (p.WALBytes > 0 && db.wal.Size() >= p.WALBytes) ||
+		(p.WALRecords > 0 && db.walSeq-db.ckptWalSeq >= p.WALRecords)
+	if !due {
+		return
+	}
+	select {
+	case db.autoC <- struct{}{}:
+	default:
+	}
 }
 
 // corruptf wraps a violation as an ErrCorruptCheckpoint.
@@ -273,9 +672,10 @@ func OpenExisting(opts Options) (*DB, error) {
 	}
 
 	metaData, err := opts.FS.ReadFile(opts.Path + ".meta")
+	var db *DB
 	switch {
 	case err == nil:
-		return openFromCheckpoint(opts, metaData)
+		db, err = openFromCheckpoint(opts, metaData)
 	case errors.Is(err, fs.ErrNotExist):
 		hasWAL, werr := opts.FS.Exists(opts.Path + ".wal")
 		if werr != nil {
@@ -284,9 +684,43 @@ func OpenExisting(opts Options) (*DB, error) {
 		if !hasWAL {
 			return nil, fmt.Errorf("peb: read checkpoint meta: %w", err)
 		}
-		return openFromWALOnly(opts)
+		db, err = openFromWALOnly(opts)
 	default:
 		return nil, fmt.Errorf("peb: read checkpoint meta: %w", err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.startAutoCheckpoint()
+	return db, nil
+}
+
+// sweepCheckpointOrphans removes side files a crash can leave behind in
+// <Path>'s namespace: staging files (.meta.tmp, .policies.<n>.tmp) that
+// were never renamed, and superseded or never-committed .policies.<n>
+// snapshots other than livePol (empty livePol means no policies file is
+// live). Best effort — a failed sweep only leaks files, so errors are
+// swallowed; the next recovery retries.
+func sweepCheckpointOrphans(opts Options, livePol string) {
+	names, err := opts.FS.ListDir(filepath.Dir(opts.Path))
+	if err != nil {
+		return
+	}
+	metaTmp := opts.Path + ".meta.tmp"
+	polPrefix := opts.Path + ".policies"
+	for _, name := range names {
+		if name == livePol {
+			continue
+		}
+		switch {
+		case name == metaTmp:
+			_ = opts.FS.Remove(name)
+		case name == polPrefix, strings.HasPrefix(name, polPrefix+"."):
+			// The legacy unversioned snapshot (when superseded), any
+			// other checkpoint's .policies.<n>, and any .tmp staging
+			// leftover.
+			_ = opts.FS.Remove(name)
+		}
 	}
 }
 
@@ -372,6 +806,7 @@ func openFromCheckpoint(opts Options, metaData []byte) (*DB, error) {
 		users:        make(map[UserID]bool),
 		nextSV:       mf.NextSV,
 		walSeq:       mf.WalSeq,
+		ckptWalSeq:   mf.WalSeq,
 		ckptSeq:      mf.CkptSeq,
 		prevPolicies: polName,
 	}
@@ -398,16 +833,9 @@ func openFromCheckpoint(opts Options, metaData []byte) (*DB, error) {
 	// including WAL replay below — overwrites its pages in place.
 	db.ckptSealed = true
 	db.tree.Seal()
-	// Sweep snapshots a crash may have orphaned: the predecessor version
-	// (a crash between the meta rename and the predecessor removal leaks
-	// exactly it) and, once versioned snapshots are in use, the legacy
-	// unversioned file.
-	if mf.CkptSeq >= 2 {
-		_ = opts.FS.Remove(fmt.Sprintf("%s.policies.%d", opts.Path, mf.CkptSeq-1))
-	}
-	if mf.Policies != "" {
-		_ = opts.FS.Remove(opts.Path + ".policies")
-	}
+	// Startup housekeeping: sweep side files a crash orphaned — staging
+	// leftovers and policies snapshots other than the committed one.
+	sweepCheckpointOrphans(opts, polName)
 	if err := db.attachWAL(mf.WalSeq); err != nil {
 		db.fileDisk.Close()
 		return nil, err
@@ -430,6 +858,9 @@ func openFromWALOnly(opts Options) (*DB, error) {
 	if err := f.Close(); err != nil {
 		return nil, fmt.Errorf("peb: discard uncheckpointed pages: %w", err)
 	}
+	// No checkpoint ever committed, so any policies or meta staging file
+	// in the namespace is an orphan of a checkpoint that never published.
+	sweepCheckpointOrphans(opts, "")
 
 	fresh := opts
 	// attachWAL below opens the log itself (openFresh would refuse the

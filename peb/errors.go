@@ -73,6 +73,12 @@ func (o Options) validate() error {
 	if o.Durability != DurabilityNone && o.Path == "" {
 		bad = append(bad, "Durability requires Path")
 	}
+	if o.AutoCheckpoint.WALBytes < 0 {
+		bad = append(bad, fmt.Sprintf("AutoCheckpoint.WALBytes %d < 0", o.AutoCheckpoint.WALBytes))
+	}
+	if o.AutoCheckpoint.enabled() && o.Durability == DurabilityNone {
+		bad = append(bad, "AutoCheckpoint requires Durability (its thresholds measure the write-ahead log)")
+	}
 	if len(bad) == 0 {
 		return nil
 	}

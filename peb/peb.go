@@ -171,7 +171,35 @@ type Options struct {
 	// Tests inject store.CrashFS here to simulate torn writes and power
 	// cuts.
 	FS store.VFS
+	// AutoCheckpoint, when any threshold is set, starts a background
+	// maintainer that checkpoints automatically once the write-ahead log
+	// exceeds the threshold, bounding recovery time without the
+	// application ever calling Checkpoint by hand. Requires Durability
+	// (the thresholds measure the log).
+	AutoCheckpoint AutoCheckpointPolicy
+	// StopTheWorldCheckpoints is a benchmarking/debug knob: run the
+	// entire checkpoint — flush, fsync, reachability sweep, side files —
+	// inside one write-lock critical section (the pre-pipeline behavior)
+	// instead of only its cut and publish phases. Every query and commit
+	// stalls for the checkpoint's full duration; `pebbench -exp
+	// checkpoint` uses it as the baseline the phased pipeline is measured
+	// against.
+	StopTheWorldCheckpoints bool
 }
+
+// AutoCheckpointPolicy sets the write-ahead-log thresholds that trigger an
+// automatic background checkpoint. Zero values disable a threshold; the
+// all-zero policy disables the maintainer entirely. When both are set,
+// whichever trips first triggers.
+type AutoCheckpointPolicy struct {
+	// WALBytes triggers a checkpoint when the log exceeds this many bytes.
+	WALBytes int64
+	// WALRecords triggers a checkpoint after this many committed records
+	// since the last checkpoint.
+	WALRecords uint64
+}
+
+func (p AutoCheckpointPolicy) enabled() bool { return p.WALBytes > 0 || p.WALRecords > 0 }
 
 func (o *Options) setDefaults() {
 	if o.SpaceSide == 0 {
@@ -241,6 +269,43 @@ type DB struct {
 	prevPolicies string
 	ckptSealed   bool
 
+	// Checkpoint pipeline state (checkpoint.go). ckptMu serializes whole
+	// checkpoint pipelines against each other, against index rebuilds
+	// (EncodePolicies/LoadPolicies swap the tree and backing disk a build
+	// phase would be reading), and against Close (which drains any
+	// in-flight pipeline). Lock order: ckptMu strictly before mu; it is
+	// held across the build phase precisely so that mu is NOT.
+	// ckptBuilding (under mu) marks a build phase in flight: garbage
+	// collection quarantines retired pages and keeps the policy store
+	// pinned while set, protecting the cut image. ckptWalSeq (under mu)
+	// is the WAL horizon of the last committed checkpoint — what the
+	// AutoCheckpoint record threshold measures against. ckptHook is a
+	// test hook called at phase boundaries ("build", "publish"); nil
+	// outside tests.
+	ckptMu       sync.Mutex
+	ckptBuilding bool
+	ckptWalSeq   uint64
+	ckptHook     func(phase string)
+
+	// Checkpoint coalescing: Checkpoint calls that arrive while a
+	// pipeline is in flight wait for that pipeline and share its result
+	// instead of queueing a redundant one. ckptCoalMu guards ckptInflight.
+	ckptCoalMu   sync.Mutex
+	ckptInflight *ckptRun
+
+	// statsMu guards ckptStats (updated by the pipeline, read by
+	// CheckpointStats; a leaf mutex so readers never touch mu).
+	statsMu   sync.Mutex
+	ckptStats CheckpointStats
+
+	// AutoCheckpoint maintainer. autoC is the (capacity-1) trigger
+	// channel commits signal when the WAL crosses a threshold; stopC ends
+	// the maintainer goroutine; stopOnce makes Close idempotent about it.
+	autoC    chan struct{}
+	stopC    chan struct{}
+	stopOnce sync.Once
+	maintWG  sync.WaitGroup
+
 	// viewSwaps counts view republishes — the quantity Apply amortizes:
 	// a batch of N mutations republishes once where N Upserts republish N
 	// times.
@@ -304,7 +369,12 @@ func Open(opts Options) (*DB, error) {
 				opts.Path)
 		}
 	}
-	return openFresh(opts)
+	db, err := openFresh(opts)
+	if err != nil {
+		return nil, err
+	}
+	db.startAutoCheckpoint()
+	return db, nil
 }
 
 // openFresh builds an empty DB (and, when durable, an empty log).
@@ -411,12 +481,15 @@ func (db *DB) ViewSwaps() uint64 {
 // and — unless a checkpoint image must stay intact — returns the tree to
 // cheap in-place mutation. Caller holds the write lock.
 //
-// Disposal depends on whether a checkpoint exists (ckptSealed): without
-// one, unpinned pages go straight back to the allocator. With one, a
-// retired page may be part of the on-disk checkpoint image, so reusing it
-// would corrupt the recovery base; unpinned batches are instead dropped
-// and the pages stay allocated until the next Checkpoint's reachability
-// sweep frees the ones the new image does not contain.
+// Disposal depends on whether a checkpoint image must stay intact: without
+// one, unpinned pages go straight back to the allocator. With a committed
+// checkpoint (ckptSealed) — or with a checkpoint build phase in flight
+// (ckptBuilding), whose cut image is not yet durable — a retired page may
+// be part of that on-disk image, so reusing it would corrupt the recovery
+// base; unpinned batches are instead dropped and the pages stay allocated
+// until a checkpoint's reachability sweep frees the ones its image does
+// not contain. A build in flight likewise keeps the policy store pinned:
+// the build phase is serializing the store captured at the cut.
 func (db *DB) collectGarbage() {
 	if pages := db.tree.TakeRetired(); len(pages) > 0 {
 		db.garbage = append(db.garbage, gcBatch{ver: db.tree.Version(), pages: pages})
@@ -427,7 +500,7 @@ func (db *DB) collectGarbage() {
 		switch {
 		case live && b.ver >= minVer:
 			kept = append(kept, b)
-		case db.ckptSealed:
+		case db.ckptSealed || db.ckptBuilding:
 			// Quarantined: freed (if dead) by the next checkpoint's sweep.
 		default:
 			for _, pid := range b.pages {
@@ -439,10 +512,10 @@ func (db *DB) collectGarbage() {
 		}
 	}
 	db.garbage = kept
-	if !live && !db.ckptSealed {
+	if !live && !db.ckptSealed && !db.ckptBuilding {
 		db.tree.Unseal()
 	}
-	if len(db.snaps) == 0 {
+	if len(db.snaps) == 0 && !db.ckptBuilding {
 		db.policiesPinned = false
 	}
 }
@@ -469,7 +542,15 @@ func (db *DB) minLiveVersion() (uint64, bool) {
 // nothing even under DurabilityAsync. All subsequent method calls — and
 // queries on any still-open Snapshot of a file-backed DB — return
 // ErrClosed or a disk error. Close is idempotent.
+//
+// Close drains checkpoints: it stops the AutoCheckpoint maintainer and
+// waits for any in-flight checkpoint pipeline to finish (commit or fail)
+// before tearing anything down, so a checkpoint never races a vanishing
+// disk.
 func (db *DB) Close() error {
+	db.stopAutoCheckpoint()
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -594,6 +675,11 @@ func (db *DB) EncodePolicies() error {
 }
 
 func (db *DB) encodePoliciesCommit() (store.WALToken, error) {
+	// The rebuild swaps the tree and its backing disk — state an in-flight
+	// checkpoint's build phase reads without the write lock — so rebuilds
+	// first drain any pipeline via ckptMu (always taken before mu).
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -875,6 +961,10 @@ func (db *DB) LoadPolicies(r io.Reader) error {
 }
 
 func (db *DB) loadPoliciesCommit(r io.Reader) (store.WALToken, error) {
+	// Like encodePoliciesCommit: the rebuild must not race an in-flight
+	// checkpoint build, so drain pipelines first (ckptMu before mu).
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

@@ -152,6 +152,9 @@ func (db *DB) walAppend(ops []walOp) (store.WALToken, error) {
 	if err != nil {
 		return 0, fmt.Errorf("peb: wal append: %w", err)
 	}
+	// The commit may have pushed the log over an AutoCheckpoint threshold;
+	// nudge the maintainer (non-blocking).
+	db.maybeAutoCheckpoint()
 	return tok, nil
 }
 
