@@ -96,6 +96,17 @@ func (v *View) Size() int { return len(v.cur) }
 // cost model's Nl).
 func (v *View) LeafCount() int { return v.tree.LeafCount() }
 
+// UserIDs returns the id of every indexed object at view time, sorted
+// ascending. Shard recovery uses it to rebuild the user→shard map.
+func (v *View) UserIDs() []motion.UserID {
+	out := make([]motion.UserID, 0, len(v.cur))
+	for uid := range v.cur {
+		out = append(out, uid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SV returns uid's registered fixed-point sequence value.
 func (v *View) SV(uid motion.UserID) (uint64, bool) {
 	sv, ok := v.svEnc[uid]
@@ -113,6 +124,22 @@ func (v *View) Get(uid motion.UserID) (motion.Object, bool, error) {
 		return motion.Object{}, found, err
 	}
 	return motion.DecodePayload(uid, payload), true, nil
+}
+
+// MaxGap returns the largest window-enlargement time gap |tq − tlab| over
+// the partitions currently holding objects — the worst-case staleness of
+// any stored position relative to tq. A shard router multiplies it by the
+// maximum speed to bound how far an object can sit from the cell its index
+// key (and therefore its shard assignment) was computed from. Zero when the
+// view holds no objects.
+func (v *View) MaxGap(tq float64) float64 {
+	var max float64
+	for _, pr := range v.parts.Active(tq) {
+		if pr.Gap > max {
+			max = pr.Gap
+		}
+	}
+	return max
 }
 
 // svGroup is one distinct encoded sequence value and the query issuer's

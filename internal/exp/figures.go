@@ -29,7 +29,7 @@ var Experiments = []Experiment{
 	expFig18a, expFig18b,
 	expFig19a, expFig19b, expFig19c,
 	expAblationKeyOrder, expAblationSearchOrder, expAblationCurve,
-	expScaling, expBulkload, expDurability, expCheckpoint,
+	expScaling, expBulkload, expDurability, expCheckpoint, expSharding,
 }
 
 // ByID returns the experiment with the given id.

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/peb"
+	"repro/peb/sharded"
+)
+
+// The sharding experiment measures what space partitioning buys the commit
+// path: a fixed committer pool runs upserts flat out against (x=0) one
+// durable peb.DB and (x=1,2,4,8) a sharded.DB with that many shards, with
+// a checkpoint fired mid-run. Reported per row: commit throughput, commit
+// latency percentiles, and the total write-lock stall the checkpoints
+// imposed (summed cut+publish lock-held time across all trees).
+//
+// What to expect: every shard has its own write lock, write-ahead log, and
+// checkpoint pipeline, so commits to different shards stop contending —
+// throughput scales with shards up to the core count, and each
+// checkpoint's stall confines itself to one shard's commits instead of
+// stopping the world. On a single-CPU runner the throughput ratio stays
+// ~1× by construction (there is only one core to scale onto) — the
+// 1-shard row doubling as a router-overhead check against the baseline —
+// so CI asserts the experiment runs, not its ratios. This is not a paper
+// figure; it validates the sharded engine (ROADMAP).
+const (
+	shardingID     = "sharding"
+	shardingTitle  = "Commit throughput with sharding (x = shards; 0 = unsharded baseline)"
+	shardingXLabel = "shards"
+)
+
+var shardingColumns = []string{
+	"commits_per_sec", "commit_p50_us", "commit_p99_us", "stall_ms",
+}
+
+// shardingObj derives a deterministic position for commit i of user uid,
+// spread uniformly so the shards stay balanced.
+func shardingObj(uid, salt int) peb.Object {
+	return peb.Object{
+		UID: peb.UserID(uid),
+		X:   float64((uid*37 + salt*131) % 1000),
+		Y:   float64((uid*59 + salt*17) % 1000),
+		T:   float64(salt % 50),
+	}
+}
+
+// shardingMeasure drives the committer pool against one target and fires a
+// checkpoint at the halfway mark.
+func shardingMeasure(commits, committers, users int,
+	upsert func(peb.Object) error, checkpoint func() error) (lat []time.Duration, elapsed time.Duration, err error) {
+
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		ckptWG sync.WaitGroup
+	)
+	errCh := make(chan error, committers+1)
+	lat = make([]time.Duration, 0, commits)
+	per := commits / committers
+	start := time.Now()
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				if w == 0 && i == per/2 {
+					// Fire the checkpoint alongside the load, as a
+					// maintainer would.
+					ckptWG.Add(1)
+					go func() {
+						defer ckptWG.Done()
+						if e := checkpoint(); e != nil {
+							select {
+							case errCh <- e:
+							default:
+							}
+						}
+					}()
+				}
+				uid := w*users/committers + i%(users/committers) + 1
+				s := time.Now()
+				e := upsert(shardingObj(uid, i))
+				local = append(local, time.Since(s))
+				if e != nil {
+					select {
+					case errCh <- e:
+					default:
+					}
+					return
+				}
+			}
+			mu.Lock()
+			lat = append(lat, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	ckptWG.Wait()
+	elapsed = time.Since(start)
+	select {
+	case err = <-errCh:
+	default:
+	}
+	return lat, elapsed, err
+}
+
+var expSharding = Experiment{
+	ID:      shardingID,
+	Title:   shardingTitle,
+	XLabel:  shardingXLabel,
+	Columns: shardingColumns,
+	Run: func(o Options) (*Table, error) {
+		o.normalize()
+		commits := int(6000 * o.Scale)
+		if commits < 400 {
+			commits = 400
+		}
+		const committers = 4
+		users := commits / 4
+		if users < committers {
+			users = committers
+		}
+		dir, err := os.MkdirTemp("", "pebbench-sharding-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+
+		type variant struct {
+			shards int // 0 = unsharded baseline
+		}
+		variants := []variant{{0}, {1}, {2}, {4}, {8}}
+		rows := make([]Row, 0, len(variants))
+		for _, v := range variants {
+			var (
+				lat     []time.Duration
+				elapsed time.Duration
+				stall   time.Duration
+				runErr  error
+			)
+			if v.shards == 0 {
+				db, err := peb.Open(peb.Options{
+					Path:       fmt.Sprintf("%s/base.idx", dir),
+					Durability: peb.DurabilityGrouped,
+				})
+				if err != nil {
+					return nil, err
+				}
+				lat, elapsed, runErr = shardingMeasure(commits, committers, users, db.Upsert, db.Checkpoint)
+				st := db.CheckpointStats()
+				stall = st.TotalCut + st.TotalPublish
+				db.Close()
+			} else {
+				db, err := sharded.Open(sharded.Options{
+					Shards: v.shards,
+					Dir:    fmt.Sprintf("%s/shards-%d", dir, v.shards),
+					DB:     peb.Options{Durability: peb.DurabilityGrouped},
+				})
+				if err != nil {
+					return nil, err
+				}
+				lat, elapsed, runErr = shardingMeasure(commits, committers, users, db.Upsert, db.Checkpoint)
+				agg := db.Stats().Checkpoints
+				stall = agg.TotalCut + agg.TotalPublish
+				db.Close()
+			}
+			if runErr != nil {
+				return nil, fmt.Errorf("sharding x=%d: %w", v.shards, runErr)
+			}
+			throughput := float64(len(lat)) / elapsed.Seconds()
+			o.logf("sharding x=%d: %d commits in %v (%.0f/s), p50 %v p99 %v, stall %v",
+				v.shards, len(lat), elapsed.Round(time.Millisecond), throughput,
+				pctl(lat, 50), pctl(lat, 99), stall)
+			rows = append(rows, Row{X: float64(v.shards), Vals: []float64{
+				throughput,
+				float64(pctl(lat, 50).Microseconds()),
+				float64(pctl(lat, 99).Microseconds()),
+				float64(stall.Milliseconds()) + float64(stall.Microseconds()%1000)/1000,
+			}})
+		}
+		return &Table{ID: shardingID, Title: shardingTitle, XLabel: shardingXLabel,
+			Columns: shardingColumns, Rows: rows}, nil
+	},
+}

@@ -49,12 +49,15 @@ func TestWALTruncateToKeepsTail(t *testing.T) {
 	appendRec("gamma")
 	appendRec("delta")
 
-	removed, err := w.TruncateTo(mark)
+	removed, rewritten, err := w.TruncateTo(mark)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := int64(2*8 + len("alpha") + len("beta")); removed != want {
 		t.Fatalf("removed %d bytes, want %d", removed, want)
+	}
+	if want := int64(2*8 + len("gamma") + len("delta")); rewritten != want {
+		t.Fatalf("rewrote %d bytes, want the uncovered suffix (%d)", rewritten, want)
 	}
 	// Records appended after the mark survive, both live and on reopen.
 	tok, err := w.Append([]byte("epsilon"))
@@ -94,8 +97,8 @@ func TestWALTruncateToEverything(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := w.TruncateTo(w.Mark()); err != nil {
-		t.Fatal(err)
+	if _, rewritten, err := w.TruncateTo(w.Mark()); err != nil || rewritten != 0 {
+		t.Fatalf("full truncate = (rewritten %d, %v), want no rewrite", rewritten, err)
 	}
 	if w.Size() != 0 {
 		t.Fatalf("size after full truncate = %d", w.Size())
@@ -110,7 +113,7 @@ func TestWALTruncateToEverything(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A second truncate to an already-covered mark is a no-op.
-	if n, err := w.TruncateTo(0); err != nil || n != 0 {
+	if n, _, err := w.TruncateTo(0); err != nil || n != 0 {
 		t.Fatalf("stale-mark truncate = (%d, %v), want (0, nil)", n, err)
 	}
 	if err := w.Close(); err != nil {
@@ -142,7 +145,7 @@ func TestWALTruncateToCommitSatisfied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.TruncateTo(mark); err != nil {
+	if _, _, err := w.TruncateTo(mark); err != nil {
 		t.Fatal(err)
 	}
 	_, syncsBefore := w.Stats()
@@ -186,7 +189,7 @@ func TestWALTruncateToCrash(t *testing.T) {
 		if err := w.Commit(tok); err != nil {
 			return
 		}
-		_, _ = w.TruncateTo(mark)
+		_, _, _ = w.TruncateTo(mark)
 	}
 
 	golden := NewCrashFS()
@@ -410,5 +413,102 @@ func TestListDir(t *testing.T) {
 		if !seen[want] {
 			t.Fatalf("ListDir missing %s (got %v)", want, names)
 		}
+	}
+}
+
+// countingVFS wraps a VFS and counts the bytes written through WriteAt,
+// per path, so tests can pin the I/O cost of an operation.
+type countingVFS struct {
+	VFS
+	mu      sync.Mutex
+	written map[string]int64
+}
+
+func newCountingVFS(inner VFS) *countingVFS {
+	return &countingVFS{VFS: inner, written: make(map[string]int64)}
+}
+
+func (c *countingVFS) OpenFile(name string) (VFile, error) {
+	f, err := c.VFS.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingVFile{VFile: f, fs: c, name: name}, nil
+}
+
+func (c *countingVFS) bytesWritten(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written[name]
+}
+
+type countingVFile struct {
+	VFile
+	fs   *countingVFS
+	name string
+}
+
+func (f *countingVFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.VFile.WriteAt(p, off)
+	f.fs.mu.Lock()
+	f.fs.written[f.name] += int64(n)
+	f.fs.mu.Unlock()
+	return n, err
+}
+
+// TestWALTruncateToRewritesOnlySuffix pins log rotation's write cost to the
+// uncovered suffix: however large the covered prefix grows, rotating away N
+// prefix bytes must write only the surviving tail bytes (plus nothing to
+// the log file itself) — the groundwork invariant for future segmentation.
+func TestWALTruncateToRewritesOnlySuffix(t *testing.T) {
+	fs := newCountingVFS(NewCrashFS())
+	w, _, err := OpenWAL(fs, "s.wal", WALSyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately bulky covered prefix and a small tail.
+	prefix := bytes.Repeat([]byte("p"), 4096)
+	for i := 0; i < 32; i++ {
+		tok, err := w.Append(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark := w.Mark()
+	tail := []byte("tiny-tail-record")
+	tok, err := w.Append(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(tok); err != nil {
+		t.Fatal(err)
+	}
+
+	before := fs.bytesWritten("s.wal.tmp") + fs.bytesWritten("s.wal")
+	removed, rewritten, err := w.TruncateTo(mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := fs.bytesWritten("s.wal.tmp") + fs.bytesWritten("s.wal")
+
+	tailFramed := int64(8 + len(tail))
+	if rewritten != tailFramed {
+		t.Fatalf("reported rewrite of %d bytes, want the %d-byte suffix", rewritten, tailFramed)
+	}
+	if want := int64(32 * (8 + len(prefix))); removed != want {
+		t.Fatalf("removed %d bytes, want %d", removed, want)
+	}
+	if wrote := after - before; wrote != tailFramed {
+		t.Fatalf("rotation physically wrote %d bytes, want exactly the %d-byte suffix", wrote, tailFramed)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := walRecords(t, fs, "s.wal")
+	if len(recs) != 1 || !bytes.Equal(recs[0], tail) {
+		t.Fatalf("post-rotation log holds %d records", len(recs))
 	}
 }

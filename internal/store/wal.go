@@ -315,7 +315,7 @@ func (w *WAL) syncTo(target int64) error {
 // redundant. Outstanding commits for pre-truncation records are satisfied
 // (the checkpoint made them durable by other means).
 func (w *WAL) Truncate() error {
-	_, err := w.TruncateTo(w.Mark())
+	_, _, err := w.TruncateTo(w.Mark())
 	return err
 }
 
@@ -331,7 +331,12 @@ func (w *WAL) Mark() int64 {
 
 // TruncateTo drops every record before mark (a value from Mark), keeping
 // the records appended since — the commits a concurrent checkpoint build
-// did not cover. It returns the number of bytes removed.
+// did not cover. It returns the number of bytes removed and the number of
+// bytes rewritten to keep the surviving tail: rotation copies only the
+// uncovered suffix, never the whole log, so rewritten is exactly the tail
+// length (and zero when the mark is the log's end and the file is simply
+// emptied in place). Callers surface rewritten in their stats — it is the
+// per-checkpoint cost a future segmented log would eliminate.
 //
 // When mark is the current end the file is simply truncated (the old
 // whole-log behavior). Otherwise the log rotates: the surviving tail is
@@ -342,7 +347,7 @@ func (w *WAL) Mark() int64 {
 // (records before mark are skipped by their sequence numbers). Either
 // way, everything remaining in the log is durable on return, so
 // outstanding Commit waiters are satisfied.
-func (w *WAL) TruncateTo(mark int64) (int64, error) {
+func (w *WAL) TruncateTo(mark int64) (removed, rewritten int64, err error) {
 	// Exclude group-commit sync leaders for the duration: a leader fsyncs
 	// the file handle outside any lock, and rotation replaces that handle.
 	w.sm.Lock()
@@ -353,7 +358,7 @@ func (w *WAL) TruncateTo(mark int64) (int64, error) {
 	w.sm.Unlock()
 
 	w.mu.Lock()
-	removed, end, err := w.truncateToLocked(mark)
+	removed, rewritten, end, err := w.truncateToLocked(mark)
 	w.mu.Unlock()
 
 	w.sm.Lock()
@@ -363,60 +368,60 @@ func (w *WAL) TruncateTo(mark int64) (int64, error) {
 	}
 	w.sc.Broadcast()
 	w.sm.Unlock()
-	return removed, err
+	return removed, rewritten, err
 }
 
 // truncateToLocked is TruncateTo's body; the caller holds mu and has
-// blocked out sync leaders. Returns bytes removed and the logical end made
-// durable.
-func (w *WAL) truncateToLocked(mark int64) (int64, int64, error) {
+// blocked out sync leaders. Returns bytes removed, tail bytes rewritten,
+// and the logical end made durable.
+func (w *WAL) truncateToLocked(mark int64) (int64, int64, int64, error) {
 	if w.err != nil {
-		return 0, 0, w.err
+		return 0, 0, 0, w.err
 	}
 	end := w.base + w.fileOff
 	switch {
 	case mark <= w.base:
-		return 0, 0, nil // already truncated past mark
+		return 0, 0, 0, nil // already truncated past mark
 	case mark > end:
 		w.err = fmt.Errorf("store: wal truncate mark %d beyond log end %d", mark, end)
-		return 0, 0, w.err
+		return 0, 0, 0, w.err
 	case mark == end:
 		// No surviving tail: empty the file in place.
 		if err := w.f.Truncate(0); err != nil {
 			w.err = fmt.Errorf("store: wal truncate: %w", err)
-			return 0, 0, w.err
+			return 0, 0, 0, w.err
 		}
 		if err := w.f.Sync(); err != nil {
 			w.err = fmt.Errorf("store: wal truncate sync: %w", err)
-			return 0, 0, w.err
+			return 0, 0, 0, w.err
 		}
 		removed := mark - w.base
 		w.base = mark
 		w.fileOff = 0
-		return removed, end, nil
+		return removed, 0, end, nil
 	}
 
 	// Rotate: stage the tail, publish it by rename, adopt the new file.
 	tail := make([]byte, end-mark)
 	if _, err := w.f.ReadAt(tail, mark-w.base); err != nil {
 		w.err = fmt.Errorf("store: wal rotate read: %w", err)
-		return 0, 0, w.err
+		return 0, 0, 0, w.err
 	}
 	if err := WriteFileAtomic(w.fs, w.path, tail); err != nil {
 		w.err = fmt.Errorf("store: wal rotate: %w", err)
-		return 0, 0, w.err
+		return 0, 0, 0, w.err
 	}
 	nf, err := w.fs.OpenFile(w.path)
 	if err != nil {
 		w.err = fmt.Errorf("store: wal rotate reopen: %w", err)
-		return 0, 0, w.err
+		return 0, 0, 0, w.err
 	}
 	_ = w.f.Close()
 	w.f = nf
 	removed := mark - w.base
 	w.base = mark
 	w.fileOff = end - mark
-	return removed, end, nil
+	return removed, int64(len(tail)), end, nil
 }
 
 // Size returns the log's current length in bytes.

@@ -1,0 +1,166 @@
+package zcurve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitRange(t *testing.T) {
+	for _, tc := range []struct {
+		order, n int
+	}{
+		{order: 3, n: 1}, {order: 3, n: 2}, {order: 3, n: 3},
+		{order: 3, n: 4}, {order: 5, n: 7}, {order: 10, n: 8},
+	} {
+		ivs := SplitRange(tc.order, tc.n)
+		if len(ivs) != tc.n {
+			t.Fatalf("SplitRange(%d,%d): %d intervals", tc.order, tc.n, len(ivs))
+		}
+		total := uint64(1) << uint(2*tc.order)
+		if ivs[0].Lo != 0 || ivs[len(ivs)-1].Hi != total-1 {
+			t.Fatalf("SplitRange(%d,%d): does not span [0,%d]: %v", tc.order, tc.n, total-1, ivs)
+		}
+		var covered uint64
+		for i, iv := range ivs {
+			if iv.Hi < iv.Lo {
+				t.Fatalf("interval %d inverted: %v", i, iv)
+			}
+			if i > 0 && iv.Lo != ivs[i-1].Hi+1 {
+				t.Fatalf("gap/overlap between %v and %v", ivs[i-1], iv)
+			}
+			covered += iv.Len()
+		}
+		if covered != total {
+			t.Fatalf("covered %d of %d values", covered, total)
+		}
+		// Near-equal: lengths differ by at most one.
+		min, max := ivs[0].Len(), ivs[0].Len()
+		for _, iv := range ivs {
+			if iv.Len() < min {
+				min = iv.Len()
+			}
+			if iv.Len() > max {
+				max = iv.Len()
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("uneven split: min %d max %d", min, max)
+		}
+	}
+}
+
+func TestAnyOverlaps(t *testing.T) {
+	ivs := []Interval{{Lo: 0, Hi: 3}, {Lo: 10, Hi: 20}}
+	for _, tc := range []struct {
+		iv   Interval
+		want bool
+	}{
+		{Interval{Lo: 4, Hi: 9}, false},
+		{Interval{Lo: 3, Hi: 3}, true},
+		{Interval{Lo: 21, Hi: 30}, false},
+		{Interval{Lo: 15, Hi: 40}, true},
+		{Interval{Lo: 0, Hi: 100}, true},
+	} {
+		if got := AnyOverlaps(ivs, tc.iv); got != tc.want {
+			t.Errorf("AnyOverlaps(%v) = %v, want %v", tc.iv, got, tc.want)
+		}
+	}
+}
+
+// bruteMinDist computes the reference answer by checking every cell.
+func bruteMinDist(g Grid, x, y float64, iv Interval) float64 {
+	best := math.Inf(1)
+	cells := g.Cells()
+	for cy := uint32(0); cy < cells; cy++ {
+		for cx := uint32(0); cx < cells; cx++ {
+			v := HilbertEncode(cx, cy, g.Order)
+			if !iv.Contains(v) {
+				continue
+			}
+			if d := g.distToCellRect(x, y, cx, cy, cx, cy); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func TestHilbertMinDistBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, order := range []int{2, 3, 4} {
+		g, err := NewGrid(100, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := uint64(1) << uint(2*order)
+		for trial := 0; trial < 200; trial++ {
+			lo := rng.Uint64() % total
+			hi := lo + rng.Uint64()%(total-lo)
+			iv := Interval{Lo: lo, Hi: hi}
+			x := rng.Float64()*140 - 20 // including points outside the space
+			y := rng.Float64()*140 - 20
+			got := g.HilbertMinDist(x, y, iv)
+			want := bruteMinDist(g, x, y, iv)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("order %d iv %v point (%g,%g): got %g want %g",
+					order, iv, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestHilbertMinDistEdges(t *testing.T) {
+	g, _ := NewGrid(100, 4)
+	if d := g.HilbertMinDist(50, 50, Interval{Lo: 1, Hi: 0}); !math.IsInf(d, 1) {
+		t.Fatalf("empty interval: got %g, want +Inf", d)
+	}
+	full := Interval{Lo: 0, Hi: g.MaxValue()}
+	if d := g.HilbertMinDist(50, 50, full); d != 0 {
+		t.Fatalf("interior point over full range: got %g, want 0", d)
+	}
+	// A point outside the space is as far as the space boundary.
+	if d := g.HilbertMinDist(-10, 50, full); math.Abs(d-10) > 1e-9 {
+		t.Fatalf("outside point: got %g, want 10", d)
+	}
+}
+
+// bruteIntersects computes the reference answer by checking every cell.
+func bruteIntersects(r Rect, iv Interval, order int) bool {
+	cells := uint32(1) << uint(order)
+	for cy := uint32(0); cy < cells; cy++ {
+		for cx := uint32(0); cx < cells; cx++ {
+			if !r.ContainsCell(cx, cy) {
+				continue
+			}
+			if iv.Contains(HilbertEncode(cx, cy, order)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestHilbertRangeIntersectsRectBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, order := range []int{2, 3, 4} {
+		limit := uint32(1)<<uint(order) - 1
+		total := uint64(1) << uint(2*order)
+		for trial := 0; trial < 300; trial++ {
+			minX := rng.Uint32() % (limit + 1)
+			minY := rng.Uint32() % (limit + 1)
+			r := Rect{
+				MinX: minX, MinY: minY,
+				MaxX: minX + rng.Uint32()%(limit+1-minX),
+				MaxY: minY + rng.Uint32()%(limit+1-minY),
+			}
+			lo := rng.Uint64() % total
+			iv := Interval{Lo: lo, Hi: lo + rng.Uint64()%(total-lo)}
+			got := HilbertRangeIntersectsRect(r, iv, order)
+			want := bruteIntersects(r, iv, order)
+			if got != want {
+				t.Fatalf("order %d r %+v iv %v: got %v want %v", order, r, iv, got, want)
+			}
+		}
+	}
+}

@@ -98,11 +98,24 @@ func (db *DB) applyCommit(b *Batch) (store.WALToken, error) {
 	if b == nil || len(b.ops) == 0 {
 		return 0, nil
 	}
+	wops, err := db.applyBatchLocked(b, nil)
+	if err != nil {
+		return 0, err
+	}
+	return db.walAppend(wops)
+}
 
+// applyBatchLocked is the shared body of Apply and PrepareApply: validate,
+// apply the staged operations atomically, and return the operations to log
+// (nil without a write-ahead log). The caller holds the write lock. When
+// undo is non-nil, the pre-apply state of everything the batch touches is
+// captured into it first, so an exact inverse can be applied later
+// (Prepared.Abort).
+func (db *DB) applyBatchLocked(b *Batch, undo *txnUndo) ([]walOp, error) {
 	// Validate cheap, stateless preconditions before touching anything.
 	for i := range b.ops {
 		if b.ops[i].kind == opGrant && !b.ops[i].locr.Valid() {
-			return 0, &InvalidRegionError{Region: b.ops[i].locr}
+			return nil, &InvalidRegionError{Region: b.ops[i].locr}
 		}
 	}
 
@@ -125,7 +138,7 @@ func (db *DB) applyCommit(b *Batch) (store.WALToken, error) {
 				ps.SetRelation(policy.UserID(op.own), policy.UserID(op.peer), op.role)
 			case opGrant:
 				if err := ps.AddPolicy(policy.UserID(op.own), policy.Policy{Role: op.role, Locr: op.locr, Tint: op.tint}); err != nil {
-					return 0, err
+					return nil, err
 				}
 			}
 		}
@@ -151,12 +164,70 @@ func (db *DB) applyCommit(b *Batch) (store.WALToken, error) {
 			ops = append(ops, core.BatchOp{Kind: core.OpRemove, UID: motion.UserID(op.uid)})
 		}
 	}
+	// Undo capture happens before any mutation: the first-touch state of
+	// every object the index phase writes, plus the scalars and the
+	// pre-clone policy store, are enough to reverse the batch exactly.
+	if undo != nil {
+		undo.prevNextSV = db.nextSV
+		undo.prevEncoded = db.encoded
+		if hasPolicy {
+			undo.prevPolicies = db.policies
+			undo.prevPoliciesPinned = db.policiesPinned
+		}
+		for uid := range svStaged {
+			undo.freshSVs = append(undo.freshSVs, uid)
+		}
+		undo.prevObjs = make(map[UserID]*Object)
+		for i := range ops {
+			var uid UserID
+			switch ops[i].Kind {
+			case core.OpUpsert:
+				uid = UserID(ops[i].Obj.UID)
+			case core.OpRemove:
+				uid = UserID(ops[i].UID)
+			default:
+				continue
+			}
+			if _, seen := undo.prevObjs[uid]; seen {
+				continue
+			}
+			prev, ok, err := db.tree.Get(uid)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				undo.prevObjs[uid] = &prev
+			} else {
+				undo.prevObjs[uid] = nil
+			}
+		}
+		pendingAdd := make(map[UserID]bool)
+		noteAdd := func(uid UserID) {
+			if !db.users[uid] && !pendingAdd[uid] {
+				pendingAdd[uid] = true
+				undo.addedUsers = append(undo.addedUsers, uid)
+			}
+		}
+		for i := range b.ops {
+			op := &b.ops[i]
+			switch op.kind {
+			case opUpsert:
+				noteAdd(op.obj.UID)
+			case opRelation:
+				noteAdd(op.own)
+				noteAdd(op.peer)
+			case opGrant:
+				noteAdd(op.own)
+			}
+		}
+	}
+
 	if err := db.tree.ApplyBatch(ops); err != nil {
 		// The tree rolled itself back; the published view still describes
 		// the (unchanged) committed state, so it is NOT republished, and
 		// the cloned policy store is dropped unapplied.
 		db.collectGarbage()
-		return 0, err
+		return nil, err
 	}
 
 	// Commit: swap policies, register users, publish the new view once.
@@ -209,5 +280,5 @@ func (db *DB) applyCommit(b *Batch) (store.WALToken, error) {
 			}
 		}
 	}
-	return db.walAppend(wops)
+	return wops, nil
 }

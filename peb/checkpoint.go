@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/btree"
@@ -144,6 +145,13 @@ type CheckpointStats struct {
 	PagesFlushed      uint64
 	PagesReclaimed    uint64
 	WALBytesTruncated uint64
+
+	// WALTailBytesRewritten counts the bytes log rotation copied to keep
+	// the records committed during build phases (cumulative). The rewrite
+	// is bounded by the build-window commit volume, never the whole log —
+	// this stat is the margin a future segmented log would reclaim
+	// (ROADMAP), and the regression tests pin it to the uncovered suffix.
+	WALTailBytesRewritten uint64
 }
 
 // CheckpointStats returns the pipeline's activity counters since Open.
@@ -260,7 +268,7 @@ func (db *DB) runCheckpoint(run *ckptRun) error {
 	stw := db.opts.StopTheWorldCheckpoints
 
 	cutStart := time.Now()
-	db.mu.Lock()
+	db.lockExcludingPrepared()
 	img, err := db.ckptCut()
 	db.ckptCoalMu.Lock()
 	run.cutDone = true
@@ -291,7 +299,7 @@ func (db *DB) runCheckpoint(run *ckptRun) error {
 		db.mu.Unlock()
 		return buildErr
 	}
-	committed, walBytes, err := db.ckptPublishLocked(img)
+	committed, walBytes, tailBytes, err := db.ckptPublishLocked(img)
 	if !committed {
 		db.ckptAbortLocked(img)
 		db.mu.Unlock()
@@ -310,8 +318,28 @@ func (db *DB) runCheckpoint(run *ckptRun) error {
 	st.PagesFlushed += uint64(img.flushed)
 	st.PagesReclaimed += uint64(len(img.dead))
 	st.WALBytesTruncated += uint64(walBytes)
+	st.WALTailBytesRewritten += uint64(tailBytes)
 	db.statsMu.Unlock()
 	return err
+}
+
+// lockExcludingPrepared takes the write lock at a moment when no prepared
+// cross-shard transaction is pending. A checkpoint cut must not land
+// between a transaction's prepared record and its commit/abort marker: the
+// cut image would contain the applied-but-undecided mutations while log
+// truncation dropped the prepared record, leaving a later abort nothing to
+// compensate against. Holding prepMu from the last pendingPrepared check
+// until mu is acquired closes the race with a prepare that begins in
+// between — the prepare's own prepMu acquisition serializes behind this
+// lock, so its record lands after the cut's WAL mark and survives
+// truncation intact. Lock order: prepMu strictly before mu.
+func (db *DB) lockExcludingPrepared() {
+	db.prepMu.Lock()
+	for db.pendingPrepared > 0 {
+		db.prepCond.Wait()
+	}
+	db.mu.Lock()
+	db.prepMu.Unlock()
 }
 
 // hook invokes the test hook, if any, outside any DB lock. Under
@@ -498,14 +526,14 @@ func (img *ckptImage) metaBytes() ([]byte, error) {
 // prefix. committed reports whether the commit point landed; on
 // committed=true with err != nil the checkpoint succeeded but the log is
 // now disabled (see the error text).
-func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes int64, err error) {
+func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes, tailBytes int64, err error) {
 	if db.closed {
 		// Unreachable — Close drains the pipeline via ckptMu — but never
 		// publish into a torn-down DB.
-		return false, 0, ErrClosed
+		return false, 0, 0, ErrClosed
 	}
 	if err := store.CommitStagedFile(db.opts.FS, db.opts.Path+".meta"); err != nil {
-		return false, 0, fmt.Errorf("peb: checkpoint meta: %w", err)
+		return false, 0, 0, fmt.Errorf("peb: checkpoint meta: %w", err)
 	}
 
 	// Committed. The tree has been sealed since the cut; from now on the
@@ -529,13 +557,13 @@ func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes int64,
 	db.fileDisk.DeferFrees(false)
 
 	if db.wal != nil {
-		n, terr := db.wal.TruncateTo(img.walMark)
-		walBytes = n
+		n, rewritten, terr := db.wal.TruncateTo(img.walMark)
+		walBytes, tailBytes = n, rewritten
 		if terr != nil {
 			// The checkpoint itself committed; this failure only disables
 			// the (poisoned, fail-stop) log. Say so rather than reporting
 			// the checkpoint as failed.
-			return true, walBytes, fmt.Errorf("peb: checkpoint committed, but log truncation failed and the write-ahead log is now disabled — reopen to restore durability: %w", terr)
+			return true, walBytes, tailBytes, fmt.Errorf("peb: checkpoint committed, but log truncation failed and the write-ahead log is now disabled — reopen to restore durability: %w", terr)
 		}
 	} else if ok, _ := db.opts.FS.Exists(db.opts.Path + ".wal"); ok {
 		// Non-durable DB over a leftover log from a durable run: this
@@ -543,7 +571,7 @@ func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes int64,
 		// dead weight — drop it (best effort).
 		_ = db.opts.FS.Remove(db.opts.Path + ".wal")
 	}
-	return true, walBytes, nil
+	return true, walBytes, tailBytes, nil
 }
 
 // ckptAbortLocked unwinds a failed pipeline (caller holds the write
@@ -810,6 +838,7 @@ func openFromCheckpoint(opts Options, metaData []byte) (*DB, error) {
 		ckptSeq:      mf.CkptSeq,
 		prevPolicies: polName,
 	}
+	db.prepCond = sync.NewCond(&db.prepMu)
 	if mf.Version >= 2 {
 		db.encoded = mf.Encoded
 		for _, uid := range mf.Users {
@@ -898,14 +927,56 @@ func (db *DB) attachWAL(afterSeq uint64) error {
 	if err != nil {
 		return err
 	}
+	// Decode everything up front: a prepared record's fate may live later
+	// in the log than the record itself.
+	recs := make([]walRecord, 0, len(records))
 	for i, payload := range records {
 		rec, err := unmarshalRecord(payload)
 		if err != nil {
 			wal.Close()
 			return corruptf("wal record %d: %v", i, err)
 		}
+		recs = append(recs, rec)
+	}
+	// Pass 1: resolve cross-shard transactions. Markers in this log decide
+	// locally; a markerless prepared record (the process died between this
+	// participant's prepare and the coordinator's marker) is decided by the
+	// coordinator's resolver — absent one, aborted. Every id seen raises
+	// the watermark so coordinators never recycle it.
+	outcome := make(map[uint64]uint8)
+	for i := range recs {
+		if recs[i].TxnID > db.maxTxn {
+			db.maxTxn = recs[i].TxnID
+		}
+		if recs[i].TxnState == txnCommitted || recs[i].TxnState == txnAborted {
+			outcome[recs[i].TxnID] = recs[i].TxnState
+		}
+	}
+	for i := range recs {
+		if recs[i].TxnState != txnPrepared {
+			continue
+		}
+		if _, ok := outcome[recs[i].TxnID]; ok {
+			continue
+		}
+		if db.opts.TxnResolve != nil && db.opts.TxnResolve(recs[i].TxnID) {
+			outcome[recs[i].TxnID] = txnCommitted
+		} else {
+			outcome[recs[i].TxnID] = txnAborted
+		}
+	}
+	// Pass 2: sequential replay. An aborted prepared record is skipped
+	// outright — its live abort restored the pre-transaction state exactly,
+	// so the log minus the record replays to the same history; its marker
+	// (when present) carries the restored sequence-value cursor.
+	for i := range recs {
+		rec := recs[i]
 		if rec.Seq <= afterSeq {
 			continue // covered by the checkpoint
+		}
+		if rec.TxnState == txnPrepared && outcome[rec.TxnID] != txnCommitted {
+			db.walSeq = rec.Seq // the sequence number stays consumed
+			continue
 		}
 		if err := db.replayRecord(rec); err != nil {
 			wal.Close()

@@ -153,6 +153,13 @@ func TestCrashCheckpointUnderLoad(t *testing.T) {
 	if err := <-ckptErr; err != nil {
 		t.Fatalf("gated checkpoint failed: %v", err)
 	}
+	// The build-window commits forced a log rotation, and the stats report
+	// its cost — the uncovered suffix (the store-level regression test
+	// pins the rewrite to exactly that suffix, byte for byte).
+	st := db.CheckpointStats()
+	if st.WALTailBytesRewritten == 0 {
+		t.Error("WALTailBytesRewritten = 0, want > 0 (commits landed during the build)")
+	}
 
 	// Every acknowledged commit is visible on the live DB...
 	for uid, want := range oracle {
@@ -302,6 +309,11 @@ func TestCheckpointStats(t *testing.T) {
 	}
 	if st.WALBytesTruncated == 0 {
 		t.Error("WALBytesTruncated = 0, want > 0")
+	}
+	// Quiescent checkpoints have no build-window commits, so rotation has
+	// no tail to rewrite — the whole log empties in place.
+	if st.WALTailBytesRewritten != 0 {
+		t.Errorf("WALTailBytesRewritten = %d, want 0 for quiescent checkpoints", st.WALTailBytesRewritten)
 	}
 	if st.LastBuild <= 0 || st.TotalBuild < st.LastBuild {
 		t.Errorf("implausible build durations: last %v, total %v", st.LastBuild, st.TotalBuild)

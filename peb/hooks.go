@@ -1,0 +1,95 @@
+package peb
+
+import "repro/internal/bxtree"
+
+// Defaults a router needs before any DB exists (matching what Open's
+// zero-value defaults produce).
+const (
+	// DefaultSpaceSide is the side length of the default service space.
+	DefaultSpaceSide = bxtree.DefaultSpaceSide
+	// DefaultGridOrder is the space-filling-curve grid order every DB
+	// currently indexes on (see DB.GridOrder).
+	DefaultGridOrder = bxtree.DefaultGridOrder
+)
+
+// Hooks for shard routers (peb/sharded). A space-partitioned deployment
+// runs one DB per shard and routes queries by space-filling-curve range;
+// the router needs a few read-only facts about each shard — its configured
+// space, the curve order its keys are computed on, how stale a stored
+// position can be, and (during recovery) which users it holds. These
+// accessors expose exactly that, so the router never reaches into
+// internals.
+
+// Bounds returns the square service space the DB indexes — [0, SpaceSide]
+// on both axes. The zero Region is returned on a closed DB.
+func (db *DB) Bounds() Region {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return Region{}
+	}
+	return db.policies.Space()
+}
+
+// GridOrder returns the order of the space-filling-curve grid the index
+// linearizes locations on (the grid is 2^order cells per axis). A router
+// partitioning by curve-value range must compute shard ranges on the same
+// grid. Zero on a closed DB.
+func (db *DB) GridOrder() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0
+	}
+	return db.tree.Config().Base.Grid.Order
+}
+
+// MotionSlack returns, in distance units, how far an object's true
+// position at time t can be from the position its index key was computed
+// from: MaxSpeed times the largest label-time gap over the partitions
+// currently holding objects. A router pruning shards by geometry must
+// enlarge every shard's region by its slack, exactly as the index enlarges
+// query windows internally. Zero on an empty or closed DB.
+func (db *DB) MotionSlack(t float64) float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0
+	}
+	return db.view.MaxGap(t) * db.opts.MaxSpeed
+}
+
+// MotionSlack is the Snapshot form of DB.MotionSlack, evaluated against the
+// pinned partition picture.
+func (s *Snapshot) MotionSlack(t float64) float64 {
+	if !s.acquire() {
+		return 0
+	}
+	defer s.release()
+	return s.view.MaxGap(t) * s.db.opts.MaxSpeed
+}
+
+// Objects returns every indexed object, sorted by user id — the full
+// movement state of this DB. Shard recovery enumerates each shard with it
+// to rebuild routing state and reconcile duplicates; it is O(population)
+// and takes the read lock for the duration, so it is not a serving-path
+// call.
+func (db *DB) Objects() ([]Object, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	uids := db.view.UserIDs()
+	out := make([]Object, 0, len(uids))
+	for _, uid := range uids {
+		o, ok, err := db.view.Get(uid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, o)
+		}
+	}
+	return out, nil
+}

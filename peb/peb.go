@@ -177,6 +177,15 @@ type Options struct {
 	// application ever calling Checkpoint by hand. Requires Durability
 	// (the thresholds measure the log).
 	AutoCheckpoint AutoCheckpointPolicy
+	// TxnResolve, when non-nil, decides the fate of a prepared cross-shard
+	// transaction whose outcome marker is missing from the write-ahead log
+	// at recovery (the process died between this participant's prepare and
+	// the coordinator's commit/abort marker). It is called with the
+	// transaction id and must report whether the coordinator committed it —
+	// typically by consulting the coordinator's decision log. Nil treats
+	// every unresolved transaction as aborted, which is the correct default
+	// for a standalone DB (it never prepares transactions).
+	TxnResolve func(txnID uint64) bool
 	// StopTheWorldCheckpoints is a benchmarking/debug knob: run the
 	// entire checkpoint — flush, fsync, reachability sweep, side files —
 	// inside one write-lock critical section (the pre-pipeline behavior)
@@ -268,6 +277,20 @@ type DB struct {
 	ckptSeq      uint64
 	prevPolicies string
 	ckptSealed   bool
+
+	// Cross-shard transaction state (prepared.go). pendingPrepared counts
+	// transactions between PrepareApply and their Commit/Abort marker;
+	// checkpoint cuts wait for it to reach zero (prepCond broadcasts every
+	// decrement) so no checkpoint image can capture an applied-but-
+	// undecided transaction whose marker would then outlive the truncated
+	// log. maxTxn is the largest transaction id this DB has logged or
+	// replayed — coordinators allocate ids above every participant's
+	// watermark so a recycled id can never resurrect a stale prepared
+	// record. prepMu is leaf-level and ordered strictly before mu.
+	prepMu          sync.Mutex
+	prepCond        *sync.Cond
+	pendingPrepared int
+	maxTxn          uint64
 
 	// Checkpoint pipeline state (checkpoint.go). ckptMu serializes whole
 	// checkpoint pipelines against each other, against index rebuilds
@@ -390,6 +413,7 @@ func openFresh(opts Options) (*DB, error) {
 		users:    make(map[UserID]bool),
 		snaps:    make(map[*Snapshot]struct{}),
 	}
+	db.prepCond = sync.NewCond(&db.prepMu)
 	if err := db.newTree(policy.Assignment{}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,229 @@
+package sharded
+
+import (
+	"fmt"
+
+	"repro/peb"
+)
+
+// Batch stages mutations for atomic cross-shard application by DB.Apply.
+// Like peb.Batch, staging never touches the database; unlike it, the
+// staged operations may end up owned by several shards, and Apply then
+// commits them with a prepare/commit protocol so the whole batch is
+// all-or-nothing — in memory and across a crash — even though every shard
+// logs independently. A Batch is not safe for concurrent use.
+type Batch struct {
+	ops []stagedOp
+}
+
+type opKind uint8
+
+const (
+	opUpsert opKind = iota
+	opRemove
+	opRelation
+	opGrant
+)
+
+type stagedOp struct {
+	kind opKind
+	obj  Object
+	uid  UserID
+	own  UserID
+	peer UserID
+	role Role
+	locr Region
+	tint TimeInterval
+}
+
+// NewBatch returns an empty staging buffer.
+func (db *DB) NewBatch() *Batch { return &Batch{} }
+
+// Len returns the number of staged operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Upsert stages a movement update.
+func (b *Batch) Upsert(o Object) {
+	b.ops = append(b.ops, stagedOp{kind: opUpsert, obj: o})
+}
+
+// Remove stages deletion of a user's index entry. Removing a user with no
+// index entry fails the whole batch at Apply time.
+func (b *Batch) Remove(uid UserID) {
+	b.ops = append(b.ops, stagedOp{kind: opRemove, uid: uid})
+}
+
+// DefineRelation stages a role relation (broadcast to every shard).
+func (b *Batch) DefineRelation(owner, peer UserID, role Role) {
+	b.ops = append(b.ops, stagedOp{kind: opRelation, own: owner, peer: peer, role: role})
+}
+
+// Grant stages a location-privacy policy (broadcast to every shard).
+func (b *Batch) Grant(owner UserID, role Role, locr Region, tint TimeInterval) {
+	b.ops = append(b.ops, stagedOp{kind: opGrant, own: owner, role: role, locr: locr, tint: tint})
+}
+
+// ownerTombstone marks a user the batch removes in the pending owner-map
+// delta.
+const ownerTombstone = -1
+
+// Apply applies the batch atomically. The batch is split by owning shard —
+// movement updates go to the shard owning the new position (plus an
+// eviction from the previous owner when the user moves across a boundary),
+// policy operations go to every shard — and then:
+//
+//   - a batch owned by a single shard commits directly through that
+//     shard's atomic Apply;
+//   - a batch spanning shards commits via two-phase commit: every
+//     participant prepares (applies + logs a prepared record), the router
+//     logs the commit decision in its own log — the transaction's single
+//     durable commit point — and the participants then seal their logs
+//     with commit markers. Any prepare failure aborts every participant
+//     exactly, leaving no trace of the batch.
+//
+// After a crash anywhere in the protocol, recovery resolves every
+// participant to the same verdict (see peb.Options.TxnResolve), so the
+// batch is all-or-nothing across shards. Without durability the same
+// protocol runs without logs: atomicity holds in memory.
+func (db *DB) Apply(b *Batch) error {
+	db.smu.Lock()
+	defer db.smu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+
+	// Split by owning shard. ownerDelta tracks the routing consequences in
+	// batch order, so multi-step sequences on one user (upsert here, then
+	// there) stage the right inserts and evictions.
+	subs := make([]*peb.Batch, len(db.shards))
+	for i := range subs {
+		subs[i] = db.shards[i].NewBatch()
+	}
+	ownerDelta := make(map[UserID]int)
+	ownerOf := func(uid UserID) (int, bool) {
+		if d, ok := ownerDelta[uid]; ok {
+			if d == ownerTombstone {
+				return 0, false
+			}
+			return d, true
+		}
+		db.ownMu.Lock()
+		idx, ok := db.owner[uid]
+		db.ownMu.Unlock()
+		return idx, ok
+	}
+	for i := range b.ops {
+		op := &b.ops[i]
+		switch op.kind {
+		case opUpsert:
+			target := db.shardOf(op.obj.X, op.obj.Y)
+			cur, had := ownerOf(op.obj.UID)
+			subs[target].Upsert(op.obj)
+			if had && cur != target {
+				subs[cur].Remove(op.obj.UID)
+			}
+			ownerDelta[op.obj.UID] = target
+		case opRemove:
+			cur, had := ownerOf(op.uid)
+			if !had {
+				return fmt.Errorf("sharded: apply: remove of unindexed user %d", op.uid)
+			}
+			subs[cur].Remove(op.uid)
+			ownerDelta[op.uid] = ownerTombstone
+		case opRelation:
+			for _, sub := range subs {
+				sub.DefineRelation(op.own, op.peer, op.role)
+			}
+		case opGrant:
+			for _, sub := range subs {
+				sub.Grant(op.own, op.role, op.locr, op.tint)
+			}
+		}
+	}
+	var parts []int
+	for i, sub := range subs {
+		if sub.Len() > 0 {
+			parts = append(parts, i)
+		}
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+
+	// Single owner: the shard's own atomic Apply is all the protocol
+	// needed.
+	if len(parts) == 1 {
+		if err := db.shards[parts[0]].Apply(subs[parts[0]]); err != nil {
+			return err
+		}
+		db.applyOwnerDelta(ownerDelta)
+		return nil
+	}
+
+	// Cross-shard: two-phase commit.
+	txnID := db.allocTxn()
+	prepared := make([]*peb.Prepared, 0, len(parts))
+	abortAll := func() {
+		for _, p := range prepared {
+			// Abort restores each participant exactly; an abort error means
+			// that shard is fail-stopped (poisoned log) and will resolve to
+			// abort on reopen — the verdict is the same either way.
+			_ = p.Abort()
+		}
+	}
+	for _, i := range parts {
+		p, err := db.shards[i].PrepareApply(subs[i], txnID)
+		if err != nil {
+			abortAll()
+			return fmt.Errorf("sharded: apply: shard %d: %w", i, err)
+		}
+		prepared = append(prepared, p)
+	}
+	if db.txnLog != nil {
+		if err := db.logDecision(txnID, true); err != nil {
+			// The commit decision's durability is UNKNOWN — its bytes may
+			// have reached disk despite the error, and a future recovery
+			// would then commit the transaction. Rolling the participants
+			// back is safe only after durably retracting the decision.
+			if aerr := db.logDecision(txnID, false); aerr != nil {
+				// In doubt, both ways. Fail stop: the participants stay
+				// prepared (their checkpoint gates hold the undecided
+				// transaction out of any image) and the router refuses
+				// further work; restarting the process resolves every
+				// shard to the same verdict from whatever the decision
+				// log holds.
+				db.closed = true
+				return fmt.Errorf("sharded: transaction %d in doubt (commit decision: %v; retraction: %v) — restart to resolve", txnID, err, aerr)
+			}
+			abortAll()
+			return err
+		}
+	}
+	var firstErr error
+	for _, p := range prepared {
+		if err := p.Commit(); err != nil && firstErr == nil {
+			// The transaction IS committed (the decision log says so); the
+			// marker failure only fail-stops that shard's log.
+			firstErr = fmt.Errorf("sharded: apply: commit marker: %w", err)
+		}
+	}
+	db.applyOwnerDelta(ownerDelta)
+	return firstErr
+}
+
+// applyOwnerDelta folds a committed batch's routing changes into the owner
+// map.
+func (db *DB) applyOwnerDelta(delta map[UserID]int) {
+	db.ownMu.Lock()
+	defer db.ownMu.Unlock()
+	for uid, d := range delta {
+		if d == ownerTombstone {
+			delete(db.owner, uid)
+		} else {
+			db.owner[uid] = d
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package sharded
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+	"repro/peb"
+)
+
+// The cross-shard crash suite: a fault point sweeps over every filesystem
+// operation of a run that commits a batch spanning all shards, the
+// machine "loses power" there, and recovery must restore an
+// all-or-nothing verdict — the batch's users are present in full or not
+// at all, on both the pessimistic (unsynced writes lost) and optimistic
+// (unsynced writes survived) reboot models.
+
+// crashShardedOpts builds the options for the crash runs.
+func crashShardedOpts(fs store.VFS) Options {
+	return Options{
+		Shards: 4,
+		Dir:    "root",
+		DB: peb.Options{
+			Durability: peb.DurabilitySync,
+			FS:         fs,
+		},
+	}
+}
+
+// Positions in the four quadrants of the default 1000×1000 space — with
+// four shards, the Hilbert split assigns one quadrant per shard, so the
+// transaction users span every shard.
+var quadrant = [4][2]float64{{250, 250}, {250, 750}, {750, 750}, {750, 250}}
+
+const txnUserBase = 100 // transaction users: 101..104
+
+// crashShardedRun is the workload the fault point sweeps over: seed four
+// users (one per shard), then commit one cross-shard batch that adds four
+// more and moves a seed user across shards. All errors are ignored — the
+// filesystem is dying mid-run by design.
+func crashShardedRun(fs store.VFS) {
+	db, err := Open(crashShardedOpts(fs))
+	if err != nil {
+		return
+	}
+	defer db.Close()
+	for i, q := range quadrant {
+		if err := db.Upsert(Object{UID: UserID(i + 1), X: q[0], Y: q[1], T: 1}); err != nil {
+			return
+		}
+	}
+	b := db.NewBatch()
+	for i, q := range quadrant {
+		b.Upsert(Object{UID: UserID(txnUserBase + i + 1), X: q[0] + 10, Y: q[1] + 10, T: 2})
+	}
+	// Move seed user 1 from quadrant 0 to quadrant 2 inside the same
+	// transaction: its eviction from the old shard must be atomic with the
+	// insert into the new one.
+	b.Upsert(Object{UID: 1, X: quadrant[2][0] - 20, Y: quadrant[2][1] - 20, T: 2})
+	_ = db.Apply(b)
+}
+
+// checkAllOrNothing asserts the recovered state is consistent: the four
+// transaction users are all present or all absent; the moved user exists
+// exactly once, at either its old or new position consistent with the
+// batch verdict.
+func checkAllOrNothing(t *testing.T, db *DB, label string) {
+	t.Helper()
+	present := 0
+	for i := range quadrant {
+		if _, ok, err := db.Lookup(UserID(txnUserBase + i + 1)); err != nil {
+			t.Fatalf("%s: lookup: %v", label, err)
+		} else if ok {
+			present++
+		}
+	}
+	if present != 0 && present != len(quadrant) {
+		t.Fatalf("%s: cross-shard batch recovered partially: %d of %d users", label, present, len(quadrant))
+	}
+	committed := present == len(quadrant)
+
+	// The moved user: exactly one copy, and at the position matching the
+	// batch verdict (seed commits may themselves have been lost before
+	// they were acknowledged, so absence is legal only while the batch is
+	// absent too).
+	o, ok, err := db.Lookup(1)
+	if err != nil {
+		t.Fatalf("%s: lookup moved user: %v", label, err)
+	}
+	switch {
+	case committed && (!ok || o.T != 2):
+		t.Fatalf("%s: batch committed but moved user is %v (ok=%v)", label, o, ok)
+	case !committed && ok && o.T == 2:
+		t.Fatalf("%s: batch aborted but moved user carries its update", label)
+	}
+}
+
+func TestShardedCrashMidCrossShardCommit(t *testing.T) {
+	golden := store.NewCrashFS()
+	crashShardedRun(golden)
+	total := golden.Ops()
+	if total < 20 {
+		t.Fatalf("suspiciously few fault points: %d", total)
+	}
+	// Sanity: the golden run committed the batch.
+	{
+		db, err := Open(crashShardedOpts(golden))
+		if err != nil {
+			t.Fatalf("golden reopen: %v", err)
+		}
+		if db.Size() != 8 {
+			t.Fatalf("golden run holds %d users, want 8", db.Size())
+		}
+		checkAllOrNothing(t, db, "golden")
+		if o, _, _ := db.Lookup(1); o.T != 2 {
+			t.Fatalf("golden run lost the move: %v", o)
+		}
+		db.Close()
+	}
+
+	for _, keepUnsynced := range []bool{false, true} {
+		for k := 0; k < total; k++ {
+			label := fmt.Sprintf("k=%d keep=%v", k, keepUnsynced)
+			fs := store.NewCrashFS()
+			fs.SetFailAfter(k)
+			crashShardedRun(fs)
+			if !fs.Dead() {
+				fs.CutPower()
+			}
+			fs.Reboot(keepUnsynced)
+
+			db, err := Open(crashShardedOpts(fs))
+			if err != nil {
+				t.Fatalf("%s: recovery failed: %v", label, err)
+			}
+			checkAllOrNothing(t, db, label)
+
+			// Recovery must also be stable: a second clean reopen sees the
+			// same verdict.
+			committed := false
+			if _, ok, _ := db.Lookup(UserID(txnUserBase + 1)); ok {
+				committed = true
+			}
+			if err := db.Close(); err != nil {
+				t.Fatalf("%s: close: %v", label, err)
+			}
+			db, err = Open(crashShardedOpts(fs))
+			if err != nil {
+				t.Fatalf("%s: second recovery failed: %v", label, err)
+			}
+			if _, ok, _ := db.Lookup(UserID(txnUserBase + 1)); ok != committed {
+				t.Fatalf("%s: verdict flipped across reopens: %v -> %v", label, committed, ok)
+			}
+			checkAllOrNothing(t, db, label+" (reopened)")
+			db.Close()
+		}
+	}
+}
+
+// TestShardedCrashAfterDecision pins the protocol's commit point: once the
+// decision log records the transaction, recovery must COMMIT it even if no
+// shard ever logged its marker.
+func TestShardedCrashAfterDecision(t *testing.T) {
+	fs := store.NewCrashFS()
+	opts := crashShardedOpts(fs)
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range quadrant {
+		if err := db.Upsert(Object{UID: UserID(i + 1), X: q[0], Y: q[1], T: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := db.NewBatch()
+	for i, q := range quadrant {
+		b.Upsert(Object{UID: UserID(txnUserBase + i + 1), X: q[0] + 10, Y: q[1] + 10, T: 2})
+	}
+	b.Upsert(Object{UID: 1, X: quadrant[2][0] - 20, Y: quadrant[2][1] - 20, T: 2})
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	// Power-cut without a clean close: every synced prefix (prepares,
+	// decision, markers) survives.
+	fs.CutPower()
+	fs.Reboot(false)
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	checkAllOrNothing(t, re, "after-decision")
+	if _, ok, _ := re.Lookup(UserID(txnUserBase + 1)); !ok {
+		t.Fatal("acknowledged cross-shard commit lost")
+	}
+}

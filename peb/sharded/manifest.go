@@ -1,0 +1,106 @@
+package sharded
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// marshalManifest serializes the router's identity record.
+func marshalManifest(m manifest) ([]byte, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("sharded: marshal manifest: %w", err)
+	}
+	return data, nil
+}
+
+func unmarshalManifest(data []byte) (manifest, error) {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("sharded: parse manifest: %w", err)
+	}
+	if m.Version < 1 || m.Version > manifestVersion {
+		return manifest{}, fmt.Errorf("sharded: manifest version %d not supported", m.Version)
+	}
+	return m, nil
+}
+
+// The decision log is the cross-shard commit point: a commit record for a
+// transaction id, durably appended here, commits it; an id with no commit
+// record is aborted. Each record is the 8-byte big-endian id followed by
+// a verdict byte; a later record for the same id overrides an earlier one
+// — which is what lets the router durably RETRACT a commit decision whose
+// fsync failed (the bytes may have reached disk anyway, so simply not
+// having acked it is not enough). The log is append-only and never pruned
+// — at ~20 bytes per cross-shard transaction (framing included) it grows
+// four orders of magnitude slower than the data logs it arbitrates;
+// compacting it once every shard checkpoint has passed the recorded
+// transactions is future work.
+
+const (
+	verdictAbort  byte = 0
+	verdictCommit byte = 1
+)
+
+// openDecisionLog opens the router's transaction decision log and returns
+// it with the committed-id set (after overrides) and the largest id
+// recorded.
+func openDecisionLog(fsys store.VFS, path string) (*store.WAL, map[uint64]bool, uint64, error) {
+	log, records, err := store.OpenWAL(fsys, path, store.WALSyncAlways)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("sharded: open decision log: %w", err)
+	}
+	committed := make(map[uint64]bool, len(records))
+	var max uint64
+	for i, rec := range records {
+		if len(rec) != 9 {
+			log.Close()
+			return nil, nil, 0, fmt.Errorf("sharded: decision log record %d has %d bytes, want 9", i, len(rec))
+		}
+		id := binary.BigEndian.Uint64(rec)
+		if rec[8] == verdictCommit {
+			committed[id] = true
+		} else {
+			delete(committed, id) // a durable retraction overrides
+		}
+		if id > max {
+			max = id
+		}
+	}
+	return log, committed, max, nil
+}
+
+// logDecision durably records a verdict for txnID. A commit verdict that
+// returns nil is THE commit point of a cross-shard transaction: every
+// participant's recovery resolves it as committed (via its own marker or
+// the router's resolver). An abort verdict that returns nil durably
+// retracts a possibly-persisted commit record, making an abort safe to
+// act on.
+func (db *DB) logDecision(txnID uint64, commit bool) error {
+	var buf [9]byte
+	binary.BigEndian.PutUint64(buf[:8], txnID)
+	if commit {
+		buf[8] = verdictCommit
+	}
+	tok, err := db.txnLog.Append(buf[:])
+	if err != nil {
+		return fmt.Errorf("sharded: decision log append: %w", err)
+	}
+	if err := db.txnLog.Commit(tok); err != nil {
+		return fmt.Errorf("sharded: decision log sync: %w", err)
+	}
+	return nil
+}
+
+// allocTxn hands out the next transaction id (above every id any
+// participant could still hold a record for).
+func (db *DB) allocTxn() uint64 {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	id := db.nextTxn
+	db.nextTxn++
+	return id
+}

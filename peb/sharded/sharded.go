@@ -1,0 +1,743 @@
+// Package sharded scales the PEB-tree engine horizontally: a sharded.DB
+// partitions the service space into N shards by Hilbert-curve value range
+// and runs one fully independent peb.DB per shard — N write locks, N
+// write-ahead logs, N checkpoint pipelines where the single-tree engine
+// has one of each. Commits to different shards proceed in parallel end to
+// end; the router adds only a shared read lock and a map update.
+//
+// On top of the partition the router implements:
+//
+//   - scatter-gather RangeQuery: only the shards whose curve range
+//     intersects the (motion-enlarged) query region are consulted, and
+//     their results are merged;
+//   - distributed NearestNeighbors: shards are visited best-first by their
+//     minimum possible distance to the query point, and the search stops
+//     as soon as the next shard cannot beat the current k-th candidate;
+//   - cross-shard atomic Apply: a batch is split by owning shard and
+//     committed through a prepare/commit protocol over the per-shard
+//     write-ahead logs (peb.DB.PrepareApply), with the decision point in
+//     the router's own log — all-or-nothing even across a crash;
+//   - consistent Snapshot: one pinned peb.Snapshot per shard, taken under
+//     a brief global barrier, so the set is a single consistent cut;
+//   - per-shard durability: each shard owns a directory with its page
+//     file, checkpoint side files, and log; recovery opens the shards in
+//     parallel and reconciles the user→shard routing map.
+//
+// Placement follows each user's latest reported position: an update that
+// moves a user across a shard boundary re-homes them (insert into the new
+// shard, then delete from the old — a crash between the two is healed at
+// the next open by keeping the newer state). Policies and relations are
+// broadcast to every shard, so any shard can evaluate the privacy
+// predicate for its own objects; this matches the paper's premise that
+// policies change rarely while positions change constantly.
+//
+// Concurrency: all methods are safe for concurrent use. Routed operations
+// (Upsert, Remove, queries) share a read lock and run concurrently;
+// cross-shard operations (Apply with multiple owners, policy changes,
+// EncodePolicies, Snapshot) take the write side and act as a brief global
+// barrier. Concurrent updates to the same user from different goroutines
+// have no defined order (issue each user's updates from one goroutine, as
+// a location service naturally does).
+package sharded
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/zcurve"
+	"repro/peb"
+)
+
+// Re-exported domain types, so callers need only this package (they are
+// identical to the peb types).
+type (
+	// UserID identifies a service user.
+	UserID = peb.UserID
+	// Object is a user's latest movement update.
+	Object = peb.Object
+	// Region is an axis-aligned rectangle.
+	Region = peb.Region
+	// TimeInterval is a daily time window.
+	TimeInterval = peb.TimeInterval
+	// Role names a relationship.
+	Role = peb.Role
+	// Neighbor is one nearest-neighbor result.
+	Neighbor = peb.Neighbor
+)
+
+// ErrClosed is returned by every method called after Close.
+var ErrClosed = peb.ErrClosed
+
+// DefaultShards is the shard count used when Options.Shards is zero.
+const DefaultShards = 4
+
+// Options configures a sharded DB. The zero value runs DefaultShards
+// memory-backed shards over the paper's default space.
+type Options struct {
+	// Shards is the number of space partitions (default DefaultShards).
+	// The count is fixed at creation and persisted in the manifest;
+	// reopening an existing directory with a different count is refused
+	// (resharding is not supported).
+	Shards int
+	// Dir, when non-empty, is the root directory: each shard keeps its
+	// page file, checkpoint side files, and write-ahead log under
+	// <Dir>/shard-NNN/, next to the router's manifest and transaction
+	// decision log. Empty means memory-backed shards (no durability).
+	Dir string
+	// DB is the per-shard engine configuration — space, durability level,
+	// buffer size, auto-checkpointing, filesystem — applied identically to
+	// every shard. Path must be empty (it is derived per shard) and
+	// TxnResolve must be nil (the router installs its own resolver).
+	DB peb.Options
+}
+
+// DB is a space-partitioned moving-object database over independent
+// peb.DB shards.
+type DB struct {
+	opts   Options
+	fs     store.VFS
+	grid   zcurve.Grid
+	ranges []zcurve.Interval
+	shards []*peb.DB
+
+	// smu is the router barrier: routed single-shard operations and
+	// queries hold the read side (and so run concurrently, each
+	// serializing only inside its own shard), while cross-shard atomic
+	// operations — multi-shard Apply, policy broadcasts, EncodePolicies,
+	// Snapshot, Close — hold the write side.
+	smu    sync.RWMutex
+	closed bool
+
+	// ownMu guards owner, the routing map from user to the shard holding
+	// their index entry. It is a leaf mutex: never held while calling into
+	// a shard.
+	ownMu sync.Mutex
+	owner map[UserID]int
+
+	// Cross-shard transaction state: txnLog is the router's decision log
+	// (non-nil only with durability) — an appended id IS the commit point
+	// of that transaction; nextTxn allocates ids above every committed or
+	// observed id so a recycled id can never match a stale prepared record.
+	txnMu   sync.Mutex
+	txnLog  *store.WAL
+	nextTxn uint64
+}
+
+// manifest is the router's persisted identity: the facts that must match
+// across reopens for the on-disk shards to be interpreted correctly.
+type manifest struct {
+	Version   int
+	Shards    int
+	SpaceSide float64
+	GridOrder int
+}
+
+const manifestVersion = 1
+
+func (o Options) validate() error {
+	if o.Shards < 0 {
+		return fmt.Errorf("%w: Shards %d < 0", peb.ErrBadOptions, o.Shards)
+	}
+	if o.DB.Path != "" {
+		return fmt.Errorf("%w: per-shard paths are derived from Dir; Options.DB.Path must be empty", peb.ErrBadOptions)
+	}
+	if o.DB.TxnResolve != nil {
+		return fmt.Errorf("%w: Options.DB.TxnResolve is owned by the router", peb.ErrBadOptions)
+	}
+	if o.DB.Durability != peb.DurabilityNone && o.Dir == "" {
+		return fmt.Errorf("%w: Durability requires Dir", peb.ErrBadOptions)
+	}
+	return nil
+}
+
+// shardDir returns shard i's directory under the root.
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// Open creates a sharded DB, or — when Dir holds one — recovers it: the
+// manifest is verified, every shard recovers independently (checkpoint
+// plus log replay, with cross-shard transactions resolved against the
+// router's decision log), and the routing map is rebuilt from the shards'
+// contents, healing any duplicate a crash mid-re-homing left behind.
+func Open(opts Options) (*DB, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Shards == 0 {
+		opts.Shards = DefaultShards
+	}
+	fsys := opts.DB.FS
+	if fsys == nil {
+		fsys = store.OSFS{}
+	}
+	n := opts.Shards
+
+	// Real-filesystem deployments need the directories to exist; virtual
+	// filesystems (CrashFS in tests) treat paths as opaque names.
+	if opts.Dir != "" {
+		if _, isOS := fsys.(store.OSFS); isOS {
+			for i := 0; i < n; i++ {
+				if err := os.MkdirAll(shardDir(opts.Dir, i), 0o755); err != nil {
+					return nil, fmt.Errorf("sharded: create shard dir: %w", err)
+				}
+			}
+		}
+		if err := checkManifest(fsys, opts); err != nil {
+			return nil, err
+		}
+	}
+
+	// The decision log must be read before the shards open: each shard's
+	// recovery resolves markerless prepared records against it.
+	var (
+		txnLog    *store.WAL
+		committed map[uint64]bool
+		maxTxn    uint64
+	)
+	if opts.DB.Durability != peb.DurabilityNone {
+		var err error
+		txnLog, committed, maxTxn, err = openDecisionLog(fsys, filepath.Join(opts.Dir, "txn.log"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Open the shards in parallel: recovery cost is per shard, so a
+	// multi-core restart recovers N shards in the time of the largest.
+	shards := make([]*peb.DB, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		po := opts.DB
+		po.FS = fsys
+		if opts.Dir != "" {
+			po.Path = filepath.Join(shardDir(opts.Dir, i), "peb.idx")
+		}
+		po.TxnResolve = func(id uint64) bool { return committed[id] }
+		wg.Add(1)
+		go func(i int, po peb.Options) {
+			defer wg.Done()
+			shards[i], errs[i] = peb.Open(po)
+		}(i, po)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, s := range shards {
+				if s != nil {
+					s.Close()
+				}
+			}
+			if txnLog != nil {
+				txnLog.Close()
+			}
+			return nil, fmt.Errorf("sharded: open shard %d: %w", i, err)
+		}
+	}
+
+	// Recovery is over: the resolver closures each shard retains are never
+	// consulted again, so release the committed-id set (it is rebuilt from
+	// the log on the next open) rather than pin one entry per transaction
+	// ever committed for the DB's lifetime.
+	committed = nil
+
+	grid := zcurve.Grid{Side: shards[0].Bounds().MaxX, Order: shards[0].GridOrder()}
+	db := &DB{
+		opts:   opts,
+		fs:     fsys,
+		grid:   grid,
+		ranges: zcurve.SplitRange(grid.Order, n),
+		shards: shards,
+		owner:  make(map[UserID]int),
+		txnLog: txnLog,
+	}
+	if err := db.reconcile(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	for _, s := range shards {
+		if id := s.MaxTxnID(); id > maxTxn {
+			maxTxn = id
+		}
+	}
+	db.nextTxn = maxTxn + 1
+	return db, nil
+}
+
+// checkManifest verifies an existing manifest against the options, or
+// writes a fresh one. The manifest is written before any shard is created
+// so a crash can never leave shards whose count the next open guesses.
+func checkManifest(fsys store.VFS, opts Options) error {
+	path := filepath.Join(opts.Dir, "sharded.json")
+	ok, err := fsys.Exists(path)
+	if err != nil {
+		return fmt.Errorf("sharded: probe manifest: %w", err)
+	}
+	side := opts.DB.SpaceSide
+	if side == 0 {
+		side = peb.DefaultSpaceSide
+	}
+	if !ok {
+		m := manifest{Version: manifestVersion, Shards: opts.Shards, SpaceSide: side, GridOrder: peb.DefaultGridOrder}
+		data, err := marshalManifest(m)
+		if err != nil {
+			return err
+		}
+		if err := store.WriteFileAtomic(fsys, path, data); err != nil {
+			return fmt.Errorf("sharded: write manifest: %w", err)
+		}
+		return nil
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("sharded: read manifest: %w", err)
+	}
+	m, err := unmarshalManifest(data)
+	if err != nil {
+		return err
+	}
+	if m.Shards != opts.Shards {
+		return fmt.Errorf("sharded: directory holds %d shards, options ask for %d (resharding is not supported)", m.Shards, opts.Shards)
+	}
+	if m.SpaceSide != side {
+		return fmt.Errorf("sharded: directory space side %g does not match options %g", m.SpaceSide, side)
+	}
+	if m.GridOrder != peb.DefaultGridOrder {
+		// Shard ranges are value ranges on this curve order; reopening
+		// them on a different order would silently misroute queries.
+		return fmt.Errorf("sharded: directory grid order %d does not match engine order %d", m.GridOrder, peb.DefaultGridOrder)
+	}
+	return nil
+}
+
+// reconcile rebuilds the user→shard map from the shards' contents. A crash
+// between the two halves of a re-homing update (insert into the new shard,
+// remove from the old) can leave one user in two shards; the newer state
+// (larger update time; ties broken toward the shard owning the stored
+// position, then the lower index) wins and the stale entry is removed.
+func (db *DB) reconcile() error {
+	for i, s := range db.shards {
+		objs, err := s.Objects()
+		if err != nil {
+			return fmt.Errorf("sharded: enumerate shard %d: %w", i, err)
+		}
+		for _, o := range objs {
+			prev, dup := db.owner[o.UID]
+			if !dup {
+				db.owner[o.UID] = i
+				continue
+			}
+			po, ok, err := db.shards[prev].Lookup(o.UID)
+			if err != nil {
+				return err
+			}
+			keepNew := !ok || o.T > po.T ||
+				(o.T == po.T && db.shardOf(o.X, o.Y) == i)
+			if keepNew {
+				if ok {
+					if err := db.shards[prev].Remove(o.UID); err != nil {
+						return fmt.Errorf("sharded: heal duplicate user %d: %w", o.UID, err)
+					}
+				}
+				db.owner[o.UID] = i
+			} else {
+				if err := db.shards[i].Remove(o.UID); err != nil {
+					return fmt.Errorf("sharded: heal duplicate user %d: %w", o.UID, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// shardOf maps a position to the index of the shard owning its Hilbert
+// value.
+func (db *DB) shardOf(x, y float64) int {
+	v := db.grid.HilbertValue(x, y)
+	i := sort.Search(len(db.ranges), func(i int) bool { return db.ranges[i].Hi >= v })
+	if i >= len(db.ranges) {
+		i = len(db.ranges) - 1
+	}
+	return i
+}
+
+// Shards returns the number of shards.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// Close closes every shard and the router's decision log. Close drains
+// cross-shard operations (it takes the barrier) and is idempotent.
+func (db *DB) Close() error {
+	db.smu.Lock()
+	defer db.smu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var firstErr error
+	if db.txnLog != nil {
+		if err := db.txnLog.Close(); err != nil {
+			firstErr = err
+		}
+		db.txnLog = nil
+	}
+	for i, s := range db.shards {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sharded: close shard %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// Upsert stores or replaces a user's movement update in the shard owning
+// the new position. A user whose update crosses a shard boundary is
+// re-homed: inserted into the new shard first, then removed from the old,
+// so concurrent queries see the user throughout (briefly possibly twice;
+// query merging keeps the newer state).
+func (db *DB) Upsert(o Object) error {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	target := db.shardOf(o.X, o.Y)
+	if err := db.shards[target].Upsert(o); err != nil {
+		return err
+	}
+	db.ownMu.Lock()
+	prev, had := db.owner[o.UID]
+	db.owner[o.UID] = target
+	db.ownMu.Unlock()
+	if had && prev != target {
+		if err := db.shards[prev].Remove(o.UID); err != nil {
+			return fmt.Errorf("sharded: re-home user %d out of shard %d: %w", o.UID, prev, err)
+		}
+	}
+	return nil
+}
+
+// Remove deletes a user's index entry (their policies remain, in every
+// shard). Removing a user with no index entry is an error, matching the
+// single-tree engine.
+func (db *DB) Remove(uid UserID) error {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.ownMu.Lock()
+	idx, ok := db.owner[uid]
+	db.ownMu.Unlock()
+	if !ok {
+		return fmt.Errorf("sharded: remove: user %d is not indexed", uid)
+	}
+	if err := db.shards[idx].Remove(uid); err != nil {
+		return err
+	}
+	db.ownMu.Lock()
+	delete(db.owner, uid)
+	db.ownMu.Unlock()
+	return nil
+}
+
+// DefineRelation records a role relation. Policy state is broadcast to
+// every shard (any shard must be able to evaluate the privacy predicate
+// for the objects it holds) through the atomic cross-shard batch path, so
+// a failure on any shard rolls the others back — the shards never
+// disagree on the predicate.
+func (db *DB) DefineRelation(owner, peer UserID, role Role) error {
+	b := db.NewBatch()
+	b.DefineRelation(owner, peer, role)
+	return db.Apply(b)
+}
+
+// Grant adds a location-privacy policy, broadcast to every shard
+// atomically (see DefineRelation).
+func (db *DB) Grant(owner UserID, role Role, locr Region, tint TimeInterval) error {
+	if !locr.Valid() {
+		return &peb.InvalidRegionError{Region: locr}
+	}
+	b := db.NewBatch()
+	b.Grant(owner, role, locr, tint)
+	return db.Apply(b)
+}
+
+// EncodePolicies runs the offline policy-encoding phase on every shard.
+// Each shard computes the same sequence-value assignment (the policy state
+// is identical everywhere) and rebuilds its own index under it. Like the
+// single-tree form, queries work without it but cluster better after it.
+func (db *DB) EncodePolicies() error {
+	db.smu.Lock()
+	defer db.smu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for i, s := range db.shards {
+		if err := s.EncodePolicies(); err != nil {
+			return fmt.Errorf("sharded: encode shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint runs every shard's checkpoint pipeline concurrently. Each
+// pipeline stalls only its own shard's commits for its cut and publish
+// moments; the other shards keep serving throughout — the per-shard
+// version of the engine's non-blocking checkpoint.
+func (db *DB) Checkpoint() error {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	errs := make([]error, len(db.shards))
+	var wg sync.WaitGroup
+	for i, s := range db.shards {
+		wg.Add(1)
+		go func(i int, s *peb.DB) {
+			defer wg.Done()
+			errs[i] = s.Checkpoint()
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sharded: checkpoint shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Lookup returns a user's stored movement state.
+func (db *DB) Lookup(uid UserID) (Object, bool, error) {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return Object{}, false, ErrClosed
+	}
+	db.ownMu.Lock()
+	idx, ok := db.owner[uid]
+	db.ownMu.Unlock()
+	if !ok {
+		return Object{}, false, nil
+	}
+	return db.shards[idx].Lookup(uid)
+}
+
+// Allows evaluates the raw policy predicate (policies are identical on
+// every shard).
+func (db *DB) Allows(owner, viewer UserID, x, y, t float64) bool {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return false
+	}
+	return db.shards[0].Allows(owner, viewer, x, y, t)
+}
+
+// Size returns the number of indexed users.
+func (db *DB) Size() int {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return 0
+	}
+	db.ownMu.Lock()
+	defer db.ownMu.Unlock()
+	return len(db.owner)
+}
+
+// RangeQuery answers the privacy-aware range query by scatter-gather:
+// shards whose Hilbert range cannot intersect the query region — enlarged
+// by each shard's own motion slack, mirroring the enlargement the shard
+// would apply internally — are pruned, the rest are queried concurrently,
+// and the results are merged (sorted by user id; the single-tree engine
+// returns scan order instead).
+func (db *DB) RangeQuery(issuer UserID, r Region, t float64) ([]Object, error) {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if !r.Valid() {
+		return nil, &peb.InvalidRegionError{Region: r}
+	}
+	return gatherRange(db.routeRegion(r, t, db.shardSlack), issuer, r, t,
+		func(i int) querier { return db.shards[i] })
+}
+
+// NearestNeighbors answers the privacy-aware k-nearest-neighbor query by
+// best-first shard expansion: shards are visited in order of the minimum
+// distance any of their objects could have to the query point (their
+// region's distance minus their motion slack), and the expansion stops
+// once the next shard's bound exceeds the current k-th candidate — that
+// shard, and every one after it, cannot contribute.
+func (db *DB) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([]Neighbor, error) {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	return gatherKNN(db.knnOrder(x, y, t, db.shardSlack), issuer, x, y, k, t,
+		func(i int) querier { return db.shards[i] })
+}
+
+// shardSlack is DB.MotionSlack for the live shards (the routing functions
+// also run against pinned snapshots).
+func (db *DB) shardSlack(i int, t float64) float64 {
+	return db.shards[i].MotionSlack(t)
+}
+
+// routeRegion returns the indexes of the shards whose Hilbert range can
+// hold an object relevant to a range query over r at time t. Each shard's
+// region is effectively enlarged by its own motion slack: an object is
+// stored under the position of its last update, so it can qualify for r
+// while being stored up to slack away.
+func (db *DB) routeRegion(r Region, t float64, slack func(int, float64) float64) []int {
+	var out []int
+	for i := range db.shards {
+		ew := enlarge(r, slack(i, t))
+		rect, ok := db.grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+		if !ok {
+			continue // the enlarged window misses the space entirely
+		}
+		if zcurve.HilbertRangeIntersectsRect(rect, db.ranges[i], db.grid.Order) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// knnOrder returns every shard with its candidate-distance lower bound,
+// sorted ascending — the best-first expansion order.
+func (db *DB) knnOrder(x, y, t float64, slack func(int, float64) float64) []knnShard {
+	out := make([]knnShard, 0, len(db.shards))
+	for i := range db.shards {
+		lb := db.grid.HilbertMinDist(x, y, db.ranges[i]) - slack(i, t)
+		if lb < 0 {
+			lb = 0
+		}
+		out = append(out, knnShard{idx: i, lb: lb})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].lb != out[b].lb {
+			return out[a].lb < out[b].lb
+		}
+		return out[a].idx < out[b].idx
+	})
+	return out
+}
+
+// enlarge grows a region by d on every side.
+func enlarge(r Region, d float64) Region {
+	return Region{MinX: r.MinX - d, MinY: r.MinY - d, MaxX: r.MaxX + d, MaxY: r.MaxY + d}
+}
+
+// querier is the query surface shared by live shards and their pinned
+// snapshots, letting DB and Snapshot reuse one gather implementation.
+type querier interface {
+	RangeQuery(issuer UserID, r Region, t float64) ([]Object, error)
+	NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([]Neighbor, error)
+}
+
+// gatherRange fans a range query out to the routed shards concurrently and
+// merges the results: duplicates (a user caught mid-re-homing) keep the
+// newer state, and the merged set is sorted by user id for determinism.
+func gatherRange(idxs []int, issuer UserID, r Region, t float64, shard func(int) querier) ([]Object, error) {
+	results := make([][]Object, len(idxs))
+	errs := make([]error, len(idxs))
+	var wg sync.WaitGroup
+	for j, i := range idxs {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			results[j], errs[j] = shard(i).RangeQuery(issuer, r, t)
+		}(j, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := make(map[UserID]Object)
+	for _, res := range results {
+		for _, o := range res {
+			if prev, ok := merged[o.UID]; !ok || o.T > prev.T {
+				merged[o.UID] = o
+			}
+		}
+	}
+	if len(merged) == 0 {
+		return nil, nil // match the single-tree engine's empty result
+	}
+	out := make([]Object, 0, len(merged))
+	for _, o := range merged {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].UID < out[b].UID })
+	return out, nil
+}
+
+// knnShard is one shard in best-first expansion order: no object of shard
+// idx can be closer to the query point than lb.
+type knnShard struct {
+	idx int
+	lb  float64
+}
+
+// gatherKNN merges per-shard k-nearest results under best-first expansion
+// with a global bound: once k qualified candidates are in hand, a shard
+// whose lower bound exceeds the k-th distance — and every later shard,
+// since the order is ascending — is skipped. Shards with equal bounds are
+// still visited (an equal-distance candidate with a smaller id would win
+// the tie-break).
+func gatherKNN(order []knnShard, issuer UserID, x, y float64, k int, t float64, shard func(int) querier) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	best := make(map[UserID]Neighbor)
+	kth := func() float64 {
+		ds := make([]float64, 0, len(best))
+		for _, nb := range best {
+			ds = append(ds, nb.Dist)
+		}
+		sort.Float64s(ds)
+		return ds[k-1]
+	}
+	for _, sh := range order {
+		if len(best) >= k && sh.lb > kth() {
+			break
+		}
+		res, err := shard(sh.idx).NearestNeighbors(issuer, x, y, k, t)
+		if err != nil {
+			return nil, err
+		}
+		for _, nb := range res {
+			if prev, ok := best[nb.Object.UID]; !ok || nb.Object.T > prev.Object.T {
+				best[nb.Object.UID] = nb
+			}
+		}
+	}
+	if len(best) == 0 {
+		return nil, nil // match the single-tree engine's empty result
+	}
+	out := make([]Neighbor, 0, len(best))
+	for _, nb := range best {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Object.UID < out[b].Object.UID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package sharded
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/zcurve"
+	"repro/peb"
+)
+
+func TestShardedOptionsValidation(t *testing.T) {
+	if _, err := Open(Options{Shards: -1}); !errors.Is(err, peb.ErrBadOptions) {
+		t.Fatalf("negative shards: %v", err)
+	}
+	if _, err := Open(Options{DB: peb.Options{Path: "x.idx"}}); !errors.Is(err, peb.ErrBadOptions) {
+		t.Fatalf("explicit per-shard path: %v", err)
+	}
+	if _, err := Open(Options{DB: peb.Options{Durability: peb.DurabilitySync}}); !errors.Is(err, peb.ErrBadOptions) {
+		t.Fatalf("durability without dir: %v", err)
+	}
+	if _, err := Open(Options{DB: peb.Options{TxnResolve: func(uint64) bool { return true }}}); !errors.Is(err, peb.ErrBadOptions) {
+		t.Fatalf("caller-supplied TxnResolve: %v", err)
+	}
+}
+
+func TestShardedRehomeOnMove(t *testing.T) {
+	db, err := Open(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Walk one user through all four quadrants; it must exist exactly once
+	// throughout, and the per-shard sizes must follow it.
+	for step, q := range quadrant {
+		if err := db.Upsert(Object{UID: 42, X: q[0], Y: q[1], T: float64(step)}); err != nil {
+			t.Fatal(err)
+		}
+		if db.Size() != 1 {
+			t.Fatalf("step %d: size %d, want 1", step, db.Size())
+		}
+		st := db.Stats()
+		total, nonEmpty := 0, 0
+		for _, ss := range st.Shards {
+			total += ss.Size
+			if ss.Size > 0 {
+				nonEmpty++
+			}
+		}
+		if total != 1 || nonEmpty != 1 {
+			t.Fatalf("step %d: population spread %v", step, st.Shards)
+		}
+		o, ok, err := db.Lookup(42)
+		if err != nil || !ok || o.T != float64(step) {
+			t.Fatalf("step %d: lookup %v %v %v", step, o, ok, err)
+		}
+	}
+	if err := db.Remove(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove(42); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestShardedReopen(t *testing.T) {
+	fs := store.NewCrashFS()
+	opts := Options{
+		Shards: 4,
+		Dir:    "db",
+		DB:     peb.Options{Durability: peb.DurabilityGrouped, FS: fs},
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range quadrant {
+		if err := db.Upsert(Object{UID: UserID(i + 1), X: q[0], Y: q[1], T: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DefineRelation(2, 1, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Grant(2, "friend", Region{MaxX: 1000, MaxY: 1000}, TimeInterval{End: 1440}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Upsert(Object{UID: 9, X: 500, Y: 500, T: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Size() != 5 {
+		t.Fatalf("reopened size %d, want 5", re.Size())
+	}
+	for i := range quadrant {
+		if _, ok, _ := re.Lookup(UserID(i + 1)); !ok {
+			t.Fatalf("user %d lost across reopen", i+1)
+		}
+	}
+	if _, ok, _ := re.Lookup(9); !ok {
+		t.Fatal("post-checkpoint commit lost across reopen")
+	}
+	if !re.Allows(2, 1, 250, 750, 30) {
+		t.Fatal("policy lost across reopen")
+	}
+
+	// Shard-count mismatch is refused, not misrouted.
+	bad := opts
+	bad.Shards = 8
+	if _, err := Open(bad); err == nil {
+		t.Fatal("reopen with different shard count accepted")
+	}
+}
+
+func TestShardedStatsAggregation(t *testing.T) {
+	fs := store.NewCrashFS()
+	db, err := Open(Options{
+		Shards: 2,
+		Dir:    "s",
+		DB:     peb.Options{Durability: peb.DurabilitySync, FS: fs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i, q := range quadrant {
+		if err := db.Upsert(Object{UID: UserID(i + 1), X: q[0], Y: q[1], T: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if len(st.Shards) != 2 {
+		t.Fatalf("stats cover %d shards", len(st.Shards))
+	}
+	var appends, swaps uint64
+	var sizes int
+	for _, ss := range st.Shards {
+		appends += ss.WAL.Appends
+		swaps += ss.ViewSwaps
+		sizes += ss.Size
+	}
+	if st.WAL.Appends != appends || st.ViewSwaps != swaps {
+		t.Fatalf("aggregate mismatch: %+v", st)
+	}
+	if sizes != 4 {
+		t.Fatalf("per-shard sizes sum to %d, want 4", sizes)
+	}
+	if st.WAL.Appends < 4 {
+		t.Fatalf("WAL appends %d, want at least one per upsert", st.WAL.Appends)
+	}
+	if st.Checkpoints.Checkpoints != 2 {
+		t.Fatalf("aggregate checkpoints %d, want one per shard", st.Checkpoints.Checkpoints)
+	}
+}
+
+// TestShardedRoutingPrunes verifies the router consults only the shards
+// whose Hilbert range can matter: a query deep inside one quadrant must
+// not touch the other shards' trees (observed through per-shard I/O
+// counters after a cold start).
+func TestShardedRoutingPrunes(t *testing.T) {
+	db, err := Open(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	day := TimeInterval{Start: 0, End: 1440}
+	for i, q := range quadrant {
+		uid := UserID(i + 1)
+		if err := db.DefineRelation(uid, 99, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Grant(uid, "w", Region{MaxX: 1000, MaxY: 1000}, day); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Upsert(Object{UID: uid, X: q[0], Y: q[1], T: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A tight window around quadrant 0's point, at the update time (zero
+	// gap, so the only enlargement is the shard's own slack = 0·speed).
+	r := Region{MinX: 240, MinY: 240, MaxX: 260, MaxY: 260}
+	idxs := db.routeRegion(r, 0, db.shardSlack)
+	if len(idxs) != 1 {
+		t.Fatalf("routeRegion(%+v) = %v, want exactly the owning shard", r, idxs)
+	}
+	res, err := db.RangeQuery(99, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].UID != 1 {
+		t.Fatalf("pruned query returned %v", res)
+	}
+	// The kNN expansion order must start at the shard owning the query
+	// point's quadrant.
+	order := db.knnOrder(250, 250, 0, db.shardSlack)
+	if order[0].idx != idxs[0] {
+		t.Fatalf("knnOrder starts at shard %d, want %d", order[0].idx, idxs[0])
+	}
+	if order[0].lb != 0 {
+		t.Fatalf("containing shard's bound = %g, want 0", order[0].lb)
+	}
+
+	// With motion slack (query time far from update time) the same window
+	// may legitimately route to more shards — never fewer.
+	wide := db.routeRegion(r, 60, db.shardSlack)
+	if len(wide) < len(idxs) {
+		t.Fatalf("slack shrank the route: %v -> %v", idxs, wide)
+	}
+}
+
+// TestShardedRangesSpanSpace: the shard ranges partition the curve
+// exactly; every grid position maps to exactly one shard.
+func TestShardedRangesSpanSpace(t *testing.T) {
+	db, err := Open(Options{Shards: 5}) // deliberately not a power of two
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.Shards(); got != 5 {
+		t.Fatalf("Shards() = %d", got)
+	}
+	total := zcurve.Interval{Lo: 0, Hi: db.grid.MaxValue()}
+	var covered uint64
+	for _, iv := range db.ranges {
+		covered += iv.Len()
+	}
+	if covered != total.Len() {
+		t.Fatalf("ranges cover %d of %d values", covered, total.Len())
+	}
+	for x := 25.0; x < 1000; x += 111 {
+		for y := 25.0; y < 1000; y += 97 {
+			i := db.shardOf(x, y)
+			if !db.ranges[i].Contains(db.grid.HilbertValue(x, y)) {
+				t.Fatalf("shardOf(%g,%g)=%d does not own the position's value", x, y, i)
+			}
+		}
+	}
+}
+
+func TestShardedClosedErrors(t *testing.T) {
+	db, err := Open(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := db.Upsert(Object{UID: 1, X: 1, Y: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("upsert on closed: %v", err)
+	}
+	if _, err := db.RangeQuery(1, Region{MaxX: 10, MaxY: 10}, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query on closed: %v", err)
+	}
+	if err := db.Apply(db.NewBatch()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("apply on closed: %v", err)
+	}
+	if _, err := db.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("snapshot on closed: %v", err)
+	}
+}

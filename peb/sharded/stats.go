@@ -1,0 +1,80 @@
+package sharded
+
+import (
+	"repro/peb"
+)
+
+// ShardStats is one shard's contribution to the aggregate.
+type ShardStats struct {
+	// Size is the shard's indexed population.
+	Size int
+	// WAL is the shard's write-ahead-log activity.
+	WAL peb.WALStats
+	// Checkpoints is the shard's checkpoint pipeline activity.
+	Checkpoints peb.CheckpointStats
+	// ViewSwaps counts the shard's query-view republishes.
+	ViewSwaps uint64
+}
+
+// Stats is the aggregated observability view over every shard: the summed
+// counters the single-tree engine exposes one DB at a time, plus the
+// per-shard breakdown (the interesting number for balance: a hot shard
+// shows up as a skewed Size or WAL.Appends).
+type Stats struct {
+	// Shards holds each shard's individual counters, in shard order.
+	Shards []ShardStats
+	// WAL sums the per-shard log activity.
+	WAL peb.WALStats
+	// Checkpoints sums the per-shard pipeline counters and Total*
+	// durations; the Last* durations are the maximum across shards (the
+	// stall any single commit could have seen, since shards stall
+	// independently).
+	Checkpoints peb.CheckpointStats
+	// ViewSwaps sums the per-shard view republishes.
+	ViewSwaps uint64
+}
+
+// Stats returns the aggregated counters since Open.
+func (db *DB) Stats() Stats {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	out := Stats{Shards: make([]ShardStats, len(db.shards))}
+	if db.closed {
+		return out
+	}
+	for i, s := range db.shards {
+		ss := ShardStats{
+			Size:        s.Size(),
+			WAL:         s.WALStats(),
+			Checkpoints: s.CheckpointStats(),
+			ViewSwaps:   s.ViewSwaps(),
+		}
+		out.Shards[i] = ss
+
+		out.WAL.Appends += ss.WAL.Appends
+		out.WAL.Syncs += ss.WAL.Syncs
+		out.ViewSwaps += ss.ViewSwaps
+
+		c := &out.Checkpoints
+		c.Checkpoints += ss.Checkpoints.Checkpoints
+		c.Coalesced += ss.Checkpoints.Coalesced
+		c.AutoTriggered += ss.Checkpoints.AutoTriggered
+		c.TotalCut += ss.Checkpoints.TotalCut
+		c.TotalBuild += ss.Checkpoints.TotalBuild
+		c.TotalPublish += ss.Checkpoints.TotalPublish
+		c.PagesFlushed += ss.Checkpoints.PagesFlushed
+		c.PagesReclaimed += ss.Checkpoints.PagesReclaimed
+		c.WALBytesTruncated += ss.Checkpoints.WALBytesTruncated
+		c.WALTailBytesRewritten += ss.Checkpoints.WALTailBytesRewritten
+		if ss.Checkpoints.LastCut > c.LastCut {
+			c.LastCut = ss.Checkpoints.LastCut
+		}
+		if ss.Checkpoints.LastBuild > c.LastBuild {
+			c.LastBuild = ss.Checkpoints.LastBuild
+		}
+		if ss.Checkpoints.LastPublish > c.LastPublish {
+			c.LastPublish = ss.Checkpoints.LastPublish
+		}
+	}
+	return out
+}

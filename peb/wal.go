@@ -76,12 +76,32 @@ type walOp struct {
 	Blob []byte
 }
 
+// Transaction states a record can carry (cross-shard two-phase commit;
+// see prepared.go). Ordinary single-DB commits log txnNone records.
+const (
+	txnNone uint8 = iota
+	// txnPrepared: the record's operations are applied in memory but their
+	// durability fate rests with a coordinator. Replay applies the record
+	// only if a later txnCommitted marker (or the coordinator's resolver)
+	// confirms the transaction.
+	txnPrepared
+	// txnCommitted / txnAborted: marker records (no operations) sealing a
+	// prepared transaction's fate in this participant's log.
+	txnCommitted
+	txnAborted
+)
+
 // walRecord is one commit: a batch of operations applied atomically, plus
 // the post-commit nextSV so replay restores the sequence-value cursor.
+// TxnID/TxnState tie the record into a cross-shard transaction: zero for
+// ordinary commits, the coordinator's transaction id for prepared records
+// and their commit/abort markers.
 type walRecord struct {
-	Seq    uint64
-	NextSV float64
-	Ops    []walOp
+	Seq      uint64
+	NextSV   float64
+	Ops      []walOp
+	TxnID    uint64
+	TxnState uint8
 }
 
 // encodeAssignment flattens an assignment into deterministic (sorted)
@@ -136,11 +156,20 @@ func unmarshalRecord(data []byte) (walRecord, error) {
 // All subsequent commits fail until the DB is reopened; reads and the
 // already-applied mutation remain visible in memory.
 func (db *DB) walAppend(ops []walOp) (store.WALToken, error) {
+	return db.walAppendTxn(ops, 0, txnNone)
+}
+
+// walAppendTxn is walAppend carrying a transaction id and state — the form
+// prepared records and their commit/abort markers are logged in.
+func (db *DB) walAppendTxn(ops []walOp, txnID uint64, txnState uint8) (store.WALToken, error) {
+	if txnID > db.maxTxn {
+		db.maxTxn = txnID
+	}
 	if db.wal == nil {
 		return 0, nil
 	}
 	db.walSeq++
-	rec := walRecord{Seq: db.walSeq, NextSV: db.nextSV, Ops: ops}
+	rec := walRecord{Seq: db.walSeq, NextSV: db.nextSV, Ops: ops, TxnID: txnID, TxnState: txnState}
 	payload, err := marshalRecord(&rec)
 	if err != nil {
 		// The mutation is already applied; a record we cannot produce is
