@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/bxtree"
 	"repro/internal/motion"
@@ -39,6 +40,54 @@ type pknnSearch struct {
 
 	processed map[motion.UserID]bool     // decoded and policy-checked once
 	found     map[motion.UserID]Neighbor // qualified candidates
+
+	ds []float64 // kthDist scratch
+}
+
+// pknnPool recycles search state across queries: the per-row interval
+// maps, the candidate sets, and the kthDist scratch are the query path's
+// dominant allocations, and a steady query workload reuses them warm
+// instead of re-growing them from empty every call. States are returned
+// cleared (release does the clearing, so the GC-visible pool never holds
+// user data longer than the next query).
+var pknnPool = sync.Pool{New: func() any { return &pknnSearch{} }}
+
+// acquirePKNN readies a pooled search state for m friend groups.
+func acquirePKNN(m int) *pknnSearch {
+	s := pknnPool.Get().(*pknnSearch)
+	for len(s.scanned) < m {
+		s.scanned = append(s.scanned, make(map[uint64]zcurve.Interval))
+	}
+	if cap(s.rowDone) < m {
+		s.rowDone = make([]bool, m)
+	}
+	s.rowDone = s.rowDone[:m]
+	for i := range s.rowDone {
+		s.rowDone[i] = false
+	}
+	if s.processed == nil {
+		s.processed = make(map[motion.UserID]bool)
+	}
+	if s.found == nil {
+		s.found = make(map[motion.UserID]Neighbor)
+	}
+	return s
+}
+
+// release clears the search state and returns it to the pool. The cleared
+// maps keep their buckets, which is the point: the next query on this
+// state allocates nothing for them.
+func (s *pknnSearch) release() {
+	for i := range s.scanned {
+		clear(s.scanned[i])
+	}
+	clear(s.processed)
+	clear(s.found)
+	s.ds = s.ds[:0]
+	s.v = nil
+	s.ctx = nil
+	s.groups = nil
+	pknnPool.Put(s)
 }
 
 // allRowsDone reports whether every friend row has been resolved.
@@ -104,24 +153,14 @@ func (v *View) PKNNCtx(ctx context.Context, issuer motion.UserID, qx, qy float64
 		return nil, nil
 	}
 
-	s := &pknnSearch{
-		v:      v,
-		ctx:    ctx,
-		issuer: issuer,
-		qx:     qx,
-		qy:     qy,
-		tq:     tq,
-		rq:     v.roundRadius(k),
-		groups: groups,
-
-		scanned:   make([]map[uint64]zcurve.Interval, len(groups)),
-		rowDone:   make([]bool, len(groups)),
-		processed: make(map[motion.UserID]bool),
-		found:     make(map[motion.UserID]Neighbor),
-	}
-	for i := range s.scanned {
-		s.scanned[i] = make(map[uint64]zcurve.Interval)
-	}
+	s := acquirePKNN(len(groups))
+	defer s.release()
+	s.v = v
+	s.ctx = ctx
+	s.issuer = issuer
+	s.qx, s.qy, s.tq = qx, qy, tq
+	s.rq = v.roundRadius(k)
+	s.groups = groups
 
 	// The last useful column: once the (unenlarged) window covers the whole
 	// space, later columns add nothing.
@@ -312,10 +351,11 @@ func (s *pknnSearch) consider(o motion.Object) {
 
 // kthDist returns the distance of the k'th nearest qualified candidate.
 func (s *pknnSearch) kthDist(k int) float64 {
-	ds := make([]float64, 0, len(s.found))
+	ds := s.ds[:0]
 	for _, nb := range s.found {
 		ds = append(ds, nb.Dist)
 	}
+	s.ds = ds
 	sort.Float64s(ds)
 	return ds[k-1]
 }

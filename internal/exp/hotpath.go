@@ -1,0 +1,330 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/peb"
+)
+
+// The hot-path report is the measurement layer behind pebbench -json: one
+// JSON document per run covering the commit path (latency percentiles,
+// allocations, fsyncs, log volume), the WAL codec before/after (gob vs
+// binary over the identical stream), the checkpoint pipeline (full vs
+// incremental builds, pages walked and flushed), and the pooled PkNN
+// query path. CI uploads the document as the BENCH_pr6.json artifact and
+// diffs its *stable* counters — allocations, fsyncs/op, pages walked per
+// incremental build, bytes per record — against the committed baseline.
+// Latencies and ns/op are reported for the trajectory but never diffed:
+// they measure the runner, not the code.
+
+// HotPathReport is the pebbench -json document.
+type HotPathReport struct {
+	Schema     int               `json:"schema"` // bump when fields change meaning
+	Quick      bool              `json:"quick"`
+	GoVersion  string            `json:"go_version"`
+	Codec      peb.WALCodecBench `json:"wal_codec"`
+	Commit     CommitBench       `json:"commit"`
+	Checkpoint CheckpointBench   `json:"checkpoint"`
+	PKNN       PKNNBench         `json:"pknn"`
+}
+
+// CommitBench measures durable single-object commits (Durability: Sync —
+// fsync before every ack) against a file-backed DB.
+type CommitBench struct {
+	Ops int `json:"ops"`
+	// Latency percentiles in microseconds. Machine-dependent.
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// Stable counters: heap allocations, physical fsyncs, and framed log
+	// bytes per acknowledged commit.
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	FsyncsPerOp   float64 `json:"fsyncs_per_op"`
+	WALBytesPerOp float64 `json:"wal_bytes_per_op"`
+}
+
+// CheckpointBench measures a churn/checkpoint regime: one full build
+// anchors the chain, every later build should ride the dead-extent ledger.
+type CheckpointBench struct {
+	Cycles            int    `json:"cycles"`
+	ObjectsPerCycle   int    `json:"objects_per_cycle"`
+	FullBuilds        uint64 `json:"full_builds"`
+	IncrementalBuilds uint64 `json:"incremental_builds"`
+	// PagesWalkedFull is what the anchor's liveness sweep visited — the
+	// per-checkpoint cost the ledger then eliminates.
+	PagesWalkedFull           uint64  `json:"pages_walked_full"`
+	PagesWalkedPerIncremental float64 `json:"pages_walked_per_incremental"`
+	PagesFlushed              uint64  `json:"pages_flushed"`
+	PagesReclaimed            uint64  `json:"pages_reclaimed"`
+}
+
+// PKNNBench measures the pooled k-nearest-neighbors query path on an
+// in-memory DB (no page I/O in the counter).
+type PKNNBench struct {
+	Friends     int     `json:"friends"`
+	K           int     `json:"k"`
+	Queries     int     `json:"queries"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	P50Micros   float64 `json:"p50_us"`
+}
+
+func hotObj(uid, salt int) peb.Object {
+	return peb.Object{
+		UID: peb.UserID(uid),
+		X:   float64((uid*37 + salt*131) % 1000),
+		Y:   float64((uid*59 + salt*17) % 1000),
+		VX:  float64(uid%5) - 2,
+		VY:  float64(salt%5) - 2,
+		T:   float64(salt % 50),
+	}
+}
+
+// allocsPerOp is testing.AllocsPerRun without the testing import: average
+// mallocs per fn call, pinned to one P.
+func allocsPerOp(runs int, fn func(i int) error) (float64, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	if err := fn(0); err != nil {
+		return 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		if err := fn(i); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs), nil
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}
+
+// RunHotPath produces the full report. quick shrinks every loop to CI
+// smoke size; the counters it diffs are size-independent.
+func RunHotPath(quick bool, logf func(string, ...interface{})) (HotPathReport, error) {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	rep := HotPathReport{Schema: 1, Quick: quick, GoVersion: runtime.Version()}
+
+	codecRecords, commitOps, ckptCycles, ckptObjs, pknnQueries := 20000, 4000, 8, 200, 2000
+	if quick {
+		codecRecords, commitOps, ckptCycles, ckptObjs, pknnQueries = 4000, 600, 4, 80, 400
+	}
+
+	logf("hotpath: codec bench (%d records)", codecRecords)
+	rep.Codec = peb.RunWALCodecBench(codecRecords)
+
+	dir, err := os.MkdirTemp("", "pebbench-hotpath")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+
+	logf("hotpath: commit bench (%d durable commits)", commitOps)
+	rep.Commit, err = runCommitBench(filepath.Join(dir, "commit.idx"), commitOps)
+	if err != nil {
+		return rep, fmt.Errorf("commit bench: %w", err)
+	}
+
+	logf("hotpath: checkpoint bench (%d cycles x %d objects)", ckptCycles, ckptObjs)
+	rep.Checkpoint, err = runCheckpointBench(filepath.Join(dir, "ckpt.idx"), ckptCycles, ckptObjs)
+	if err != nil {
+		return rep, fmt.Errorf("checkpoint bench: %w", err)
+	}
+
+	logf("hotpath: pknn bench (%d queries)", pknnQueries)
+	rep.PKNN, err = runPKNNBench(pknnQueries)
+	if err != nil {
+		return rep, fmt.Errorf("pknn bench: %w", err)
+	}
+	return rep, nil
+}
+
+func runCommitBench(path string, ops int) (CommitBench, error) {
+	db, err := peb.Open(peb.Options{Path: path, Durability: peb.DurabilitySync, BufferPages: 64})
+	if err != nil {
+		return CommitBench{}, err
+	}
+	defer db.Close()
+	const population = 256
+	b := db.NewBatch()
+	for i := 1; i <= population; i++ {
+		b.Upsert(hotObj(i, 0))
+	}
+	if err := db.Apply(b); err != nil {
+		return CommitBench{}, err
+	}
+
+	// Timed pass: per-op latency plus WAL counter deltas.
+	before := db.WALStats()
+	lat := make([]time.Duration, ops)
+	for i := 0; i < ops; i++ {
+		start := time.Now()
+		if err := db.Upsert(hotObj(i%population+1, i+1)); err != nil {
+			return CommitBench{}, err
+		}
+		lat[i] = time.Since(start)
+	}
+	after := db.WALStats()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	res := CommitBench{
+		Ops:           ops,
+		P50Micros:     percentile(lat, 0.50),
+		P99Micros:     percentile(lat, 0.99),
+		FsyncsPerOp:   float64(after.Syncs-before.Syncs) / float64(ops),
+		WALBytesPerOp: float64(after.BytesAppended-before.BytesAppended) / float64(ops),
+	}
+	// Separate alloc pass: timing calls inside the measured window would
+	// charge the clock's allocations to the commit path.
+	allocRuns := ops / 4
+	if allocRuns < 100 {
+		allocRuns = 100
+	}
+	res.AllocsPerOp, err = allocsPerOp(allocRuns, func(i int) error {
+		return db.Upsert(hotObj(i%population+1, ops+i+2))
+	})
+	return res, err
+}
+
+func runCheckpointBench(path string, cycles, objs int) (CheckpointBench, error) {
+	db, err := peb.Open(peb.Options{Path: path, Durability: peb.DurabilitySync, BufferPages: 64})
+	if err != nil {
+		return CheckpointBench{}, err
+	}
+	defer db.Close()
+	churn := func(salt int) error {
+		b := db.NewBatch()
+		for i := 1; i <= objs; i++ {
+			b.Upsert(hotObj(i, salt))
+		}
+		return db.Apply(b)
+	}
+	if err := churn(0); err != nil {
+		return CheckpointBench{}, err
+	}
+	if err := db.Checkpoint(); err != nil { // the anchoring full build
+		return CheckpointBench{}, err
+	}
+	anchor := db.CheckpointStats()
+	for c := 1; c <= cycles; c++ {
+		if err := churn(c); err != nil {
+			return CheckpointBench{}, err
+		}
+		if err := db.Checkpoint(); err != nil {
+			return CheckpointBench{}, err
+		}
+	}
+	st := db.CheckpointStats()
+	res := CheckpointBench{
+		Cycles:            cycles,
+		ObjectsPerCycle:   objs,
+		FullBuilds:        st.FullBuilds,
+		IncrementalBuilds: st.IncrementalBuilds,
+		PagesWalkedFull:   anchor.PagesWalked,
+		PagesFlushed:      st.PagesFlushed,
+		PagesReclaimed:    st.PagesReclaimed,
+	}
+	if st.IncrementalBuilds > 0 {
+		res.PagesWalkedPerIncremental =
+			float64(st.PagesWalked-anchor.PagesWalked) / float64(st.IncrementalBuilds)
+	}
+	return res, nil
+}
+
+func runPKNNBench(queries int) (PKNNBench, error) {
+	db, err := peb.Open(peb.Options{}) // in-memory: measure the query path, not page I/O
+	if err != nil {
+		return PKNNBench{}, err
+	}
+	defer db.Close()
+	const friends = 39
+	space := peb.Region{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	day := peb.TimeInterval{Start: 0, End: 1440}
+	// Each friend considers u1 a friend and grants friends visibility, so
+	// u1's queries assemble a real candidate set rather than measuring an
+	// empty result path.
+	for i := 2; i <= friends+1; i++ {
+		if err := db.DefineRelation(peb.UserID(i), 1, "f"); err != nil {
+			return PKNNBench{}, err
+		}
+		if err := db.Grant(peb.UserID(i), "f", space, day); err != nil {
+			return PKNNBench{}, err
+		}
+	}
+	if err := db.EncodePolicies(); err != nil {
+		return PKNNBench{}, err
+	}
+	for i := 1; i <= friends+1; i++ {
+		if err := db.Upsert(hotObj(i, 0)); err != nil {
+			return PKNNBench{}, err
+		}
+	}
+	const k = 5
+	query := func() error {
+		_, err := db.NearestNeighbors(1, 500, 500, k, 10)
+		return err
+	}
+	// Warm the pooled search state, and refuse to "measure" an empty
+	// result set — that would make every counter trivially flattering.
+	warm, err := db.NearestNeighbors(1, 500, 500, k, 10)
+	if err != nil {
+		return PKNNBench{}, err
+	}
+	if len(warm) != k {
+		return PKNNBench{}, fmt.Errorf("pknn bench returned %d results, want %d — policy setup broken", len(warm), k)
+	}
+	res := PKNNBench{Friends: friends, K: k, Queries: queries}
+	lat := make([]time.Duration, queries)
+	for i := range lat {
+		start := time.Now()
+		if err := query(); err != nil {
+			return PKNNBench{}, err
+		}
+		lat[i] = time.Since(start)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.P50Micros = percentile(lat, 0.50)
+	res.AllocsPerOp, err = allocsPerOp(queries, func(int) error { return query() })
+	return res, err
+}
+
+// CompareHotPath diffs the report's stable counters against a baseline and
+// returns one message per violated budget (empty = within budget). Each
+// check allows relative-plus-absolute slack because allocation counts
+// wobble slightly across Go releases and map growth boundaries; latencies
+// are never compared.
+func CompareHotPath(base, cur HotPathReport) []string {
+	var bad []string
+	check := func(name string, baseV, curV, relSlack, absSlack float64) {
+		limit := baseV*(1+relSlack) + absSlack
+		if curV > limit {
+			bad = append(bad, fmt.Sprintf("%s: %.3f exceeds baseline %.3f (limit %.3f)",
+				name, curV, baseV, limit))
+		}
+	}
+	check("wal_codec.binary_bytes_per_record", base.Codec.BinaryBytesPerRecord, cur.Codec.BinaryBytesPerRecord, 0.05, 1)
+	check("wal_codec.binary_allocs_per_op", base.Codec.BinaryAllocsPerOp, cur.Codec.BinaryAllocsPerOp, 0, 0.5)
+	check("commit.allocs_per_op", base.Commit.AllocsPerOp, cur.Commit.AllocsPerOp, 0.5, 2)
+	check("commit.fsyncs_per_op", base.Commit.FsyncsPerOp, cur.Commit.FsyncsPerOp, 0.1, 0.01)
+	check("commit.wal_bytes_per_op", base.Commit.WALBytesPerOp, cur.Commit.WALBytesPerOp, 0.1, 4)
+	check("checkpoint.pages_walked_per_incremental", base.Checkpoint.PagesWalkedPerIncremental,
+		cur.Checkpoint.PagesWalkedPerIncremental, 0, 0.01)
+	if cur.Checkpoint.FullBuilds > base.Checkpoint.FullBuilds {
+		bad = append(bad, fmt.Sprintf("checkpoint.full_builds: %d exceeds baseline %d — the incremental chain broke",
+			cur.Checkpoint.FullBuilds, base.Checkpoint.FullBuilds))
+	}
+	check("pknn.allocs_per_op", base.PKNN.AllocsPerOp, cur.PKNN.AllocsPerOp, 0.5, 2)
+	return bad
+}

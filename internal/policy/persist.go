@@ -1,20 +1,42 @@
 package policy
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
+
+	"repro/internal/codec"
 )
 
 // Persistence: policies are the slowly-changing state of the system (the
 // paper notes "policy updates are usually infrequent", Sec. 5.1), so a
 // deployment snapshots the policy store and rebuilds indexes from live
-// movement data. The format is a gob stream of a versioned snapshot;
+// movement data. The body is a gob stream of a versioned snapshot;
 // iteration orders are canonicalized so identical stores serialize
 // identically.
+//
+// Since the durability codec pass, Save wraps the gob body in a small
+// integrity envelope on the shared internal/codec conventions:
+//
+//	magic    1 byte  0xC7 (codec.MagicPolicySnapshot)
+//	version  1 byte  0x01
+//	crc      uvarint CRC-32C of the body
+//	body     vbytes  the gob snapshot stream
+//
+// A gob stream can never begin with the magic byte (see internal/codec),
+// so Load dispatches on it and reads bare gob-era snapshots — checkpoint
+// side files and logged policy blobs written before the envelope existed —
+// unchanged forever.
 
 const snapshotVersion = 1
+
+// envelopeVersion is the integrity envelope's format revision.
+const envelopeVersion = 1
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // snapshot is the serialized form of a Store.
 type snapshot struct {
@@ -69,16 +91,45 @@ func (s *Store) Save(w io.Writer) error {
 	sort.SliceStable(snap.Policies, func(i, j int) bool {
 		return snap.Policies[i].Owner < snap.Policies[j].Owner
 	})
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(snap); err != nil {
+		return fmt.Errorf("policy: save: %w", err)
+	}
+	out := make([]byte, 0, body.Len()+16)
+	out = append(out, codec.MagicPolicySnapshot, envelopeVersion)
+	out = codec.AppendUvarint(out, uint64(crc32.Checksum(body.Bytes(), snapshotCRC)))
+	out = codec.AppendBytes(out, body.Bytes())
+	if _, err := w.Write(out); err != nil {
 		return fmt.Errorf("policy: save: %w", err)
 	}
 	return nil
 }
 
-// Load reads a snapshot written by Save and reconstructs the store.
+// Load reads a snapshot written by Save — enveloped or legacy bare gob —
+// and reconstructs the store.
 func Load(r io.Reader) (*Store, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("policy: load: %w", err)
+	}
+	body := data
+	if len(data) > 0 && data[0] == codec.MagicPolicySnapshot {
+		rd := codec.NewReader(data, 1)
+		if v := rd.TakeByte("envelope version"); rd.Err() == nil && v > envelopeVersion {
+			return nil, fmt.Errorf("policy: snapshot envelope version %d not supported (max %d)", v, envelopeVersion)
+		}
+		crc := rd.TakeUvarint("snapshot crc")
+		body = rd.TakeBytes("snapshot body")
+		rd.ExpectEnd()
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("policy: corrupt snapshot: %w", err)
+		}
+		if crc != uint64(crc32.Checksum(body, snapshotCRC)) {
+			return nil, fmt.Errorf("policy: corrupt snapshot: checksum mismatch")
+		}
+	}
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("policy: load: %w", err)
 	}
 	if snap.Version != snapshotVersion {

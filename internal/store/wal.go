@@ -91,8 +91,17 @@ type WAL struct {
 	syncing bool
 	synced  int64 // logical offset made durable
 
+	// frame is the reusable append scratch buffer (guarded by mu): the
+	// header and payload are assembled here for the single WriteAt, so a
+	// steady-state append allocates nothing once the buffer has grown to
+	// the workload's record size.
+	frame []byte
+
 	appends atomic.Uint64
 	syncs   atomic.Uint64
+	// bytes counts framed bytes appended (header + payload) since OpenWAL —
+	// the log-volume side of the codec's size story.
+	bytes atomic.Uint64
 }
 
 // OpenWAL opens (creating if needed) the log at path and scans it: the
@@ -184,6 +193,13 @@ func (w *WAL) Stats() (appends, syncs uint64) {
 	return w.appends.Load(), w.syncs.Load()
 }
 
+// BytesAppended returns the framed bytes (headers + payloads) appended
+// since OpenWAL. Rotation does not reset it: it measures write volume, not
+// file size.
+func (w *WAL) BytesAppended() uint64 {
+	return w.bytes.Load()
+}
+
 // Append buffers one record at the log's tail and returns a token for
 // Commit. Appends are durable only after a Commit (or Sync) covering the
 // token. On any error the WAL is poisoned.
@@ -207,7 +223,10 @@ func (w *WAL) Append(payload []byte) (WALToken, error) {
 		w.err = fmt.Errorf("store: wal record %d bytes exceeds limit", len(payload))
 		return 0, w.err
 	}
-	buf := make([]byte, 8+len(payload))
+	if need := 8 + len(payload); cap(w.frame) < need {
+		w.frame = make([]byte, need)
+	}
+	buf := w.frame[:8+len(payload)]
 	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[4:], crc32.Checksum(payload, walCRC))
 	copy(buf[8:], payload)
@@ -217,6 +236,7 @@ func (w *WAL) Append(payload []byte) (WALToken, error) {
 	}
 	w.fileOff += int64(len(buf))
 	w.appends.Add(1)
+	w.bytes.Add(uint64(len(buf)))
 	return WALToken(w.base + w.fileOff), nil
 }
 

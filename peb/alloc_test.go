@@ -1,0 +1,138 @@
+package peb
+
+import (
+	"testing"
+)
+
+// Allocation-regression gates for the hot paths the speed pass optimized.
+//
+// The budgets are deliberate ceilings a little above today's measured
+// allocs/op: they exist so the zero-alloc WAL codec and the PkNN scratch
+// reuse cannot silently rot back toward gob-era numbers — not as exact
+// pins, which would flake across Go releases. If a legitimate change
+// raises a number, raise the budget in the same commit and say why.
+
+const (
+	// upsertSyncAllocBudget bounds one durable single-object commit:
+	// apply + binary WAL encode (reused buffer) + group-commit sync.
+	// Gob-era encoding alone cost ~40 allocs per record.
+	upsertSyncAllocBudget = 15
+	// applySyncAllocBudgetPerOp bounds a 100-upsert durable batch,
+	// amortized per upsert. Batching amortizes the record and the sync;
+	// the remainder (~12/op today) is dominated by B-tree copy-on-write
+	// node work, not serialization.
+	applySyncAllocBudgetPerOp = 16
+	// pknnAllocBudget bounds one warm PkNN query (k=5) on a pooled
+	// search state: result slice + friend-group assembly + leaf reads.
+	pknnAllocBudget = 60
+)
+
+func allocDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Options{
+		Path:        t.TempDir() + "/db.idx",
+		Durability:  DurabilitySync,
+		BufferPages: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for i := 1; i <= 64; i++ {
+		if err := db.Upsert(goldenObj(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestUpsertSyncAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	db := allocDB(t)
+	salt := 0
+	got := testing.AllocsPerRun(200, func() {
+		salt++
+		if err := db.Upsert(goldenObj(1+salt%64, salt)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("Upsert (DurabilitySync): %.1f allocs/op (budget %d)", got, upsertSyncAllocBudget)
+	if got > upsertSyncAllocBudget {
+		t.Fatalf("Upsert allocates %.1f/op, budget %d — the durable commit path regressed", got, upsertSyncAllocBudget)
+	}
+}
+
+func TestApplySyncAllocsPerOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	db := allocDB(t)
+	const batchSize = 100
+	salt := 0
+	got := testing.AllocsPerRun(50, func() {
+		salt++
+		b := db.NewBatch()
+		for i := 1; i <= batchSize; i++ {
+			b.Upsert(goldenObj(i, salt))
+		}
+		if err := db.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perOp := got / batchSize
+	t.Logf("Apply (DurabilitySync, %d ops): %.1f allocs/batch, %.2f/op (budget %d/op)",
+		batchSize, got, perOp, applySyncAllocBudgetPerOp)
+	if perOp > applySyncAllocBudgetPerOp {
+		t.Fatalf("Apply allocates %.2f per op, budget %d — the batch commit path regressed", perOp, applySyncAllocBudgetPerOp)
+	}
+}
+
+func TestPKNNAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	db, err := Open(Options{}) // in-memory: measure the query path, not page I/O
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Each friend i considers u1 a friend and grants friends visibility
+	// everywhere, all day — so u1's query actually assembles 39 candidate
+	// grantors and returns k results (an empty result set would make this
+	// gate trivially green).
+	for i := 2; i <= 40; i++ {
+		if err := db.DefineRelation(UserID(i), 1, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Grant(UserID(i), "f", Region{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, TimeInterval{Start: 0, End: 1440}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.EncodePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		if err := db.Upsert(goldenObj(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pooled search state, then measure steady-state queries.
+	warm, err := db.NearestNeighbors(1, 500, 500, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != 5 {
+		t.Fatalf("warm query returned %d results, want 5 — measuring an empty result set", len(warm))
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := db.NearestNeighbors(1, 500, 500, 5, 10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("PkNN (k=5, 39 friends): %.1f allocs/op (budget %d)", got, pknnAllocBudget)
+	if got > pknnAllocBudget {
+		t.Fatalf("PkNN allocates %.1f/op, budget %d — the heap-reuse path regressed", got, pknnAllocBudget)
+	}
+}

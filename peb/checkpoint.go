@@ -146,6 +146,16 @@ type CheckpointStats struct {
 	PagesReclaimed    uint64
 	WALBytesTruncated uint64
 
+	// FullBuilds and IncrementalBuilds split committed checkpoints by
+	// liveness strategy: full builds walk the whole sealed image to find
+	// dead pages, incremental builds reclaim the dead-extent ledger
+	// tracked since the previous cut and walk nothing. PagesWalked counts
+	// the pages full sweeps visited (cumulative; incremental builds add
+	// zero) — the work the ledger saves.
+	FullBuilds        uint64
+	IncrementalBuilds uint64
+	PagesWalked       uint64
+
 	// WALTailBytesRewritten counts the bytes log rotation copied to keep
 	// the records committed during build phases (cumulative). The rewrite
 	// is bounded by the build-window commit volume, never the whole log —
@@ -193,9 +203,15 @@ type ckptImage struct {
 	free     []store.PageID        // free ∪ parked ids at cut
 	alive    []store.PageID        // allocated ids at cut
 	keep     map[store.PageID]bool // snapshot-pinned retired pages
-	dead     []store.PageID        // filled by build
-	flushed  int                   // filled by build
-	polName  string                // filled by build
+	// incremental selects the build's liveness strategy: true means dead
+	// was pre-filled at the cut from the dead-extent ledger and the build
+	// skips the reachability sweep; false means the build computes dead by
+	// walking the sealed image.
+	incremental bool
+	dead        []store.PageID // pre-filled at cut (incremental) or by build (full)
+	walked      int            // pages visited by the build's sweep (0 when incremental)
+	flushed     int            // filled by build
+	polName     string         // filled by build
 }
 
 // Checkpoint publishes a crash-consistent cut of the database to its
@@ -319,6 +335,12 @@ func (db *DB) runCheckpoint(run *ckptRun) error {
 	st.PagesReclaimed += uint64(len(img.dead))
 	st.WALBytesTruncated += uint64(walBytes)
 	st.WALTailBytesRewritten += uint64(tailBytes)
+	if img.incremental {
+		st.IncrementalBuilds++
+	} else {
+		st.FullBuilds++
+		st.PagesWalked += uint64(img.walked)
+	}
 	db.statsMu.Unlock()
 	return err
 }
@@ -385,6 +407,11 @@ func (db *DB) ckptCut() (*ckptImage, error) {
 			for _, id := range b.pages {
 				keep[id] = true
 			}
+		} else {
+			// Dropped unpinned batches are dead extents, same as the
+			// quarantine drops in collectGarbage: record them so an
+			// incremental build below can reclaim them without a sweep.
+			db.ckptDead = append(db.ckptDead, b.pages...)
 		}
 	}
 	db.garbage = kept
@@ -406,6 +433,31 @@ func (db *DB) ckptCut() (*ckptImage, error) {
 		alive: db.fileDisk.AliveList(),
 		keep:  keep,
 	}
+
+	// Build-mode decision. The dead-extent ledger (db.ckptDead, fed by the
+	// quarantine branch of collectGarbage and by the drop loop above) is
+	// complete exactly when the tree has been sealed continuously since a
+	// committed checkpoint of this incarnation — every page that died since
+	// that cut passed through quarantine once — and nothing flagged it
+	// incomplete (recovery, aborted pipeline). Then the build can reclaim
+	// precisely the ledger and skip the full reachability sweep. In full
+	// mode the captured ledger is DISCARDED, not merged: the sweep
+	// rediscovers every unpinned dead page itself, and handing it the same
+	// ids twice would double-free them. Either way the ledger restarts
+	// empty: pages dying from here on belong to the next checkpoint.
+	if db.ckptSealed && !db.ckptFullNeeded {
+		img.incremental = true
+		for _, id := range db.ckptDead {
+			// A dead extent can never be snapshot-pinned (only unpinned
+			// batches enter the ledger, and snapshots pin versions, not
+			// retired pages) — but freeing a pinned page would corrupt the
+			// snapshot, so filter defensively.
+			if !keep[id] {
+				img.dead = append(img.dead, id)
+			}
+		}
+	}
+	db.ckptDead = nil
 	img.users = make([]UserID, 0, len(db.users))
 	for uid := range db.users {
 		img.users = append(img.users, uid)
@@ -443,19 +495,25 @@ func (db *DB) ckptBuild(img *ckptImage) error {
 		return err
 	}
 
-	// Liveness: walk the sealed image. Anything allocated at the cut that
-	// the image does not reach and no snapshot pins is dead.
-	reach, err := img.reader.WalkPages(store.PageID(img.numPages))
-	if err != nil {
-		return err
-	}
-	reachable := make(map[store.PageID]bool, len(reach))
-	for _, id := range reach {
-		reachable[id] = true
-	}
-	for _, id := range img.alive {
-		if !reachable[id] && !img.keep[id] {
-			img.dead = append(img.dead, id)
+	// Liveness. Incremental mode: the cut pre-filled img.dead from the
+	// dead-extent ledger — exactly the pages that died since the previous
+	// committed image — so no walk is needed. Full mode: walk the sealed
+	// image; anything allocated at the cut that the image does not reach
+	// and no snapshot pins is dead.
+	if !img.incremental {
+		reach, err := img.reader.WalkPages(store.PageID(img.numPages))
+		if err != nil {
+			return err
+		}
+		img.walked = len(reach)
+		reachable := make(map[store.PageID]bool, len(reach))
+		for _, id := range reach {
+			reachable[id] = true
+		}
+		for _, id := range img.alive {
+			if !reachable[id] && !img.keep[id] {
+				img.dead = append(img.dead, id)
+			}
 		}
 	}
 	// Park the dead pages now: Release evicts stale frames from the
@@ -543,6 +601,10 @@ func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes, tailB
 	db.ckptBuilding = false
 	db.ckptSeq = img.seq
 	db.ckptWalSeq = img.walSeq
+	// The committed image is now the baseline the dead-extent ledger is
+	// relative to, so incremental builds are sound again until something
+	// (recovery, abort, rebuild) breaks the tracking chain.
+	db.ckptFullNeeded = false
 	if db.prevPolicies != "" && db.prevPolicies != img.polName {
 		// Best effort: the superseded snapshot is dead weight. A crash
 		// before this Remove orphans it; OpenExisting sweeps orphans on
@@ -583,6 +645,11 @@ func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes, tailB
 func (db *DB) ckptAbortLocked(img *ckptImage) {
 	db.ckptBuilding = false
 	db.fileDisk.DeferFrees(false)
+	// The cut consumed the dead-extent ledger this pipeline was going to
+	// reclaim (or, in full mode, discarded it for the sweep that now never
+	// ran); either way the ledger no longer covers those pages, so the
+	// next build must fall back to a full sweep to find them.
+	db.ckptFullNeeded = true
 	// Best effort: drop side files the failed build may have left. The
 	// staged meta was never renamed and the policies file is referenced
 	// by no meta, so both are inert either way.
@@ -765,6 +832,11 @@ func openFromCheckpoint(opts Options, metaData []byte) (*DB, error) {
 	polName := mf.Policies
 	if polName == "" {
 		polName = opts.Path + ".policies" // legacy unversioned snapshot
+	} else {
+		// Older metas recorded the policies path as written at checkpoint
+		// time; side files always live beside the index, so resolve against
+		// the index's directory to keep a DB directory relocatable.
+		polName = filepath.Join(filepath.Dir(opts.Path), filepath.Base(polName))
 	}
 	pf, err := opts.FS.ReadFile(polName)
 	if err != nil {
@@ -862,6 +934,11 @@ func openFromCheckpoint(opts Options, metaData []byte) (*DB, error) {
 	// including WAL replay below — overwrites its pages in place.
 	db.ckptSealed = true
 	db.tree.Seal()
+	// The crashed run's dead-extent ledger is gone, and pages its open
+	// snapshots pinned may sit allocated-but-unreachable with no tracker:
+	// the first checkpoint after recovery must re-derive liveness with a
+	// full sweep.
+	db.ckptFullNeeded = true
 	// Startup housekeeping: sweep side files a crash orphaned — staging
 	// leftovers and policies snapshots other than the committed one.
 	sweepCheckpointOrphans(opts, polName)

@@ -177,6 +177,67 @@ func crashScript() []scriptOp {
 		func(o *oracle) { o.objs[10] = obj(10, 4) })
 	add("remove 5", func(db *DB) error { return db.Remove(5) },
 		func(o *oracle) { delete(o.objs, 5) })
+
+	// --- Incremental-checkpoint fault coverage. -------------------------
+	// Under the dead-extent ledger, "checkpoint 2" above is already this
+	// script's first incremental build (checkpoint 1 anchored the chain and
+	// the tree stayed sealed through the mixed batch). The tail below puts
+	// the rest of the new machinery inside the fault universe: churn that
+	// feeds the ledger, an incremental build taken while a snapshot pins
+	// retired pages (the keep-set filter at cut), the ledger catching the
+	// pins after the snapshot closes, and a second incremental build on
+	// top. Every WAL append in the script carries the binary codec's
+	// versioned header, so torn and lost header writes are swept too.
+	add("churn batch", func(db *DB) error {
+		b := db.NewBatch()
+		for i := 20; i <= 170; i += 5 {
+			b.Upsert(obj(i, 5))
+		}
+		return db.Apply(b)
+	}, func(o *oracle) {
+		for i := 20; i <= 170; i += 5 {
+			o.objs[UserID(i)] = obj(i, 5)
+		}
+	})
+	// The snapshot handle is script-local state: reassigned at "snapshot
+	// open" on every (re-)execution, so a crashed run's stale handle is
+	// simply overwritten by the next run.
+	var snap *Snapshot
+	add("snapshot open", func(db *DB) error {
+		s, err := db.Snapshot()
+		if err != nil {
+			return err
+		}
+		snap = s
+		return nil
+	}, func(o *oracle) {})
+	add("churn under snapshot", func(db *DB) error {
+		b := db.NewBatch()
+		for i := 21; i <= 171; i += 5 {
+			b.Upsert(obj(i, 6))
+		}
+		b.Remove(44)
+		return db.Apply(b)
+	}, func(o *oracle) {
+		for i := 21; i <= 171; i += 5 {
+			o.objs[UserID(i)] = obj(i, 6)
+		}
+		delete(o.objs, 44)
+	})
+	add("checkpoint 3 pinned", func(db *DB) error { return db.Checkpoint() }, func(o *oracle) {})
+	add("snapshot close", func(db *DB) error {
+		if snap == nil {
+			return nil
+		}
+		err := snap.Close()
+		snap = nil
+		return err
+	}, func(o *oracle) {})
+	add("upsert 33", func(db *DB) error { return db.Upsert(obj(33, 7)) },
+		func(o *oracle) { o.objs[33] = obj(33, 7) })
+	add("checkpoint 4", func(db *DB) error { return db.Checkpoint() }, func(o *oracle) {})
+	add("upsert 12 final", func(db *DB) error { return db.Upsert(obj(12, 8)) },
+		func(o *oracle) { o.objs[12] = obj(12, 8) })
 	return ops
 }
 

@@ -1,0 +1,302 @@
+package peb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// Golden-fixture compatibility test.
+//
+// peb/testdata/golden/gobwal holds an on-disk database — page file,
+// checkpoint meta, policies snapshot, and a write-ahead log whose records
+// were serialized with the ORIGINAL encoding/gob WAL codec (PR 3 era).
+// The fixture is frozen: it was generated once, before the binary codec
+// replaced gob on the append path, and pins the upgrade path forever —
+// every future codec revision must still recover it to exactly the state
+// scripted below.
+//
+// The script, the expected object set, and the expected policy snapshot
+// are all reproduced here so the verification is self-contained: recovery
+// must restore byte-for-byte identical object records (float fields are
+// integers by construction, so equality is exact) and a byte-identical
+// canonical policy snapshot.
+
+// goldenDay and the regions below are the fixture's policy vocabulary.
+var goldenDay = TimeInterval{Start: 0, End: 1440}
+
+func goldenRegion(i int) Region {
+	return Region{MinX: float64(i * 50), MinY: float64(i * 20), MaxX: float64(i*50 + 400), MaxY: float64(i*20 + 300)}
+}
+
+// goldenObj is the fixture's deterministic object generator; all fields are
+// small integers, so recovered values compare exactly.
+func goldenObj(uid, salt int) Object {
+	return Object{
+		UID: UserID(uid),
+		X:   float64((uid*37 + salt*131) % 1000),
+		Y:   float64((uid*59 + salt*17) % 1000),
+		VX:  float64(uid%5) - 2,
+		VY:  float64(salt%5) - 2,
+		T:   float64(salt % 50),
+	}
+}
+
+// runGoldenScript drives the fixture workload: policy setup, a bulk batch,
+// an encode rebuild, single commits, a checkpoint, and a post-checkpoint
+// tail that lives only in the write-ahead log (the part that exercises the
+// record codec on recovery).
+func runGoldenScript(db *DB) error {
+	if err := db.DefineRelation(1, 2, "f"); err != nil {
+		return err
+	}
+	if err := db.DefineRelation(2, 3, "f"); err != nil {
+		return err
+	}
+	if err := db.DefineRelation(3, 1, "c"); err != nil {
+		return err
+	}
+	for i := 1; i <= 3; i++ {
+		role := Role("f")
+		if i == 3 {
+			role = "c"
+		}
+		if err := db.Grant(UserID(i), role, goldenRegion(i), goldenDay); err != nil {
+			return err
+		}
+	}
+	b := db.NewBatch()
+	for i := 1; i <= 60; i++ {
+		b.Upsert(goldenObj(i, 0))
+	}
+	if err := db.Apply(b); err != nil {
+		return err
+	}
+	if err := db.EncodePolicies(); err != nil {
+		return err
+	}
+	if err := db.Upsert(goldenObj(7, 1)); err != nil {
+		return err
+	}
+	if err := db.Upsert(goldenObj(21, 1)); err != nil {
+		return err
+	}
+	if err := db.Remove(5); err != nil {
+		return err
+	}
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	// Post-checkpoint history: recovered purely from WAL records.
+	if err := db.Grant(4, "f", goldenRegion(4), goldenDay); err != nil {
+		return err
+	}
+	mb := db.NewBatch()
+	mb.Upsert(goldenObj(61, 2))
+	mb.Remove(9)
+	mb.DefineRelation(4, 1, "f")
+	if err := db.Apply(mb); err != nil {
+		return err
+	}
+	if err := db.Upsert(goldenObj(2, 3)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goldenObjects returns the exact object set the fixture must recover to.
+func goldenObjects() map[UserID]Object {
+	want := make(map[UserID]Object)
+	for i := 1; i <= 60; i++ {
+		want[UserID(i)] = goldenObj(i, 0)
+	}
+	want[7] = goldenObj(7, 1)
+	want[21] = goldenObj(21, 1)
+	delete(want, 5)
+	want[61] = goldenObj(61, 2)
+	delete(want, 9)
+	want[2] = goldenObj(2, 3)
+	return want
+}
+
+// goldenPolicies rebuilds the fixture's expected policy store.
+func goldenPolicies(t *testing.T) *policy.Store {
+	t.Helper()
+	space := policy.Region{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	ps, err := policy.NewStore(space, 1440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.SetRelation(1, 2, "f")
+	ps.SetRelation(2, 3, "f")
+	ps.SetRelation(3, 1, "c")
+	for i := 1; i <= 3; i++ {
+		role := policy.Role("f")
+		if i == 3 {
+			role = "c"
+		}
+		if err := ps.AddPolicy(policy.UserID(i), policy.Policy{Role: role, Locr: goldenRegion(i), Tint: goldenDay}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps.AddPolicy(4, policy.Policy{Role: "f", Locr: goldenRegion(4), Tint: goldenDay}); err != nil {
+		t.Fatal(err)
+	}
+	ps.SetRelation(4, 1, "f")
+	return ps
+}
+
+const goldenDir = "testdata/golden/gobwal"
+
+func goldenOptions(dir string) Options {
+	return Options{
+		Path:        filepath.Join(dir, "golden.idx"),
+		Durability:  DurabilitySync,
+		BufferPages: 8,
+	}
+}
+
+// copyGoldenFixture clones the committed fixture into a scratch directory
+// (recovery legitimately rewrites the log and sweeps side files).
+func copyGoldenFixture(t *testing.T) string {
+	t.Helper()
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+	dir := t.TempDir()
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// verifyGoldenState checks a recovered DB against the scripted state.
+func verifyGoldenState(t *testing.T, db *DB) {
+	t.Helper()
+	want := goldenObjects()
+	if got := db.Size(); got != len(want) {
+		t.Fatalf("recovered size = %d, want %d", got, len(want))
+	}
+	for uid, wo := range want {
+		got, ok, err := db.Lookup(uid)
+		if err != nil {
+			t.Fatalf("lookup u%d: %v", uid, err)
+		}
+		if !ok {
+			t.Fatalf("u%d missing after recovery", uid)
+		}
+		if got != wo {
+			t.Fatalf("u%d = %+v, want %+v", uid, got, wo)
+		}
+	}
+	var gotPol, wantPol bytes.Buffer
+	if err := db.SavePolicies(&gotPol); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenPolicies(t).Save(&wantPol); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotPol.Bytes(), wantPol.Bytes()) {
+		t.Fatal("recovered policy snapshot differs from the fixture's scripted state")
+	}
+}
+
+// TestGoldenGobWALRecovery proves the upgrade path: a checkpoint plus a
+// gob-era WAL written before the binary codec existed must recover to
+// exactly the scripted state under the current code.
+func TestGoldenGobWALRecovery(t *testing.T) {
+	dir := copyGoldenFixture(t)
+	db, err := OpenExisting(goldenOptions(dir))
+	if err != nil {
+		t.Fatalf("recover golden fixture: %v", err)
+	}
+	defer db.Close()
+	verifyGoldenState(t, db)
+
+	// The recovered DB must remain fully operational: accept new commits,
+	// checkpoint (upgrading the log's covered prefix away), and survive a
+	// second recovery with the new history intact.
+	extra := goldenObj(99, 4)
+	if err := db.Upsert(extra); err != nil {
+		t.Fatalf("post-recovery upsert: %v", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("post-recovery checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenExisting(goldenOptions(dir))
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	defer re.Close()
+	got, ok, err := re.Lookup(99)
+	if err != nil || !ok || got != extra {
+		t.Fatalf("post-upgrade object lost: %+v ok=%v err=%v", got, ok, err)
+	}
+	want := goldenObjects()
+	if got := re.Size(); got != len(want)+1 {
+		t.Fatalf("post-upgrade size = %d, want %d", got, len(want)+1)
+	}
+}
+
+// TestGoldenFixtureFrozen guards the fixture bytes themselves: the log must
+// still be the gob-era one (no record carries the binary codec's magic
+// header), so nobody regenerates it with a modern writer by accident.
+func TestGoldenFixtureFrozen(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(goldenDir, "golden.idx.wal"))
+	if err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("golden WAL is empty; the fixture must carry a post-checkpoint log tail")
+	}
+}
+
+// TestRegenerateGoldenFixture is the fixture's provenance record, not a
+// test: run with PEB_REGEN_GOLDEN=1 it writes a fresh fixture into
+// testdata/golden/regen-out (never over the committed one). It was run
+// exactly once, while the WAL codec was still encoding/gob, to produce
+// testdata/golden/gobwal — running it today would produce a binary-codec
+// log and must NOT replace the frozen fixture.
+func TestRegenerateGoldenFixture(t *testing.T) {
+	if os.Getenv("PEB_REGEN_GOLDEN") == "" {
+		t.Skip("set PEB_REGEN_GOLDEN=1 to write a fresh fixture into testdata/golden/regen-out")
+	}
+	out := "testdata/golden/regen-out"
+	if err := os.RemoveAll(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(goldenOptions(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runGoldenScript(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("wrote %s/%s\n", out, e.Name())
+	}
+}

@@ -278,6 +278,25 @@ type DB struct {
 	prevPolicies string
 	ckptSealed   bool
 
+	// encBuf is the reusable WAL record encode buffer: walAppendTxn
+	// encodes into it under the write lock and WAL.Append copies the
+	// payload out before returning, so steady-state commits allocate
+	// nothing for serialization.
+	encBuf []byte
+
+	// Incremental-checkpoint bookkeeping (checkpoint.go). ckptDead
+	// accumulates the pages that died — were retired by copy-on-write and
+	// are pinned by no snapshot — since the last checkpoint cut; while the
+	// tree has been sealed continuously since a committed checkpoint,
+	// that list IS the next checkpoint's dead set, so its build can skip
+	// the full reachability sweep. ckptFullNeeded forces the next build
+	// back to a full sweep whenever the list may be incomplete: after
+	// recovery (pages pinned by the crashed run's snapshots are untracked)
+	// and after an aborted pipeline (its consumed list is lost). Both
+	// guarded by mu.
+	ckptDead       []store.PageID
+	ckptFullNeeded bool
+
 	// Cross-shard transaction state (prepared.go). pendingPrepared counts
 	// transactions between PrepareApply and their Commit/Abort marker;
 	// checkpoint cuts wait for it to reach zero (prepCond broadcasts every
@@ -475,6 +494,11 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 	// and its free list starts empty, so nothing the old meta references
 	// can be overwritten before the next Checkpoint supersedes it.
 	db.ckptSealed = false
+	// New incarnation, new dead-extent ledger: the first checkpoint is a
+	// full sweep by construction (ckptSealed is false), and it alone can
+	// reclaim the superseded incarnation's pages.
+	db.ckptDead = nil
+	db.ckptFullNeeded = false
 	db.refreshView()
 	db.nextSV = assignment.MaxSV
 	if db.nextSV < 2 {
@@ -525,7 +549,12 @@ func (db *DB) collectGarbage() {
 		case live && b.ver >= minVer:
 			kept = append(kept, b)
 		case db.ckptSealed || db.ckptBuilding:
-			// Quarantined: freed (if dead) by the next checkpoint's sweep.
+			// Quarantined: the pages stay allocated until the next
+			// checkpoint frees the ones its image does not contain. Record
+			// them as dead extents so that checkpoint can (when nothing
+			// forced a full sweep) reclaim exactly this list instead of
+			// re-walking the whole image.
+			db.ckptDead = append(db.ckptDead, b.pages...)
 		default:
 			for _, pid := range b.pages {
 				// A failed release leaks one disk page; correctness is
@@ -904,6 +933,9 @@ func (db *DB) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([
 type WALStats struct {
 	Appends uint64
 	Syncs   uint64
+	// BytesAppended is the framed log volume written since open (headers +
+	// payloads; rotation does not reset it).
+	BytesAppended uint64
 }
 
 // WALStats returns the log's activity counters since open.
@@ -914,7 +946,7 @@ func (db *DB) WALStats() WALStats {
 		return WALStats{}
 	}
 	appends, syncs := db.wal.Stats()
-	return WALStats{Appends: appends, Syncs: syncs}
+	return WALStats{Appends: appends, Syncs: syncs, BytesAppended: db.wal.BytesAppended()}
 }
 
 // IOStats reports the index's buffer statistics since the last ResetStats.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/motion"
 	"repro/internal/policy"
@@ -128,9 +129,18 @@ func decodeAssignment(op walOp) policy.Assignment {
 	return a
 }
 
-// marshalRecord serializes a record for the WAL (self-contained gob stream
-// per record, so each record decodes independently during replay).
+// marshalRecord serializes a record for the WAL with the binary codec
+// (walcodec.go). Each record is self-contained, so it decodes
+// independently during replay.
 func marshalRecord(rec *walRecord) ([]byte, error) {
+	return appendRecord(nil, rec), nil
+}
+
+// marshalRecordGob is the original encoding/gob serialization, kept as the
+// reference legacy writer: the codec benchmark uses it for before/after
+// numbers, and tests use it to mint gob-era records for the fallback path
+// below.
+func marshalRecordGob(rec *walRecord) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
 		return nil, fmt.Errorf("peb: encode wal record: %w", err)
@@ -138,7 +148,14 @@ func marshalRecord(rec *walRecord) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// unmarshalRecord decodes either codec generation. Binary-codec records
+// announce themselves with codec.MagicWALRecord, a byte no gob stream can
+// start with (see internal/codec), so the dispatch is unambiguous;
+// anything else is treated as a gob-era record.
 func unmarshalRecord(data []byte) (walRecord, error) {
+	if len(data) > 0 && data[0] == codec.MagicWALRecord {
+		return decodeRecord(data)
+	}
 	var rec walRecord
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
 		return walRecord{}, fmt.Errorf("peb: decode wal record: %w", err)
@@ -170,14 +187,12 @@ func (db *DB) walAppendTxn(ops []walOp, txnID uint64, txnState uint8) (store.WAL
 	}
 	db.walSeq++
 	rec := walRecord{Seq: db.walSeq, NextSV: db.nextSV, Ops: ops, TxnID: txnID, TxnState: txnState}
-	payload, err := marshalRecord(&rec)
-	if err != nil {
-		// The mutation is already applied; a record we cannot produce is
-		// a hole, so the log must go fail-stop (see WAL.Poison).
-		db.wal.Poison(err)
-		return 0, err
-	}
-	tok, err := db.wal.Append(payload)
+	// Encode into the DB's reusable buffer: the caller holds the write
+	// lock, and Append copies the payload into the frame before returning,
+	// so the buffer is free again by the next commit. After the first few
+	// commits warm it up, encoding allocates nothing.
+	db.encBuf = appendRecord(db.encBuf[:0], &rec)
+	tok, err := db.wal.Append(db.encBuf)
 	if err != nil {
 		return 0, fmt.Errorf("peb: wal append: %w", err)
 	}
