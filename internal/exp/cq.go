@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+	"repro/peb"
+	"repro/peb/cq"
+)
+
+// The cq experiment measures the standing-query engine on the city
+// scenario: a network-constrained population streams movement updates
+// into a peb.DB while x standing geofences (privacy-filtered range
+// subscriptions clustered around the network hubs) watch it. Reported
+// per row: candidate evaluations per commit for the incremental engine
+// and for the naive strategy that re-runs every subscription on every
+// commit (the engine's Naive counter), their ratio, and the wall-clock
+// latency from commit to delta receipt at the subscriber.
+//
+// What to expect: incremental evaluation touches only the subscriptions
+// whose grantor sets contain a committed object, so evaluated-per-commit
+// tracks the batch size times the per-user subscription fan-in — orders
+// of magnitude below naive, and roughly flat as fences are added while
+// naive grows linearly. Delta latency stays in the tens of microseconds:
+// deltas are computed under the commit critical section and handed to
+// buffered channels.
+const (
+	cqID     = "cq"
+	cqTitle  = "Standing geofences: incremental vs naive evaluation (x = geofences)"
+	cqXLabel = "geofences"
+)
+
+var cqColumns = []string{
+	"evaluated_per_commit", "naive_per_commit", "reduction_x",
+	"delta_p50_us", "delta_p99_us",
+}
+
+// cqFenceSide is the geofence side length (city-block scale relative to
+// the 1000-unit space, smaller than the PRQ default window).
+const cqFenceSide = 100.0
+
+// cqPoint drives one data point: build the city, subscribe the fences,
+// stream updates, and read the engine's counters back.
+func cqPoint(o Options, fences int) (Row, error) {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumUsers = o.users(10_000)
+	wcfg.Distribution = workload.Network
+	wcfg.NumHubs = 50
+	wcfg.Seed = o.Seed
+	ds, err := workload.Generate(wcfg)
+	if err != nil {
+		return Row{}, err
+	}
+
+	db, err := peb.Open(peb.Options{
+		SpaceSide: wcfg.Space,
+		DayLength: wcfg.DayLen,
+		MaxSpeed:  wcfg.MaxSpeed,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	defer db.Close()
+
+	var buf bytes.Buffer
+	if err := ds.Policies.Save(&buf); err != nil {
+		return Row{}, err
+	}
+	if err := db.LoadPolicies(&buf); err != nil {
+		return Row{}, err
+	}
+	b := db.NewBatch()
+	for i, obj := range ds.Objects {
+		b.Upsert(obj)
+		if b.Len() >= 1000 || i == len(ds.Objects)-1 {
+			if err := db.Apply(b); err != nil {
+				return Row{}, err
+			}
+			b = db.NewBatch()
+		}
+	}
+
+	// Commit-time timestamps for delta latency. Registered before Attach so
+	// this hook fires first: the instant is recorded before the engine's
+	// hook hands any delta of that commit to a subscriber channel.
+	var (
+		stampMu sync.Mutex
+		stamps  = make(map[uint64]time.Time)
+	)
+	removeStamp := db.AddCommitHook(func(info peb.CommitInfo, _ *peb.CommitView) {
+		stampMu.Lock()
+		stamps[info.Seq] = time.Now()
+		stampMu.Unlock()
+	})
+	defer removeStamp()
+
+	eng, err := cq.Attach(db)
+	if err != nil {
+		return Row{}, err
+	}
+	defer eng.Close()
+
+	// The standing geofences. Each consumer mirrors nothing — it only
+	// timestamps receipt, the measurement of interest.
+	qt := wcfg.UpdateWindow + 10
+	var (
+		latMu sync.Mutex
+		lats  []time.Duration
+		wg    sync.WaitGroup
+	)
+	subs := make([]*cq.Subscription, 0, fences)
+	for _, g := range ds.Geofences(fences, cqFenceSide) {
+		sub, _, err := eng.SubscribeRange(peb.UserID(g.Issuer),
+			peb.Region{MinX: g.MinX, MinY: g.MinY, MaxX: g.MaxX, MaxY: g.MaxY},
+			qt, cq.SubOptions{Buffer: 1024})
+		if err != nil {
+			return Row{}, err
+		}
+		subs = append(subs, sub)
+		wg.Add(1)
+		go func(sub *cq.Subscription) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 64)
+			for d := range sub.Deltas() {
+				stampMu.Lock()
+				t0, ok := stamps[d.Seq]
+				stampMu.Unlock()
+				if ok {
+					local = append(local, time.Since(t0))
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(sub)
+	}
+
+	// Stream the day: each commit advances a handful of movers along their
+	// routes, keeping |t − qt| within the update contract so the Hilbert
+	// prune stays armed.
+	commits := int(3000 * o.Scale)
+	if commits < 400 {
+		commits = 400
+	}
+	base := eng.Stats()
+	now := wcfg.UpdateWindow
+	frac := 4 / float64(len(ds.Objects))
+	for i := 0; i < commits; i++ {
+		now += 0.01
+		cb := db.NewBatch()
+		for _, m := range ds.UpdateBatch(frac, now) {
+			cb.Upsert(m)
+		}
+		if err := db.Apply(cb); err != nil {
+			return Row{}, err
+		}
+	}
+	st := eng.Stats()
+
+	for _, sub := range subs {
+		sub.Close()
+	}
+	wg.Wait()
+
+	nCommits := st.Commits - base.Commits
+	if nCommits == 0 {
+		return Row{}, fmt.Errorf("cq: no commits observed")
+	}
+	evalPer := float64(st.Evaluated-base.Evaluated) / float64(nCommits)
+	naivePer := float64(st.Naive-base.Naive) / float64(nCommits)
+	reduction := 0.0
+	if evalPer > 0 {
+		reduction = naivePer / evalPer
+	}
+	o.logf("cq x=%d: %d commits, %.1f evaluated/commit vs %.0f naive (%.0fx), %d deltas, p50 %v p99 %v",
+		fences, nCommits, evalPer, naivePer, reduction, len(lats),
+		pctl(lats, 50), pctl(lats, 99))
+	return Row{X: float64(fences), Vals: []float64{
+		evalPer,
+		naivePer,
+		reduction,
+		float64(pctl(lats, 50).Microseconds()),
+		float64(pctl(lats, 99).Microseconds()),
+	}}, nil
+}
+
+var expCQ = Experiment{
+	ID:      cqID,
+	Title:   cqTitle,
+	XLabel:  cqXLabel,
+	Columns: cqColumns,
+	Run: func(o Options) (*Table, error) {
+		o.normalize()
+		counts := []int{100, 250, 500, 1000}
+		rows := make([]Row, len(counts))
+		// Points run sequentially: each one saturates the machine with its
+		// subscriber goroutines, and latency numbers would smear otherwise.
+		for i, n := range counts {
+			row, err := cqPoint(o, n)
+			if err != nil {
+				return nil, fmt.Errorf("cq x=%d: %w", n, err)
+			}
+			rows[i] = row
+		}
+		return &Table{ID: cqID, Title: cqTitle, XLabel: cqXLabel,
+			Columns: cqColumns, Rows: rows}, nil
+	},
+}

@@ -1,0 +1,44 @@
+package workload
+
+import "repro/internal/motion"
+
+// Geofence is one standing region of interest — a fence a deployment
+// keeps under continuous watch — together with the user whose
+// privacy-filtered view the watch runs under.
+type Geofence struct {
+	Issuer                 motion.UserID
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Geofences draws count standing geofences for the city scenario. On a
+// Network dataset the fence centers cluster around the network's
+// destinations — the spots a city deployment actually watches (stations,
+// venues, depots): each fence picks a random hub and offsets from it by
+// up to one side length, so fences overlap the route corridors where the
+// population concentrates. On a Uniform dataset the centers are uniform.
+// Side lengths are uniform in [0.5, 1.5]·side; fences are clamped to the
+// space. Issuers are uniform over the user population.
+func (d *Dataset) Geofences(count int, side float64) []Geofence {
+	out := make([]Geofence, count)
+	for i := range out {
+		issuer := d.Users[d.rng.Intn(len(d.Users))]
+		var cx, cy float64
+		if d.net != nil && len(d.net.hubs) > 0 {
+			h := d.net.hubs[d.rng.Intn(len(d.net.hubs))]
+			cx = h.x + (d.rng.Float64()-0.5)*2*side
+			cy = h.y + (d.rng.Float64()-0.5)*2*side
+		} else {
+			cx = d.rng.Float64() * d.Cfg.Space
+			cy = d.rng.Float64() * d.Cfg.Space
+		}
+		half := side * (0.5 + d.rng.Float64()) / 2
+		out[i] = Geofence{
+			Issuer: motion.UserID(issuer),
+			MinX:   clamp(cx-half, 0, d.Cfg.Space),
+			MinY:   clamp(cy-half, 0, d.Cfg.Space),
+			MaxX:   clamp(cx+half, 0, d.Cfg.Space),
+			MaxY:   clamp(cy+half, 0, d.Cfg.Space),
+		}
+	}
+	return out
+}

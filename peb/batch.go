@@ -164,6 +164,36 @@ func (db *DB) applyBatchLocked(b *Batch, undo *txnUndo) ([]walOp, error) {
 			ops = append(ops, core.BatchOp{Kind: core.OpRemove, UID: motion.UserID(op.uid)})
 		}
 	}
+	// Commit-hook capture happens before any mutation: the first-touch
+	// state of every user the index phase writes, in first-appearance
+	// order, becomes the notification's touched set (Cur is filled in
+	// after the batch applies).
+	var touchOrder []UserID
+	var touchPrev map[UserID]*Object
+	if db.hooksActive() {
+		touchPrev = make(map[UserID]*Object)
+		for i := range ops {
+			var uid UserID
+			switch ops[i].Kind {
+			case core.OpUpsert:
+				uid = UserID(ops[i].Obj.UID)
+			case core.OpRemove:
+				uid = UserID(ops[i].UID)
+			default:
+				continue
+			}
+			if _, seen := touchPrev[uid]; seen {
+				continue
+			}
+			prev, err := db.capturePrev(uid)
+			if err != nil {
+				return nil, err
+			}
+			touchPrev[uid] = prev
+			touchOrder = append(touchOrder, uid)
+		}
+	}
+
 	// Undo capture happens before any mutation: the first-touch state of
 	// every object the index phase writes, plus the scalars and the
 	// pre-clone policy store, are enough to reverse the batch exactly.
@@ -252,6 +282,24 @@ func (db *DB) applyBatchLocked(b *Batch, undo *txnUndo) ([]walOp, error) {
 	}
 	db.refreshView()
 	db.collectGarbage()
+
+	if db.hooksActive() {
+		touched := make([]CommitTouch, 0, len(touchOrder))
+		for _, uid := range touchOrder {
+			cur, err := db.capturePrev(uid) // post-batch state
+			if err != nil {
+				// The batch is committed; a failed post-state read only
+				// degrades the notification. Fall back to a rescan signal.
+				db.fireCommitLocked(nil, true, false)
+				touched = nil
+				break
+			}
+			touched = append(touched, CommitTouch{UID: uid, Prev: touchPrev[uid], Cur: cur})
+		}
+		if touched != nil {
+			db.fireCommitLocked(touched, hasPolicy, false)
+		}
+	}
 
 	// Log the commit: policy operations in staging order, then the index
 	// operations with their resolved sequence values (the same list the

@@ -786,6 +786,11 @@ func OpenExisting(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Replay is complete: installing the hook now guarantees it observes
+	// only post-recovery commits.
+	if opts.OnCommit != nil {
+		db.AddCommitHook(opts.OnCommit)
+	}
 	db.startAutoCheckpoint()
 	return db, nil
 }

@@ -1,0 +1,54 @@
+package cq
+
+import (
+	"fmt"
+
+	"repro/peb"
+)
+
+// Kind classifies a delta.
+type Kind uint8
+
+const (
+	// Enter: the object joined the result set.
+	Enter Kind = iota + 1
+	// Leave: the object left the result set; Delta.Object is its last
+	// known state.
+	Leave
+	// Update: the object remains in the result set with new state (a
+	// movement update, or for PkNN a changed distance/rank).
+	Update
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Enter:
+		return "enter"
+	case Leave:
+		return "leave"
+	case Update:
+		return "update"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Delta is one change to a subscription's result set.
+type Delta struct {
+	Kind   Kind
+	Object peb.Object
+	// Dist is the neighbor distance at the subscription's evaluation time
+	// (PkNN subscriptions only; zero for range subscriptions).
+	Dist float64
+	// Seq is the commit notification sequence that produced this delta.
+	// All deltas of one commit share one Seq, so a consumer can group
+	// them into atomic result transitions.
+	Seq uint64
+	// Dropped counts deltas the engine discarded (DropOldest overflow)
+	// between the previously delivered delta and this one. A non-zero
+	// value means the consumer's view has a gap: the stream is still
+	// self-consistent from the engine's side, but the consumer should
+	// resynchronize if it mirrors the full result set.
+	Dropped int
+}

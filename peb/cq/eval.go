@@ -1,0 +1,282 @@
+package cq
+
+import (
+	"sort"
+
+	"repro/peb"
+)
+
+// onCommit is the engine's commit hook: it runs inside the DB's commit
+// critical section, so everything here is bounded work over the touched
+// set — no index scans on the steady path, no blocking sends, no locks
+// beyond e.mu (which no query path takes).
+func (e *Engine) onCommit(info peb.CommitInfo, cv *peb.CommitView) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || len(e.subs) == 0 {
+		return
+	}
+	e.stats.Commits++
+	e.stats.Naive += uint64(e.grantorLinks)
+	if info.PolicyChange || info.Rebuild {
+		// Grants and relation changes flip visibility for objects the
+		// commit never touched; incremental evaluation over the touched
+		// set is unsound, so every subscription rescans. Rebuilds rescan
+		// too — their diff is empty (encoding changes clustering, not
+		// results) but the rescan revalidates grantor sets for free.
+		for _, s := range e.subs {
+			if s.canceled {
+				continue
+			}
+			e.rescanLocked(s, cv, info.Seq)
+		}
+		e.reapLocked()
+		return
+	}
+	for i := range info.Touched {
+		tc := &info.Touched[i]
+		for _, s := range e.byGrantor[tc.UID] {
+			if s.canceled {
+				continue
+			}
+			if s.knn {
+				e.evalKNNTouchLocked(s, cv, tc, info.Seq)
+			} else {
+				e.evalRangeTouchLocked(s, cv, tc, info.Seq)
+			}
+		}
+	}
+	e.reapLocked()
+}
+
+// outside reports whether state o provably lies outside the
+// subscription's enlarged region: its stored position's Hilbert cell is
+// covered by none of the precomputed intervals, and the state honors the
+// speed and freshness bounds the enlargement slack assumes. A nil state
+// (absent from the index) is trivially outside.
+func (e *Engine) outside(s *sub, o *peb.Object) bool {
+	if o == nil {
+		return true
+	}
+	if !s.prunable {
+		return false
+	}
+	if o.Speed() > e.maxSpeed {
+		return false
+	}
+	gap := s.t - o.T
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > e.maxUI {
+		return false
+	}
+	return !s.ivs.Contains(e.grid.HilbertValue(o.X, o.Y))
+}
+
+// evalRangeTouchLocked re-evaluates one range subscription against one
+// touched object: prune by curve intervals, then the exact membership
+// predicate on the post-commit state, then a delta iff the result set
+// changed. Caller holds e.mu inside a commit notification.
+func (e *Engine) evalRangeTouchLocked(s *sub, cv *peb.CommitView, tc *peb.CommitTouch, seq uint64) {
+	if e.outside(s, tc.Prev) && e.outside(s, tc.Cur) {
+		// Not a member before, not a member after: no delta, no exact
+		// check. The invariant that s.cur never holds a pruned object
+		// makes the skip sound.
+		e.stats.Pruned++
+		return
+	}
+	e.stats.Evaluated++
+	old, was := s.cur[tc.UID]
+	var cur peb.Object
+	is := false
+	if tc.Cur != nil {
+		cur = *tc.Cur
+		is = cv.Member(s.issuer, s.region, cur, s.t)
+	}
+	switch {
+	case is && !was:
+		s.cur[tc.UID] = cur
+		e.send(s, Delta{Kind: Enter, Object: cur, Seq: seq})
+	case !is && was:
+		delete(s.cur, tc.UID)
+		e.send(s, Delta{Kind: Leave, Object: old, Seq: seq})
+	case is && was && cur != old:
+		s.cur[tc.UID] = cur
+		e.send(s, Delta{Kind: Update, Object: cur, Seq: seq})
+	}
+}
+
+// kthDist returns the current k'th neighbor distance, or +inf while the
+// result holds fewer than k objects (anything could enter).
+func (s *sub) kthDist() (float64, bool) {
+	if len(s.dist) < s.k {
+		return 0, false
+	}
+	max := 0.0
+	for _, d := range s.dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max, true
+}
+
+// evalKNNTouchLocked decides whether one touched object can change a PkNN
+// subscription's result — it is in the result now, or its new state could
+// place at or before the current k'th distance — and if so re-runs the
+// query once through the index and emits the diff. Caller holds e.mu.
+func (e *Engine) evalKNNTouchLocked(s *sub, cv *peb.CommitView, tc *peb.CommitTouch, seq uint64) {
+	_, in := s.cur[tc.UID]
+	affected := in
+	if !affected && tc.Cur != nil {
+		kth, full := s.kthDist()
+		// <= not <: at equal distance the (Dist, UID) order can still
+		// admit the touched object; the re-run decides exactly.
+		affected = !full || tc.Cur.DistanceAt(s.t, s.x, s.y) <= kth
+	}
+	e.stats.Evaluated++ // the affected-check itself
+	if !affected {
+		return
+	}
+	e.rerunKNNLocked(s, cv, seq)
+}
+
+// rerunKNNLocked re-runs a PkNN subscription through the index and emits
+// the diff against its tracked result. Caller holds e.mu.
+func (e *Engine) rerunKNNLocked(s *sub, cv *peb.CommitView, seq uint64) {
+	res, err := cv.NearestNeighbors(s.issuer, s.x, s.y, s.k, s.t)
+	if err != nil {
+		e.cancelLocked(s, err)
+		return
+	}
+	e.stats.Evaluated += uint64(len(s.grantors))
+	newCur := make(map[peb.UserID]peb.Object, len(res))
+	newDist := make(map[peb.UserID]float64, len(res))
+	for _, n := range res {
+		newCur[n.Object.UID] = n.Object
+		newDist[n.Object.UID] = n.Dist
+	}
+	// Leaves first (sorted for determinism), then enters/updates in
+	// neighbor order.
+	var gone []peb.UserID
+	for uid := range s.cur {
+		if _, ok := newCur[uid]; !ok {
+			gone = append(gone, uid)
+		}
+	}
+	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	for _, uid := range gone {
+		e.send(s, Delta{Kind: Leave, Object: s.cur[uid], Dist: s.dist[uid], Seq: seq})
+	}
+	for _, n := range res {
+		uid := n.Object.UID
+		old, was := s.cur[uid]
+		switch {
+		case !was:
+			e.send(s, Delta{Kind: Enter, Object: n.Object, Dist: n.Dist, Seq: seq})
+		case old != n.Object || s.dist[uid] != n.Dist:
+			e.send(s, Delta{Kind: Update, Object: n.Object, Dist: n.Dist, Seq: seq})
+		}
+	}
+	s.cur = newCur
+	s.dist = newDist
+}
+
+// rescanLocked is the policy-change fallback: recompute the grantor set,
+// re-run the full query once, emit the diff. Caller holds e.mu.
+func (e *Engine) rescanLocked(s *sub, cv *peb.CommitView, seq uint64) {
+	e.stats.Rescans++
+	e.setGrantorsLocked(s, cv.Grantors(s.issuer))
+	if s.knn {
+		e.rerunKNNLocked(s, cv, seq)
+		return
+	}
+	res, err := cv.RangeQuery(s.issuer, s.region, s.t)
+	if err != nil {
+		e.cancelLocked(s, err)
+		return
+	}
+	e.stats.Evaluated += uint64(len(s.grantors))
+	newCur := make(map[peb.UserID]peb.Object, len(res))
+	for _, o := range res {
+		newCur[o.UID] = o
+	}
+	var gone []peb.UserID
+	for uid := range s.cur {
+		if _, ok := newCur[uid]; !ok {
+			gone = append(gone, uid)
+		}
+	}
+	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	for _, uid := range gone {
+		e.send(s, Delta{Kind: Leave, Object: s.cur[uid], Seq: seq})
+	}
+	for _, o := range res {
+		old, was := s.cur[o.UID]
+		switch {
+		case !was:
+			e.send(s, Delta{Kind: Enter, Object: o, Seq: seq})
+		case old != o:
+			e.send(s, Delta{Kind: Update, Object: o, Seq: seq})
+		}
+	}
+	s.cur = newCur
+}
+
+// send delivers one delta without ever blocking the commit path. Caller
+// holds e.mu.
+func (e *Engine) send(s *sub, d Delta) {
+	if s.canceled {
+		return
+	}
+	for {
+		d.Dropped = s.pendingDropped
+		select {
+		case s.ch <- d:
+			s.pendingDropped = 0
+			e.stats.Deltas++
+			return
+		default:
+		}
+		if s.policy == Cancel {
+			e.stats.Dropped++
+			e.cancelLocked(s, ErrSlowConsumer)
+			return
+		}
+		// DropOldest: evict the head and retry. The consumer may race us
+		// and drain the channel first — then the eviction no-ops and the
+		// retry succeeds.
+		select {
+		case old := <-s.ch:
+			s.pendingDropped += 1 + old.Dropped
+			e.stats.Dropped++
+		default:
+		}
+	}
+}
+
+// cancelLocked terminates a subscription from inside a notification. The
+// channel closes immediately; map removal is deferred to reapLocked so
+// the caller may still be iterating byGrantor. Caller holds e.mu.
+func (e *Engine) cancelLocked(s *sub, err error) {
+	if s.canceled {
+		return
+	}
+	s.canceled = true
+	s.err = err
+	close(s.ch)
+	e.reap = append(e.reap, s)
+}
+
+// reapLocked unregisters subscriptions canceled during the current
+// notification. Caller holds e.mu.
+func (e *Engine) reapLocked() {
+	if len(e.reap) == 0 {
+		return
+	}
+	for _, s := range e.reap {
+		e.removeLocked(s)
+	}
+	e.reap = e.reap[:0]
+}

@@ -1,0 +1,141 @@
+package cq_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/peb"
+	"repro/peb/cq"
+)
+
+// TestConcurrentStress runs committers, subscribers, and unsubscribers
+// concurrently against one engine. It asserts no deadlock, no panic, and
+// (under -race) no data race; delta-level exactness is the oracle test's
+// job — here consumers only validate stream framing (no zero kinds, no
+// negative drops).
+func TestConcurrentStress(t *testing.T) {
+	const (
+		nUsers          = 60
+		committers      = 4
+		commitsEach     = 250
+		subscribers     = 4
+		subCyclesEach   = 40
+		deltasPerDrain  = 20
+		everywhereSide  = 1000.0
+		evalTime        = 200.0
+		subscriberSeed  = 100
+		committerSeed   = 200
+		policyFlipEvery = 50
+	)
+	db, err := peb.Open(peb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(11))
+	seedPolicies(t, db, rng, nUsers)
+	for u := 1; u <= nUsers; u++ {
+		if err := db.Upsert(randObject(rng, peb.UserID(u), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := cq.Attach(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, committers+subscribers)
+
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			now := 1.0
+			for i := 0; i < commitsEach; i++ {
+				now += rng.Float64()
+				uid := peb.UserID(1 + rng.Intn(nUsers))
+				var err error
+				switch {
+				case i%policyFlipEvery == policyFlipEvery-1:
+					err = db.Grant(uid, peb.Role(fmt.Sprintf("peer%d", uid)),
+						peb.Region{MinX: 0, MinY: 0, MaxX: everywhereSide, MaxY: everywhereSide},
+						peb.TimeInterval{Start: 0, End: 1440})
+				case rng.Intn(10) == 0:
+					err = db.Remove(uid)
+					if err != nil {
+						err = nil // racing removers may lose; that's fine
+					}
+				case rng.Intn(4) == 0:
+					b := db.NewBatch()
+					for j := 0; j < 1+rng.Intn(5); j++ {
+						b.Upsert(randObject(rng, peb.UserID(1+rng.Intn(nUsers)), now))
+					}
+					err = db.Apply(b)
+				default:
+					err = db.Upsert(randObject(rng, uid, now))
+				}
+				if err != nil {
+					errc <- fmt.Errorf("committer: %w", err)
+					return
+				}
+			}
+		}(committerSeed + int64(w))
+	}
+
+	for w := 0; w < subscribers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for c := 0; c < subCyclesEach; c++ {
+				issuer := peb.UserID(1 + rng.Intn(nUsers))
+				var sub *cq.Subscription
+				var err error
+				if rng.Intn(2) == 0 {
+					cx, cy := rng.Float64()*everywhereSide, rng.Float64()*everywhereSide
+					r := clampRegion(peb.Region{MinX: cx - 200, MinY: cy - 200, MaxX: cx + 200, MaxY: cy + 200})
+					sub, _, err = eng.SubscribeRange(issuer, r, evalTime, cq.SubOptions{Buffer: 64})
+				} else {
+					sub, _, err = eng.SubscribePkNN(issuer, rng.Float64()*everywhereSide, rng.Float64()*everywhereSide,
+						1+rng.Intn(5), evalTime, cq.SubOptions{Buffer: 64, Overflow: cq.Cancel})
+				}
+				if err != nil {
+					errc <- fmt.Errorf("subscribe: %w", err)
+					return
+				}
+				for i := 0; i < deltasPerDrain; i++ {
+					select {
+					case d, ok := <-sub.Deltas():
+						if !ok {
+							i = deltasPerDrain // canceled by overflow: stop draining
+							break
+						}
+						if d.Kind == 0 || d.Dropped < 0 {
+							errc <- fmt.Errorf("malformed delta %+v", d)
+							return
+						}
+					default:
+						i = deltasPerDrain
+					}
+				}
+				sub.Close()
+			}
+		}(subscriberSeed + int64(w))
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := eng.Stats()
+	if st.Live != 0 {
+		t.Fatalf("live subscriptions leaked: %d", st.Live)
+	}
+	t.Logf("stress stats: %+v", st)
+}

@@ -1,0 +1,110 @@
+package peb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// Split policy encoding, for shard routers. EncodePolicies computes a
+// sequence-value assignment and rebuilds the index in one call; a sharded
+// deployment wants the two halves apart, because the computation is
+// identical on every shard (policies are broadcast) while the rebuild is
+// per shard: compute the assignment once — over the union of every
+// shard's users — and install the shared result everywhere. Sharing one
+// assignment also keeps the shards' keys mutually consistent when a user
+// re-homes: the user's sequence value is the same on the new shard as it
+// was on the old.
+
+// PolicyEncoding is a computed sequence-value assignment (the output of
+// the paper's Fig. 5 algorithm), detached from any index. Obtain one from
+// ComputeEncoding, install it with InstallEncoding — on the same DB or on
+// any DB holding the same policy state.
+type PolicyEncoding struct {
+	assignment policy.Assignment
+}
+
+// Covers reports whether the encoding assigns a sequence value to uid.
+func (e *PolicyEncoding) Covers(uid UserID) bool {
+	_, ok := e.assignment.SV[policy.UserID(uid)]
+	return ok
+}
+
+// ComputeEncoding runs the offline policy-encoding phase over this DB's
+// known users plus extra, without touching the index. It is a read-only
+// operation: commits keep flowing while it runs. The extra ids let a
+// router fold in users this DB has never seen (users indexed on other
+// shards), so the resulting encoding can be installed on every shard.
+func (db *DB) ComputeEncoding(extra []UserID) (*PolicyEncoding, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	seen := make(map[policy.UserID]bool, len(db.users)+len(extra))
+	users := make([]policy.UserID, 0, len(db.users)+len(extra))
+	for u := range db.users {
+		if !seen[policy.UserID(u)] {
+			seen[policy.UserID(u)] = true
+			users = append(users, policy.UserID(u))
+		}
+	}
+	for _, u := range extra {
+		if !seen[policy.UserID(u)] {
+			seen[policy.UserID(u)] = true
+			users = append(users, policy.UserID(u))
+		}
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	assignment, err := policy.AssignSequenceValues(db.policies, users, policy.AssignOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &PolicyEncoding{assignment: assignment}, nil
+}
+
+// InstallEncoding rebuilds the index under a precomputed encoding —
+// EncodePolicies' second half. The encoding must cover every user this DB
+// currently indexes (checked before anything is touched); an encoding from
+// ComputeEncoding over a superset of this DB's users always does. The
+// rebuild is logged like an EncodePolicies rebuild, so replay restores the
+// installed assignment without recomputing it.
+func (db *DB) InstallEncoding(enc *PolicyEncoding) error {
+	tok, err := db.installEncodingCommit(enc)
+	if err != nil {
+		return err
+	}
+	return db.walSync(tok)
+}
+
+func (db *DB) installEncodingCommit(enc *PolicyEncoding) (store.WALToken, error) {
+	// Like encodePoliciesCommit: the rebuild swaps state an in-flight
+	// checkpoint's build phase reads, so drain the pipeline first.
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	// Verify coverage before the rebuild destroys the old tree: an indexed
+	// user without a sequence value would fail re-insertion halfway.
+	for u := range db.users {
+		if _, ok := enc.assignment.SV[policy.UserID(u)]; ok {
+			continue
+		}
+		if _, indexed, err := db.tree.Get(u); err != nil {
+			return 0, err
+		} else if indexed {
+			return 0, fmt.Errorf("peb: encoding does not cover indexed user %d", u)
+		}
+	}
+	if err := db.rebuildLocked(enc.assignment); err != nil {
+		return 0, err
+	}
+	db.fireCommitLocked(nil, false, true)
+	recs, maxSV, groups := encodeAssignment(enc.assignment)
+	return db.walAppend([]walOp{{Kind: walOpEncode, Assign: recs, MaxSV: maxSV, Groups: groups}})
+}

@@ -59,6 +59,29 @@ func (db *DB) MotionSlack(t float64) float64 {
 	return db.view.MaxGap(t) * db.opts.MaxSpeed
 }
 
+// MaxSpeed returns the configured object speed bound (Options.MaxSpeed
+// after defaulting). Zero on a closed DB.
+func (db *DB) MaxSpeed() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0
+	}
+	return db.opts.MaxSpeed
+}
+
+// MaxUpdateInterval returns the configured ∆tmu — the longest a stored
+// position may go without a refresh (Options.MaxUpdateInterval after
+// defaulting). Zero on a closed DB.
+func (db *DB) MaxUpdateInterval() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0
+	}
+	return db.opts.MaxUpdateInterval
+}
+
 // MotionSlack is the Snapshot form of DB.MotionSlack, evaluated against the
 // pinned partition picture.
 func (s *Snapshot) MotionSlack(t float64) float64 {

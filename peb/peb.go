@@ -186,6 +186,14 @@ type Options struct {
 	// every unresolved transaction as aborted, which is the correct default
 	// for a standalone DB (it never prepares transactions).
 	TxnResolve func(txnID uint64) bool
+	// OnCommit, when non-nil, is registered as a commit hook before the
+	// DB accepts its first post-open commit: it fires synchronously under
+	// the write lock on every committed mutation, carrying the commit's
+	// touched object set (see CommitHook and AddCommitHook for the full
+	// contract). Recovery replay never fires it. Continuous-query engines
+	// (peb/cq) are the intended consumer; most callers attach hooks later
+	// via AddCommitHook instead.
+	OnCommit CommitHook
 	// StopTheWorldCheckpoints is a benchmarking/debug knob: run the
 	// entire checkpoint — flush, fsync, reachability sweep, side files —
 	// inside one write-lock critical section (the pre-pipeline behavior)
@@ -353,6 +361,14 @@ type DB struct {
 	// times.
 	viewSwaps uint64
 
+	// Commit hooks (commithook.go). hooks fire in registration order
+	// inside every commit critical section, after the view swap; commitSeq
+	// numbers the notifications. Replay never fires hooks: none can be
+	// registered before Open returns. All guarded by mu.
+	hooks      []commitHookEntry
+	nextHookID uint64
+	commitSeq  uint64
+
 	// Snapshot bookkeeping. gen identifies the current tree incarnation
 	// (EncodePolicies and LoadPolicies rebuild the tree, starting a new
 	// generation); snaps holds every open snapshot; garbage holds retired
@@ -414,6 +430,9 @@ func Open(opts Options) (*DB, error) {
 	db, err := openFresh(opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.OnCommit != nil {
+		db.AddCommitHook(opts.OnCommit)
 	}
 	db.startAutoCheckpoint()
 	return db, nil
@@ -646,6 +665,7 @@ func (db *DB) defineRelationCommit(owner, peer UserID, role Role) (store.WALToke
 	db.noteUser(owner)
 	db.noteUser(peer)
 	db.encoded = false
+	db.fireCommitLocked(nil, true, false)
 	return db.walAppend([]walOp{{Kind: walOpRelation, Own: owner, Peer: peer, Role: role}})
 }
 
@@ -677,6 +697,7 @@ func (db *DB) grantCommit(owner UserID, role Role, locr Region, tint TimeInterva
 	}
 	db.noteUser(owner)
 	db.encoded = false
+	db.fireCommitLocked(nil, true, false)
 	return db.walAppend([]walOp{{Kind: walOpGrant, Own: owner, Role: role, Locr: locr, Tint: tint}})
 }
 
@@ -742,6 +763,7 @@ func (db *DB) encodePoliciesCommit() (store.WALToken, error) {
 	if err != nil {
 		return 0, err
 	}
+	db.fireCommitLocked(nil, false, true)
 	recs, maxSV, groups := encodeAssignment(assignment)
 	return db.walAppend([]walOp{{Kind: walOpEncode, Assign: recs, MaxSV: maxSV, Groups: groups}})
 }
@@ -820,6 +842,13 @@ func (db *DB) upsertCommit(o Object) (store.WALToken, error) {
 	if db.closed {
 		return 0, ErrClosed
 	}
+	var prev *Object
+	if db.hooksActive() {
+		var err error
+		if prev, err = db.capturePrev(o.UID); err != nil {
+			return 0, err
+		}
+	}
 	freshSV := false
 	sv := db.nextSV + 2
 	if _, ok := db.tree.SV(o.UID); !ok {
@@ -844,6 +873,10 @@ func (db *DB) upsertCommit(o Object) (store.WALToken, error) {
 	db.noteUser(o.UID)
 	db.refreshView()
 	db.collectGarbage()
+	if db.hooksActive() {
+		cur := o
+		db.fireCommitLocked([]CommitTouch{{UID: o.UID, Prev: prev, Cur: &cur}}, false, false)
+	}
 	ops := make([]walOp, 0, 2)
 	if freshSV {
 		ops = append(ops, walOp{Kind: walOpSetSV, UID: o.UID, SV: sv})
@@ -867,11 +900,21 @@ func (db *DB) removeCommit(uid UserID) (store.WALToken, error) {
 	if db.closed {
 		return 0, ErrClosed
 	}
+	var prev *Object
+	if db.hooksActive() {
+		var perr error
+		if prev, perr = db.capturePrev(uid); perr != nil {
+			return 0, perr
+		}
+	}
 	err := db.tree.Delete(uid)
 	db.refreshView()
 	db.collectGarbage()
 	if err != nil {
 		return 0, err
+	}
+	if db.hooksActive() {
+		db.fireCommitLocked([]CommitTouch{{UID: uid, Prev: prev, Cur: nil}}, false, false)
 	}
 	return db.walAppend([]walOp{{Kind: walOpRemove, UID: uid}})
 }
@@ -1051,6 +1094,7 @@ func (db *DB) loadPoliciesCommit(r io.Reader) (store.WALToken, error) {
 	if err != nil {
 		return 0, err
 	}
+	db.fireCommitLocked(nil, true, true)
 	if db.wal == nil {
 		return 0, nil
 	}

@@ -220,6 +220,22 @@ func (db *DB) abortPreparedLocked(p *Prepared) error {
 	if db.closed {
 		return ErrClosed
 	}
+	// Hook capture: the rollback is itself a commit from a subscriber's
+	// point of view — each touched user transitions from its prepared
+	// state back to its pre-transaction state.
+	var abortPrev map[UserID]*Object
+	if db.hooksActive() {
+		abortPrev = make(map[UserID]*Object, len(p.undo.prevObjs))
+		for uid := range p.undo.prevObjs {
+			cur, ok, err := db.tree.Get(motion.UserID(uid))
+			if err == nil && ok {
+				c := cur
+				abortPrev[uid] = &c
+			} else {
+				abortPrev[uid] = nil
+			}
+		}
+	}
 	inverse := make([]core.BatchOp, 0, len(p.undo.prevObjs))
 	for uid, prev := range p.undo.prevObjs {
 		if prev != nil {
@@ -272,6 +288,19 @@ func (db *DB) abortPreparedLocked(p *Prepared) error {
 	}
 	db.refreshView()
 	db.collectGarbage()
+	if db.hooksActive() {
+		touched := make([]CommitTouch, 0, len(abortPrev))
+		for uid, prev := range abortPrev {
+			restored := p.undo.prevObjs[uid]
+			if restored != nil {
+				r := *restored
+				touched = append(touched, CommitTouch{UID: uid, Prev: prev, Cur: &r})
+			} else {
+				touched = append(touched, CommitTouch{UID: uid, Prev: prev, Cur: nil})
+			}
+		}
+		db.fireCommitLocked(touched, p.undo.prevPolicies != nil, false)
+	}
 	return nil
 }
 

@@ -1,0 +1,153 @@
+package sharded
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/peb"
+)
+
+// crossShardBatch builds a batch guaranteed to span at least two shards
+// (one upsert in each shard's first cell), forcing the 2PC path.
+func crossShardBatch(t *testing.T, db *DB, rng *rand.Rand, uids []UserID, now float64) *Batch {
+	t.Helper()
+	side := db.shards[0].Bounds().MaxX
+	b := db.NewBatch()
+	placed := 0
+	for _, uid := range uids {
+		for tries := 0; tries < 64; tries++ {
+			x, y := rng.Float64()*side, rng.Float64()*side
+			if db.shardOf(x, y) == placed%db.Shards() {
+				b.Upsert(Object{UID: uid, X: x, Y: y, T: now})
+				placed++
+				break
+			}
+		}
+	}
+	if placed < 2 {
+		t.Fatal("failed to construct a cross-shard batch")
+	}
+	return b
+}
+
+// TestDecisionLogCompaction drives cross-shard transactions, checkpoints,
+// and verifies the decision log collapses to its watermark record — and
+// that transactions, recovery, and id monotonicity all survive the
+// compaction.
+func TestDecisionLogCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 3, Dir: dir, DB: peb.Options{Durability: peb.DurabilitySync}}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	uids := []UserID{1, 2, 3, 4}
+	now := 1.0
+	for i := 0; i < 8; i++ {
+		now++
+		if err := db.Apply(crossShardBatch(t, db, rng, uids, now)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore := db.txnLog.Size()
+	if sizeBefore == 0 {
+		t.Fatal("no decisions logged; the batches did not take the 2PC path")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfter := db.txnLog.Size()
+	if sizeAfter >= sizeBefore {
+		t.Fatalf("decision log did not shrink: %d -> %d bytes", sizeBefore, sizeAfter)
+	}
+	// A second checkpoint with no new decisions must not touch the log.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.txnLog.Size(); got != sizeAfter {
+		t.Fatalf("idle checkpoint rewrote the decision log: %d -> %d bytes", sizeAfter, got)
+	}
+	wantNext := db.nextTxn
+
+	// Transactions keep working after compaction.
+	now++
+	if err := db.Apply(crossShardBatch(t, db, rng, uids, now)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the watermark must keep the id allocator monotonic, and the
+	// data must be intact.
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.nextTxn <= wantNext {
+		t.Fatalf("transaction ids went backwards across compaction: reopened nextTxn %d, watermarked %d", db2.nextTxn, wantNext)
+	}
+	for _, uid := range uids {
+		o, ok, err := db2.Lookup(uid)
+		if err != nil || !ok {
+			t.Fatalf("user %d lost after compaction+reopen: ok=%v err=%v", uid, ok, err)
+		}
+		if o.T != now {
+			t.Fatalf("user %d stale after reopen: t=%g want %g", uid, o.T, now)
+		}
+	}
+	now++
+	if err := db2.Apply(crossShardBatch(t, db2, rng, uids, now)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecisionLogCompactionCrashAfterTruncate covers the torn compaction:
+// a crash can land between the truncate and the watermark append, leaving
+// an empty decision log. That is safe — compaction only runs when no
+// shard log holds any transaction record — and the next open must come up
+// clean and serve transactions.
+func TestDecisionLogCompactionCrashAfterTruncate(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 2, Dir: dir, DB: peb.Options{Durability: peb.DurabilitySync}}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	uids := []UserID{1, 2}
+	if err := db.Apply(crossShardBatch(t, db, rng, uids, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn state: empty the decision log behind the router's
+	// back, as a crash between Truncate and the watermark append would.
+	if err := db.txnLog.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := filepath.Glob(filepath.Join(dir, "txn.log")); err != nil || len(fi) != 1 {
+		t.Fatalf("decision log missing after truncate: %v %v", fi, err)
+	}
+
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.Apply(crossShardBatch(t, db2, rng, uids, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, uid := range uids {
+		if _, ok, err := db2.Lookup(uid); err != nil || !ok {
+			t.Fatalf("user %d lost after torn compaction: ok=%v err=%v", uid, ok, err)
+		}
+	}
+}

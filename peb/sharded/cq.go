@@ -1,0 +1,571 @@
+package sharded
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/zcurve"
+	"repro/peb"
+	"repro/peb/cq"
+)
+
+// Continuous queries over the sharded engine.
+//
+// A CQ attaches one cq.Engine to every shard and routes standing queries
+// the same way the router routes one-shot queries: a range subscription is
+// installed only on the shards whose Hilbert-value range intersects the
+// query region enlarged by the motion slack (MaxSpeed × MaxUpdateInterval);
+// a PkNN subscription fans out to every shard, since any shard can hold a
+// nearest neighbor. Each shard evaluates its slice incrementally against
+// its own commits, and a per-subscription merger goroutine folds the
+// per-shard delta streams into one.
+//
+// The merger does not forward shard deltas verbatim — it recomputes. It
+// keeps the result slice each shard last reported (seeded by the per-shard
+// initial results, maintained by the per-shard deltas) and derives the
+// merged result the way the router's one-shot queries do: a user reported
+// by several shards at once (caught mid-re-homing) counts once, newest
+// state wins; PkNN keeps the global (Dist, UID)-ordered top k of the
+// per-shard results. A delta is emitted only when the merged result
+// changes, so the ordinary re-homing — insert into the new shard, then
+// remove from the old — surfaces as a single Update (or nothing), not an
+// Enter/Leave pair: global membership never lapses, because the insertion
+// commits before the removal.
+//
+// Ordering across shards is the one caveat. Within a shard, deltas arrive
+// in commit order; across shards there is no global order, and the
+// removal's delta can outrun the insertion's when a re-homing races the
+// pumps. The merged stream then reports Leave followed by Enter instead of
+// one Update. Either way the stream stays well-formed (Enter only for
+// absent users, Leave only for present ones) and mirrors of the stream
+// converge to the true result once the stream quiesces — the contract the
+// sharded oracle test enforces.
+//
+// The per-shard subscriptions run with the Cancel overflow policy over a
+// generous buffer: the merger's per-shard result slices are state, and a
+// silently dropped shard delta would corrupt them. The consumer-facing
+// channel honors the caller's own SubOptions; a slow consumer costs the
+// caller gaps (DropOldest) or their subscription (Cancel), never merge
+// correctness.
+
+// CQ is the standing-query router over a sharded DB: one incremental
+// engine per shard plus a merger per subscription. Create it with
+// AttachCQ; all methods are safe for concurrent use.
+type CQ struct {
+	db      *DB
+	engines []*cq.Engine
+	slack   float64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// AttachCQ builds the continuous-query layer over db, attaching an
+// incremental evaluation engine to every shard.
+func AttachCQ(db *DB) (*CQ, error) {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	c := &CQ{
+		db:      db,
+		engines: make([]*cq.Engine, len(db.shards)),
+		slack:   db.shards[0].MaxSpeed() * db.shards[0].MaxUpdateInterval(),
+	}
+	for i, s := range db.shards {
+		e, err := cq.Attach(s)
+		if err != nil {
+			for _, prev := range c.engines[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		c.engines[i] = e
+	}
+	return c, nil
+}
+
+// Close detaches every per-shard engine. Every live subscription's channel
+// closes and its Err reports cq.ErrEngineClosed.
+func (c *CQ) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, e := range c.engines {
+		e.Close()
+	}
+}
+
+// Stats returns the per-shard engines' counters summed — the sharded
+// deployment's aggregate incremental-evaluation picture.
+func (c *CQ) Stats() cq.Stats {
+	var out cq.Stats
+	for _, e := range c.engines {
+		st := e.Stats()
+		out.Commits += st.Commits
+		out.Evaluated += st.Evaluated
+		out.Pruned += st.Pruned
+		out.Naive += st.Naive
+		out.Rescans += st.Rescans
+		out.Deltas += st.Deltas
+		out.Dropped += st.Dropped
+		out.Live += st.Live
+	}
+	return out
+}
+
+// Subscription is a caller's handle on one merged standing query.
+// Semantics mirror cq.Subscription: receive from Deltas, stop with Close,
+// inspect Err once the channel closes.
+type Subscription struct {
+	out   chan cq.Delta
+	stopC chan struct{}
+
+	shardIdx  []int
+	shardSubs []*cq.Subscription
+
+	mu      sync.Mutex
+	err     error
+	closing bool
+
+	// Merger-goroutine state (single-threaded after construction).
+	knn            bool
+	k              int
+	policy         cq.OverflowPolicy
+	perShard       []map[UserID]Object  // shard slice of the result, per fanned-out shard
+	perDist        []map[UserID]float64 // knn only
+	emitted        map[UserID]Object    // the merged result the consumer has been told
+	emittedDist    map[UserID]float64   // knn only
+	seq            uint64
+	pendingDropped int
+}
+
+// Deltas returns the merged delta channel. It closes when the subscription
+// ends — by Close, by CQ.Close, or by the overflow policy.
+func (s *Subscription) Deltas() <-chan cq.Delta { return s.out }
+
+// Err reports why the channel closed: nil after a plain Close,
+// cq.ErrSlowConsumer, cq.ErrEngineClosed, or a per-shard evaluation error.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close stops the subscription: the per-shard legs are unregistered, the
+// merger drains, and the merged channel closes. Idempotent.
+func (s *Subscription) Close() { s.shutdown(nil) }
+
+// shutdown begins teardown, recording err as the terminal cause when one
+// is given and none is set. Safe from any goroutine, any number of times.
+func (s *Subscription) shutdown(err error) {
+	s.mu.Lock()
+	first := !s.closing
+	if first {
+		s.closing = true
+		s.err = err
+	}
+	s.mu.Unlock()
+	if !first {
+		return
+	}
+	close(s.stopC)
+	for _, ss := range s.shardSubs {
+		ss.Close()
+	}
+}
+
+func (s *Subscription) isClosing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
+}
+
+// shardBuffer sizes the per-shard legs from the caller's buffer choice.
+// The legs run with the Cancel policy (a dropped leg delta would corrupt
+// the merger's state), so they get several times the consumer's capacity:
+// the merger drains them continuously and only ever stalls on its own
+// bounded recompute, never on the consumer.
+func shardBuffer(opt cq.SubOptions) int {
+	b := opt.Buffer
+	if b <= 0 {
+		b = 256
+	}
+	if b < 1024 {
+		b = 1024
+	}
+	return 4 * b
+}
+
+// consumerBuffer mirrors cq.SubOptions' zero-value default for the merged
+// channel.
+func consumerBuffer(opt cq.SubOptions) int {
+	if opt.Buffer <= 0 {
+		return 256
+	}
+	return opt.Buffer
+}
+
+// routeSubscription returns the shards a range subscription must cover:
+// those whose Hilbert range intersects the region enlarged by the static
+// motion slack. Unlike one-shot routing this cannot consult the live
+// MotionSlack (the fan-out is fixed at subscribe time), so it assumes the
+// update contract — objects refresh within MaxUpdateInterval — exactly as
+// the per-shard engines' interval prune does. An object violating the
+// contract re-enters the merged result at its next update, when re-homing
+// lands it in a covered shard.
+func (c *CQ) routeSubscription(r Region) []int {
+	var out []int
+	ew := enlarge(r, c.slack)
+	rect, ok := c.db.grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+	if !ok {
+		return nil // the enlarged region misses the space entirely
+	}
+	for i := range c.db.ranges {
+		if zcurve.HilbertRangeIntersectsRect(rect, c.db.ranges[i], c.db.grid.Order) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SubscribeRange registers issuer's PRQ over region r at evaluation time t
+// as a merged continuous query and returns the current merged result.
+// Registration holds the router's read barrier, so it is atomic with
+// respect to cross-shard operations; per-shard legs register atomically
+// against their own shard's commits, and the merger reconciles anything a
+// concurrent re-homing slips between the legs.
+func (c *CQ) SubscribeRange(issuer UserID, r Region, t float64, opt cq.SubOptions) (*Subscription, []Object, error) {
+	if !r.Valid() {
+		return nil, nil, &peb.InvalidRegionError{Region: r}
+	}
+	c.db.smu.RLock()
+	defer c.db.smu.RUnlock()
+	if err := c.usable(); err != nil {
+		return nil, nil, err
+	}
+	s := c.newSub(false, 0, opt)
+	for _, i := range c.routeSubscription(r) {
+		ss, init, err := c.engines[i].SubscribeRange(issuer, r, t,
+			cq.SubOptions{Buffer: shardBuffer(opt), Overflow: cq.Cancel})
+		if err != nil {
+			s.abandonLegs()
+			return nil, nil, err
+		}
+		slice := make(map[UserID]Object, len(init))
+		for _, o := range init {
+			slice[o.UID] = o
+		}
+		s.addLeg(i, ss, slice, nil)
+	}
+	initial := s.seedRange()
+	s.start()
+	return s, initial, nil
+}
+
+// SubscribePkNN registers issuer's PkNN centered at (x, y) with result
+// size k at evaluation time t as a merged continuous query. Every shard
+// gets a leg — any shard can hold a nearest neighbor — and the merger
+// keeps the global (Dist, UID)-ordered top k of the per-shard results,
+// exactly like the router's one-shot NearestNeighbors.
+func (c *CQ) SubscribePkNN(issuer UserID, x, y float64, k int, t float64, opt cq.SubOptions) (*Subscription, []Neighbor, error) {
+	c.db.smu.RLock()
+	defer c.db.smu.RUnlock()
+	if err := c.usable(); err != nil {
+		return nil, nil, err
+	}
+	s := c.newSub(true, k, opt)
+	for i := range c.engines {
+		ss, init, err := c.engines[i].SubscribePkNN(issuer, x, y, k, t,
+			cq.SubOptions{Buffer: shardBuffer(opt), Overflow: cq.Cancel})
+		if err != nil {
+			s.abandonLegs()
+			return nil, nil, err
+		}
+		slice := make(map[UserID]Object, len(init))
+		dist := make(map[UserID]float64, len(init))
+		for _, nb := range init {
+			slice[nb.Object.UID] = nb.Object
+			dist[nb.Object.UID] = nb.Dist
+		}
+		s.addLeg(i, ss, slice, dist)
+	}
+	initial := s.seedKNN()
+	s.start()
+	return s, initial, nil
+}
+
+// usable reports whether the CQ and its DB still accept subscriptions.
+// Caller holds db.smu (either side).
+func (c *CQ) usable() error {
+	if c.db.closed {
+		return ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return cq.ErrEngineClosed
+	}
+	return nil
+}
+
+func (c *CQ) newSub(knn bool, k int, opt cq.SubOptions) *Subscription {
+	return &Subscription{
+		out:    make(chan cq.Delta, consumerBuffer(opt)),
+		stopC:  make(chan struct{}),
+		knn:    knn,
+		k:      k,
+		policy: opt.Overflow,
+	}
+}
+
+func (s *Subscription) addLeg(shard int, ss *cq.Subscription, slice map[UserID]Object, dist map[UserID]float64) {
+	s.shardIdx = append(s.shardIdx, shard)
+	s.shardSubs = append(s.shardSubs, ss)
+	s.perShard = append(s.perShard, slice)
+	s.perDist = append(s.perDist, dist)
+}
+
+// abandonLegs tears down the legs of a subscription that failed to
+// register fully (no merger ever starts).
+func (s *Subscription) abandonLegs() {
+	for _, ss := range s.shardSubs {
+		ss.Close()
+	}
+}
+
+// seedRange computes the merged initial result from the per-shard initials
+// and primes the emitted state with it: union, duplicates keep the newer
+// state, sorted by user id — the same merge one-shot RangeQuery performs.
+func (s *Subscription) seedRange() []Object {
+	s.emitted = make(map[UserID]Object)
+	for _, slice := range s.perShard {
+		for uid, o := range slice {
+			if prev, ok := s.emitted[uid]; !ok || o.T > prev.T {
+				s.emitted[uid] = o
+			}
+		}
+	}
+	out := make([]Object, 0, len(s.emitted))
+	for _, o := range s.emitted {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].UID < out[b].UID })
+	return out
+}
+
+// seedKNN computes the merged initial top k and primes the emitted state.
+func (s *Subscription) seedKNN() []Neighbor {
+	res := s.mergedKNN()
+	s.emitted = make(map[UserID]Object, len(res))
+	s.emittedDist = make(map[UserID]float64, len(res))
+	for _, nb := range res {
+		s.emitted[nb.Object.UID] = nb.Object
+		s.emittedDist[nb.Object.UID] = nb.Dist
+	}
+	return res
+}
+
+// mergedKNN derives the merged top k from the per-shard result slices:
+// duplicates keep the newer state, order is (Dist, UID), truncated to k.
+func (s *Subscription) mergedKNN() []Neighbor {
+	best := make(map[UserID]Neighbor)
+	for j := range s.perShard {
+		for uid, o := range s.perShard[j] {
+			nb := Neighbor{Object: o, Dist: s.perDist[j][uid]}
+			if prev, ok := best[uid]; !ok || o.T > prev.Object.T {
+				best[uid] = nb
+			}
+		}
+	}
+	out := make([]Neighbor, 0, len(best))
+	for _, nb := range best {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Object.UID < out[b].Object.UID
+	})
+	if len(out) > s.k {
+		out = out[:s.k]
+	}
+	return out
+}
+
+// legDelta is one delta tagged with the leg it arrived on; done marks a
+// leg's channel closing.
+type legDelta struct {
+	leg  int
+	d    cq.Delta
+	done bool
+}
+
+// start launches the pumps and the merger. One pump per leg forwards that
+// leg's deltas into the mux; a sentinel keeps the mux open until shutdown
+// even when the fan-out is empty; the merger folds the mux into the
+// consumer channel and closes it when every pump has drained.
+func (s *Subscription) start() {
+	mux := make(chan legDelta, len(s.shardSubs)+1)
+	var wg sync.WaitGroup
+	for j, ss := range s.shardSubs {
+		wg.Add(1)
+		go func(j int, ss *cq.Subscription) {
+			defer wg.Done()
+			for d := range ss.Deltas() {
+				mux <- legDelta{leg: j, d: d}
+			}
+			mux <- legDelta{leg: j, done: true}
+		}(j, ss)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-s.stopC
+	}()
+	go func() {
+		wg.Wait()
+		close(mux)
+	}()
+	go s.merge(mux)
+}
+
+// merge is the merger goroutine: it consumes tagged leg deltas until every
+// pump exits, recomputing the merged result per delta and emitting only
+// real transitions. It never blocks on the consumer (the overflow policy
+// rules there), so the pumps always drain and shutdown cannot wedge.
+func (s *Subscription) merge(mux <-chan legDelta) {
+	defer close(s.out)
+	for ld := range mux {
+		if ld.done {
+			// A leg ended. Caller-initiated Close already recorded nil;
+			// anything else (engine close, slow merger, evaluation error)
+			// terminates the merged subscription with the leg's cause.
+			if err := s.shardSubs[ld.leg].Err(); err != nil {
+				s.shutdown(err)
+			} else if !s.isClosing() {
+				s.shutdown(cq.ErrEngineClosed)
+			}
+			continue
+		}
+		if s.isClosing() {
+			continue // draining; the consumer is gone
+		}
+		s.seq++
+		if s.knn {
+			s.applyKNN(ld.leg, ld.d)
+		} else {
+			s.applyRange(ld.leg, ld.d)
+		}
+	}
+}
+
+// applyRange folds one leg delta into a range subscription: update the
+// leg's slice, recompute the touched user's merged state across legs, and
+// emit iff the consumer-visible state changed.
+func (s *Subscription) applyRange(leg int, d cq.Delta) {
+	uid := d.Object.UID
+	switch d.Kind {
+	case cq.Leave:
+		delete(s.perShard[leg], uid)
+	default:
+		s.perShard[leg][uid] = d.Object
+	}
+	var cur *Object
+	for j := range s.perShard {
+		if o, ok := s.perShard[j][uid]; ok && (cur == nil || o.T > cur.T) {
+			o := o
+			cur = &o
+		}
+	}
+	prev, was := s.emitted[uid]
+	switch {
+	case cur != nil && !was:
+		s.emitted[uid] = *cur
+		s.emit(cq.Delta{Kind: cq.Enter, Object: *cur, Seq: s.seq})
+	case cur == nil && was:
+		delete(s.emitted, uid)
+		s.emit(cq.Delta{Kind: cq.Leave, Object: prev, Seq: s.seq})
+	case cur != nil && was && *cur != prev:
+		s.emitted[uid] = *cur
+		s.emit(cq.Delta{Kind: cq.Update, Object: *cur, Seq: s.seq})
+	}
+}
+
+// applyKNN folds one leg delta into a PkNN subscription: update the leg's
+// slice, recompute the merged top k, and emit its diff against the
+// consumer's view — leaves first (sorted by user id), then enters and
+// updates in (Dist, UID) order, all sharing one sequence tick.
+func (s *Subscription) applyKNN(leg int, d cq.Delta) {
+	uid := d.Object.UID
+	switch d.Kind {
+	case cq.Leave:
+		delete(s.perShard[leg], uid)
+		delete(s.perDist[leg], uid)
+	default:
+		s.perShard[leg][uid] = d.Object
+		s.perDist[leg][uid] = d.Dist
+	}
+	res := s.mergedKNN()
+	newE := make(map[UserID]Object, len(res))
+	newD := make(map[UserID]float64, len(res))
+	for _, nb := range res {
+		newE[nb.Object.UID] = nb.Object
+		newD[nb.Object.UID] = nb.Dist
+	}
+	var gone []UserID
+	for u := range s.emitted {
+		if _, ok := newE[u]; !ok {
+			gone = append(gone, u)
+		}
+	}
+	sort.Slice(gone, func(a, b int) bool { return gone[a] < gone[b] })
+	for _, u := range gone {
+		s.emit(cq.Delta{Kind: cq.Leave, Object: s.emitted[u], Dist: s.emittedDist[u], Seq: s.seq})
+	}
+	for _, nb := range res {
+		u := nb.Object.UID
+		old, was := s.emitted[u]
+		switch {
+		case !was:
+			s.emit(cq.Delta{Kind: cq.Enter, Object: nb.Object, Dist: nb.Dist, Seq: s.seq})
+		case old != nb.Object || s.emittedDist[u] != nb.Dist:
+			s.emit(cq.Delta{Kind: cq.Update, Object: nb.Object, Dist: nb.Dist, Seq: s.seq})
+		}
+	}
+	s.emitted = newE
+	s.emittedDist = newD
+}
+
+// emit delivers one merged delta under the caller's overflow policy,
+// without ever blocking the merger (a blocked merger would back up every
+// leg). Semantics mirror the single-DB engine's send.
+func (s *Subscription) emit(d cq.Delta) {
+	if s.isClosing() {
+		return // a Cancel overflow mid-diff: swallow the rest
+	}
+	for {
+		d.Dropped = s.pendingDropped
+		select {
+		case s.out <- d:
+			s.pendingDropped = 0
+			return
+		default:
+		}
+		if s.policy == cq.Cancel {
+			s.shutdown(cq.ErrSlowConsumer)
+			return
+		}
+		select {
+		case old := <-s.out:
+			s.pendingDropped += 1 + old.Dropped
+		default:
+		}
+	}
+}

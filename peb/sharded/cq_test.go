@@ -1,0 +1,567 @@
+package sharded
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/peb/cq"
+)
+
+// The sharded continuous-query suite checks the merged delta streams
+// against full re-runs of the one-shot queries. Because the merger is
+// asynchronous (per-shard pumps feed it), equivalence is checked at
+// quiescence: after a burst of commits the stream is drained until silent,
+// and a mirror built purely from the deltas must equal the query result.
+// Well-formedness (Enter only for absent users, Leave/Update only for
+// present ones) is enforced on every delta along the way.
+
+// cqMirror replays a merged delta stream into a result-set copy.
+type cqMirror struct {
+	name string
+	objs map[UserID]Object
+	dist map[UserID]float64
+	knn  bool
+}
+
+func newCQMirror(name string, knn bool) *cqMirror {
+	return &cqMirror{name: name, objs: make(map[UserID]Object), dist: make(map[UserID]float64), knn: knn}
+}
+
+func (m *cqMirror) seedRange(init []Object) {
+	for _, o := range init {
+		m.objs[o.UID] = o
+	}
+}
+
+func (m *cqMirror) seedKNN(init []Neighbor) {
+	for _, nb := range init {
+		m.objs[nb.Object.UID] = nb.Object
+		m.dist[nb.Object.UID] = nb.Dist
+	}
+}
+
+func (m *cqMirror) apply(t *testing.T, d cq.Delta) {
+	t.Helper()
+	uid := d.Object.UID
+	_, has := m.objs[uid]
+	switch d.Kind {
+	case cq.Enter:
+		if has {
+			t.Fatalf("%s: Enter for present user %d", m.name, uid)
+		}
+		m.objs[uid] = d.Object
+		m.dist[uid] = d.Dist
+	case cq.Leave:
+		if !has {
+			t.Fatalf("%s: Leave for absent user %d", m.name, uid)
+		}
+		delete(m.objs, uid)
+		delete(m.dist, uid)
+	case cq.Update:
+		if !has {
+			t.Fatalf("%s: Update for absent user %d", m.name, uid)
+		}
+		m.objs[uid] = d.Object
+		m.dist[uid] = d.Dist
+	default:
+		t.Fatalf("%s: malformed delta %+v", m.name, d)
+	}
+	if d.Dropped != 0 {
+		t.Fatalf("%s: unexpected drop report %d (buffers are sized to never drop here)", m.name, d.Dropped)
+	}
+}
+
+// drainQuiet applies deltas until the stream has been silent for quiet.
+func drainQuiet(t *testing.T, sub *Subscription, m *cqMirror, quiet time.Duration) {
+	t.Helper()
+	timer := time.NewTimer(quiet)
+	defer timer.Stop()
+	for {
+		select {
+		case d, ok := <-sub.Deltas():
+			if !ok {
+				t.Fatalf("%s: stream closed during drain: %v", m.name, sub.Err())
+			}
+			m.apply(t, d)
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timer.Reset(quiet)
+		case <-timer.C:
+			return
+		}
+	}
+}
+
+func (m *cqMirror) checkRange(t *testing.T, db *DB, issuer UserID, r Region, qt float64) {
+	t.Helper()
+	want, err := db.RangeQuery(issuer, r, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(m.objs) {
+		t.Fatalf("%s: mirror has %d objects, query returns %d", m.name, len(m.objs), len(want))
+	}
+	for _, o := range want {
+		got, ok := m.objs[o.UID]
+		if !ok || got != o {
+			t.Fatalf("%s: user %d: mirror %+v (present %v), query %+v", m.name, o.UID, got, ok, o)
+		}
+	}
+}
+
+func (m *cqMirror) checkKNN(t *testing.T, db *DB, issuer UserID, x, y float64, k int, qt float64) {
+	t.Helper()
+	want, err := db.NearestNeighbors(issuer, x, y, k, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(m.objs) {
+		t.Fatalf("%s: mirror has %d neighbors, query returns %d", m.name, len(m.objs), len(want))
+	}
+	for _, nb := range want {
+		got, ok := m.objs[nb.Object.UID]
+		if !ok || got != nb.Object || m.dist[nb.Object.UID] != nb.Dist {
+			t.Fatalf("%s: neighbor %d: mirror %+v d=%g (present %v), query %+v d=%g",
+				m.name, nb.Object.UID, got, m.dist[nb.Object.UID], ok, nb.Object, nb.Dist)
+		}
+	}
+}
+
+func cqClamp(r Region, side float64) Region {
+	if r.MinX < 0 {
+		r.MinX = 0
+	}
+	if r.MinY < 0 {
+		r.MinY = 0
+	}
+	if r.MaxX > side {
+		r.MaxX = side
+	}
+	if r.MaxY > side {
+		r.MaxY = side
+	}
+	return r
+}
+
+func cqRandObject(rng *rand.Rand, uid UserID, now, side float64) Object {
+	return Object{
+		UID: uid,
+		X:   rng.Float64() * side,
+		Y:   rng.Float64() * side,
+		VX:  (rng.Float64() - 0.5) * 3,
+		VY:  (rng.Float64() - 0.5) * 3,
+		T:   now,
+	}
+}
+
+func cqSeedPolicies(t *testing.T, db *DB, rng *rand.Rand, nUsers int, side float64) {
+	t.Helper()
+	allDay := TimeInterval{Start: 0, End: 1440}
+	for u := 1; u <= nUsers; u++ {
+		role := Role(fmt.Sprintf("peer%d", u))
+		for f := 0; f < 2+rng.Intn(5); f++ {
+			peer := UserID(1 + rng.Intn(nUsers))
+			if peer == UserID(u) {
+				continue
+			}
+			if err := db.DefineRelation(UserID(u), peer, role); err != nil {
+				t.Fatal(err)
+			}
+		}
+		locr := Region{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+		if rng.Intn(2) == 0 {
+			cx, cy := rng.Float64()*side, rng.Float64()*side
+			locr = cqClamp(Region{MinX: cx - 250, MinY: cy - 250, MaxX: cx + 250, MaxY: cy + 250}, side)
+		}
+		if err := db.Grant(UserID(u), role, locr, allDay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.EncodePolicies(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedCQOracle drives a random commit stream — single-shard
+// upserts, re-homing moves, cross-shard batches, removes, policy flips,
+// re-encodings — against merged range and PkNN subscriptions on a 4-shard
+// DB, and periodically checks at quiescence that every delta mirror equals
+// a fresh one-shot query.
+func TestShardedCQOracle(t *testing.T) {
+	const (
+		shards    = 4
+		nUsers    = 30
+		steps     = 240
+		checkEach = 80
+		qt        = 300.0
+		quiet     = 50 * time.Millisecond
+	)
+	db, err := Open(Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	side := db.shards[0].Bounds().MaxX
+	rng := rand.New(rand.NewSource(7))
+	cqSeedPolicies(t, db, rng, nUsers, side)
+	now := 1.0
+	for u := 1; u <= nUsers; u++ {
+		if err := db.Upsert(cqRandObject(rng, UserID(u), now, side)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := AttachCQ(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type rangeSub struct {
+		sub    *Subscription
+		mirror *cqMirror
+		issuer UserID
+		r      Region
+	}
+	type knnSub struct {
+		sub    *Subscription
+		mirror *cqMirror
+		issuer UserID
+		x, y   float64
+		k      int
+	}
+	opt := cq.SubOptions{Buffer: 8192}
+	var rsubs []rangeSub
+	for i := 0; i < 5; i++ {
+		issuer := UserID(1 + rng.Intn(nUsers))
+		cx, cy := rng.Float64()*side, rng.Float64()*side
+		r := cqClamp(Region{MinX: cx - 220, MinY: cy - 220, MaxX: cx + 220, MaxY: cy + 220}, side)
+		sub, init, err := c.SubscribeRange(issuer, r, qt, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newCQMirror(fmt.Sprintf("range[%d]", i), false)
+		m.seedRange(init)
+		m.checkRange(t, db, issuer, r, qt) // registration is atomic: initial == fresh query
+		rsubs = append(rsubs, rangeSub{sub, m, issuer, r})
+	}
+	var ksubs []knnSub
+	for i := 0; i < 3; i++ {
+		issuer := UserID(1 + rng.Intn(nUsers))
+		x, y := rng.Float64()*side, rng.Float64()*side
+		k := 2 + rng.Intn(4)
+		sub, init, err := c.SubscribePkNN(issuer, x, y, k, qt, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newCQMirror(fmt.Sprintf("knn[%d]", i), true)
+		m.seedKNN(init)
+		m.checkKNN(t, db, issuer, x, y, k, qt)
+		ksubs = append(ksubs, knnSub{sub, m, issuer, x, y, k})
+	}
+
+	checkAll := func() {
+		t.Helper()
+		for _, rs := range rsubs {
+			drainQuiet(t, rs.sub, rs.mirror, quiet)
+			rs.mirror.checkRange(t, db, rs.issuer, rs.r, qt)
+		}
+		for _, ks := range ksubs {
+			drainQuiet(t, ks.sub, ks.mirror, quiet)
+			ks.mirror.checkKNN(t, db, ks.issuer, ks.x, ks.y, ks.k, qt)
+		}
+	}
+
+	allDay := TimeInterval{Start: 0, End: 1440}
+	for step := 1; step <= steps; step++ {
+		now += rng.Float64()
+		switch rng.Intn(10) {
+		case 0: // cross-shard batch (2PC path)
+			b := db.NewBatch()
+			for j := 0; j < 2+rng.Intn(4); j++ {
+				b.Upsert(cqRandObject(rng, UserID(1+rng.Intn(nUsers)), now, side))
+			}
+			if err := db.Apply(b); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // remove (tolerated failure when not indexed)
+			_ = db.Remove(UserID(1 + rng.Intn(nUsers)))
+		case 2: // policy flip: grant a fresh window
+			u := UserID(1 + rng.Intn(nUsers))
+			cx, cy := rng.Float64()*side, rng.Float64()*side
+			locr := cqClamp(Region{MinX: cx - 300, MinY: cy - 300, MaxX: cx + 300, MaxY: cy + 300}, side)
+			if err := db.Grant(u, Role(fmt.Sprintf("peer%d", u)), locr, allDay); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // relation flip
+			u := UserID(1 + rng.Intn(nUsers))
+			peer := UserID(1 + rng.Intn(nUsers))
+			if peer != u {
+				if err := db.DefineRelation(u, peer, Role(fmt.Sprintf("peer%d", u))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 4:
+			if step%60 == 0 { // occasional re-encode (rebuild rescan, empty diff)
+				if err := db.EncodePolicies(); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			fallthrough
+		default: // movement update anywhere in space — re-homing at will
+			if err := db.Upsert(cqRandObject(rng, UserID(1+rng.Intn(nUsers)), now, side)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%checkEach == 0 {
+			checkAll()
+		}
+	}
+	checkAll()
+	st := c.Stats()
+	if st.Naive <= st.Evaluated {
+		t.Errorf("incremental evaluation did not beat naive: %+v", st)
+	}
+	t.Logf("sharded cq stats: %+v (reduction %.1fx)", st, float64(st.Naive)/float64(st.Evaluated))
+	for _, rs := range rsubs {
+		rs.sub.Close()
+	}
+	for _, ks := range ksubs {
+		ks.sub.Close()
+	}
+}
+
+// TestShardedCQRehoming moves one object back and forth across a shard
+// boundary inside a subscribed region and checks, at each quiescence, that
+// the mirror tracks the true state — re-homing must never lose or
+// duplicate the user in the merged stream.
+func TestShardedCQRehoming(t *testing.T) {
+	const qt = 100.0
+	db, err := Open(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	side := db.shards[0].Bounds().MaxX
+	if err := db.DefineRelation(1, 2, "buddy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Grant(1, "buddy", Region{MinX: 0, MinY: 0, MaxX: side, MaxY: side},
+		TimeInterval{Start: 0, End: 1440}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two positions in the subscribed region homed in different shards.
+	var pa, pb [2]float64
+	found := false
+	r := Region{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	for y := side / 8; y < side && !found; y += side / 8 {
+		for x := side / 16; x < side; x += side / 16 {
+			if db.shardOf(x, y) != db.shardOf(side-x, side-y) {
+				pa = [2]float64{x, y}
+				pb = [2]float64{side - x, side - y}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no shard boundary found in space")
+	}
+
+	now := 1.0
+	if err := db.Upsert(Object{UID: 1, X: pa[0], Y: pa[1], T: now}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := AttachCQ(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub, init, err := c.SubscribeRange(2, r, qt, cq.SubOptions{Buffer: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	m := newCQMirror("rehoming", false)
+	m.seedRange(init)
+	if len(m.objs) != 1 {
+		t.Fatalf("expected user 1 in initial result, got %d objects", len(m.objs))
+	}
+	for i := 0; i < 20; i++ {
+		now++
+		p := pa
+		if i%2 == 0 {
+			p = pb
+		}
+		if err := db.Upsert(Object{UID: 1, X: p[0], Y: p[1], T: now}); err != nil {
+			t.Fatal(err)
+		}
+		drainQuiet(t, sub, m, 30*time.Millisecond)
+		got, ok := m.objs[1]
+		if !ok {
+			t.Fatalf("step %d: user 1 lost across re-homing", i)
+		}
+		if got.X != p[0] || got.Y != p[1] || got.T != now {
+			t.Fatalf("step %d: mirror stale: %+v, want pos (%g,%g) t=%g", i, got, p[0], p[1], now)
+		}
+	}
+}
+
+// TestShardedCQLifecycle covers teardown: a caller Close ends the stream
+// with a nil Err, CQ.Close cancels live subscriptions with
+// cq.ErrEngineClosed, and subscriptions after CQ.Close are refused.
+func TestShardedCQLifecycle(t *testing.T) {
+	db, err := Open(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	side := db.shards[0].Bounds().MaxX
+	c, err := AttachCQ(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Region{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+
+	s1, _, err := c.SubscribeRange(1, r, 10, cq.SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	if _, ok := <-s1.Deltas(); ok {
+		t.Fatal("channel still open after Close")
+	}
+	if err := s1.Err(); err != nil {
+		t.Fatalf("caller Close must leave a nil Err, got %v", err)
+	}
+	s1.Close() // idempotent
+
+	s2, _, err := c.SubscribePkNN(1, side/2, side/2, 3, 10, cq.SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	for range s2.Deltas() {
+	}
+	if err := s2.Err(); err != cq.ErrEngineClosed {
+		t.Fatalf("CQ.Close must cancel with ErrEngineClosed, got %v", err)
+	}
+	if _, _, err := c.SubscribeRange(1, r, 10, cq.SubOptions{}); err != cq.ErrEngineClosed {
+		t.Fatalf("subscribe after Close must fail with ErrEngineClosed, got %v", err)
+	}
+	c.Close() // idempotent
+}
+
+// TestShardedCQConcurrent runs committers against churning subscribers on
+// a sharded DB — the -race exercise for the pump/merger machinery.
+func TestShardedCQConcurrent(t *testing.T) {
+	const (
+		nUsers      = 40
+		committers  = 3
+		commitsEach = 120
+		subscribers = 3
+		subCycles   = 15
+	)
+	db, err := Open(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	side := db.shards[0].Bounds().MaxX
+	rng := rand.New(rand.NewSource(3))
+	cqSeedPolicies(t, db, rng, nUsers, side)
+	for u := 1; u <= nUsers; u++ {
+		if err := db.Upsert(cqRandObject(rng, UserID(u), 0, side)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := AttachCQ(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, committers+subscribers)
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			now := 1.0
+			for i := 0; i < commitsEach; i++ {
+				now += rng.Float64()
+				var err error
+				switch {
+				case rng.Intn(12) == 0:
+					b := db.NewBatch()
+					for j := 0; j < 1+rng.Intn(4); j++ {
+						b.Upsert(cqRandObject(rng, UserID(1+rng.Intn(nUsers)), now, side))
+					}
+					err = db.Apply(b)
+				case rng.Intn(12) == 0:
+					u := UserID(1 + rng.Intn(nUsers))
+					err = db.Grant(u, Role(fmt.Sprintf("peer%d", u)),
+						Region{MinX: 0, MinY: 0, MaxX: side, MaxY: side}, TimeInterval{Start: 0, End: 1440})
+				default:
+					err = db.Upsert(cqRandObject(rng, UserID(1+rng.Intn(nUsers)), now, side))
+				}
+				if err != nil {
+					errc <- fmt.Errorf("committer: %w", err)
+					return
+				}
+			}
+		}(int64(w) + 400)
+	}
+	for w := 0; w < subscribers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for cyc := 0; cyc < subCycles; cyc++ {
+				issuer := UserID(1 + rng.Intn(nUsers))
+				var sub *Subscription
+				var err error
+				if rng.Intn(2) == 0 {
+					cx, cy := rng.Float64()*side, rng.Float64()*side
+					r := cqClamp(Region{MinX: cx - 200, MinY: cy - 200, MaxX: cx + 200, MaxY: cy + 200}, side)
+					sub, _, err = c.SubscribeRange(issuer, r, 200, cq.SubOptions{Buffer: 64})
+				} else {
+					sub, _, err = c.SubscribePkNN(issuer, rng.Float64()*side, rng.Float64()*side,
+						1+rng.Intn(4), 200, cq.SubOptions{Buffer: 64, Overflow: cq.Cancel})
+				}
+				if err != nil {
+					errc <- fmt.Errorf("subscribe: %w", err)
+					return
+				}
+				deadline := time.After(5 * time.Millisecond)
+			drain:
+				for {
+					select {
+					case _, ok := <-sub.Deltas():
+						if !ok {
+							break drain
+						}
+					case <-deadline:
+						break drain
+					}
+				}
+				sub.Close()
+			}
+		}(int64(w) + 500)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if live := c.Stats().Live; live != 0 {
+		t.Fatalf("per-shard subscriptions leaked: %d live", live)
+	}
+}

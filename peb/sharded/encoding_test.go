@@ -1,0 +1,104 @@
+package sharded
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/peb"
+)
+
+// TestSharedEncodingCoversAllShards exercises the broadcast-assignment
+// path on the case the per-shard computation never faced: users who only
+// ever reported positions (no policy entries anywhere) and live on shards
+// other than shard 0. The shared assignment is computed on shard 0, so it
+// must fold in the routing map's users or the install would reject every
+// other shard.
+func TestSharedEncodingCoversAllShards(t *testing.T) {
+	db, err := Open(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	side := db.shards[0].Bounds().MaxX
+	rng := rand.New(rand.NewSource(21))
+	for u := 1; u <= 40; u++ {
+		if err := db.Upsert(cqRandObject(rng, UserID(u), 1, side)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.EncodePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	// Now add policies, re-encode, and make sure queries work end to end.
+	if err := db.DefineRelation(1, 2, "buddy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Grant(1, "buddy", Region{MinX: 0, MinY: 0, MaxX: side, MaxY: side},
+		TimeInterval{Start: 0, End: 1440}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EncodePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.RangeQuery(2, Region{MinX: 0, MinY: 0, MaxX: side, MaxY: side}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].UID != 1 {
+		t.Fatalf("expected exactly user 1 visible to user 2, got %v", res)
+	}
+	for u := 1; u <= 40; u++ {
+		if _, ok, err := db.Lookup(UserID(u)); err != nil || !ok {
+			t.Fatalf("user %d lost after shared encodings: ok=%v err=%v", u, ok, err)
+		}
+	}
+}
+
+// TestSharedEncodingSurvivesReopen checks that the broadcast assignment is
+// logged per shard like any encode: after a close and reopen, every
+// shard's state (and the policy-filtered queries over it) is intact.
+func TestSharedEncodingSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 3, Dir: dir, DB: peb.Options{Durability: peb.DurabilitySync}}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := db.shards[0].Bounds().MaxX
+	rng := rand.New(rand.NewSource(22))
+	cqSeedPolicies(t, db, rng, 12, side)
+	for u := 1; u <= 12; u++ {
+		if err := db.Upsert(cqRandObject(rng, UserID(u), 2, side)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.EncodePolicies(); err != nil {
+		t.Fatal(err)
+	}
+	everywhere := Region{MinX: 0, MinY: 0, MaxX: side, MaxY: side}
+	want, err := db.RangeQuery(3, everywhere, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got, err := db2.RangeQuery(3, everywhere, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range after reopen: got %d objects, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range after reopen differs at %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -34,11 +34,9 @@ func unmarshalManifest(data []byte) (manifest, error) {
 // a verdict byte; a later record for the same id overrides an earlier one
 // — which is what lets the router durably RETRACT a commit decision whose
 // fsync failed (the bytes may have reached disk anyway, so simply not
-// having acked it is not enough). The log is append-only and never pruned
-// — at ~20 bytes per cross-shard transaction (framing included) it grows
-// four orders of magnitude slower than the data logs it arbitrates;
-// compacting it once every shard checkpoint has passed the recorded
-// transactions is future work.
+// having acked it is not enough). The log is append-only between
+// checkpoints; a full checkpoint pass compacts it to a single watermark
+// record (see compactDecisionLog).
 
 const (
 	verdictAbort  byte = 0
@@ -92,6 +90,46 @@ func (db *DB) logDecision(txnID uint64, commit bool) error {
 	if err := db.txnLog.Commit(tok); err != nil {
 		return fmt.Errorf("sharded: decision log sync: %w", err)
 	}
+	db.txnMu.Lock()
+	db.txnDecisions++
+	db.txnMu.Unlock()
+	return nil
+}
+
+// compactDecisionLog rewrites the decision log to a single watermark
+// record. Safe only when every recorded verdict has become unreachable,
+// which is exactly the state after a full successful checkpoint pass:
+// the caller (Checkpoint) holds the router's read barrier, so no
+// cross-shard transaction is in flight — every recorded transaction was
+// decided before the shards' checkpoints cut, its prepared and marker
+// records fell to the shards' log truncations, and no future recovery can
+// ever ask the decision log about it again.
+//
+// What must survive is id monotonicity: recovery seeds the id allocator
+// from the largest id in this log and the shard logs, and the shard logs
+// were just truncated. The single surviving record carries the highest id
+// handed out so far, with an abort verdict — for an id no participant
+// holds a record of, abort and absent mean the same thing.
+func (db *DB) compactDecisionLog() error {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	if db.txnLog == nil || db.txnDecisions == 0 {
+		return nil
+	}
+	if err := db.txnLog.Truncate(); err != nil {
+		return fmt.Errorf("sharded: compact decision log: %w", err)
+	}
+	var buf [9]byte
+	binary.BigEndian.PutUint64(buf[:8], db.nextTxn-1)
+	buf[8] = verdictAbort
+	tok, err := db.txnLog.Append(buf[:])
+	if err != nil {
+		return fmt.Errorf("sharded: compact decision log: watermark append: %w", err)
+	}
+	if err := db.txnLog.Commit(tok); err != nil {
+		return fmt.Errorf("sharded: compact decision log: watermark sync: %w", err)
+	}
+	db.txnDecisions = 0
 	return nil
 }
 

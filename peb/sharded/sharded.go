@@ -125,6 +125,9 @@ type DB struct {
 	txnMu   sync.Mutex
 	txnLog  *store.WAL
 	nextTxn uint64
+	// txnDecisions counts verdicts appended since the last compaction —
+	// zero means the log already holds nothing but its watermark.
+	txnDecisions uint64
 }
 
 // manifest is the router's persisted identity: the facts that must match
@@ -466,19 +469,47 @@ func (db *DB) Grant(owner UserID, role Role, locr Region, tint TimeInterval) err
 	return db.Apply(b)
 }
 
-// EncodePolicies runs the offline policy-encoding phase on every shard.
-// Each shard computes the same sequence-value assignment (the policy state
-// is identical everywhere) and rebuilds its own index under it. Like the
-// single-tree form, queries work without it but cluster better after it.
+// EncodePolicies runs the offline policy-encoding phase once for the
+// whole deployment: the sequence-value assignment is computed a single
+// time — policies are broadcast, so every shard would derive the same one
+// — over the union of every shard's users, then broadcast, and each shard
+// rebuilds its own index under the shared result in parallel. Shared
+// values also keep keys consistent across re-homing: a user moves shards
+// with the same sequence value. Like the single-tree form, queries work
+// without it but cluster better after it.
 func (db *DB) EncodePolicies() error {
 	db.smu.Lock()
 	defer db.smu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
+	// Shard 0 knows every policy-bearing user (broadcast), but users who
+	// only ever reported positions live in their owning shard alone; the
+	// routing map is exactly that set, so folding it in makes the
+	// assignment cover every indexed user on every shard.
+	db.ownMu.Lock()
+	extra := make([]UserID, 0, len(db.owner))
+	for u := range db.owner {
+		extra = append(extra, u)
+	}
+	db.ownMu.Unlock()
+	enc, err := db.shards[0].ComputeEncoding(extra)
+	if err != nil {
+		return fmt.Errorf("sharded: compute encoding: %w", err)
+	}
+	errs := make([]error, len(db.shards))
+	var wg sync.WaitGroup
 	for i, s := range db.shards {
-		if err := s.EncodePolicies(); err != nil {
-			return fmt.Errorf("sharded: encode shard %d: %w", i, err)
+		wg.Add(1)
+		go func(i int, s *peb.DB) {
+			defer wg.Done()
+			errs[i] = s.InstallEncoding(enc)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sharded: install encoding on shard %d: %w", i, err)
 		}
 	}
 	return nil
@@ -487,7 +518,10 @@ func (db *DB) EncodePolicies() error {
 // Checkpoint runs every shard's checkpoint pipeline concurrently. Each
 // pipeline stalls only its own shard's commits for its cut and publish
 // moments; the other shards keep serving throughout — the per-shard
-// version of the engine's non-blocking checkpoint.
+// version of the engine's non-blocking checkpoint. A fully successful
+// pass also compacts the router's transaction decision log down to a
+// single watermark record (every verdict it held has just become
+// unreachable).
 func (db *DB) Checkpoint() error {
 	db.smu.RLock()
 	defer db.smu.RUnlock()
@@ -509,7 +543,10 @@ func (db *DB) Checkpoint() error {
 			return fmt.Errorf("sharded: checkpoint shard %d: %w", i, err)
 		}
 	}
-	return nil
+	// Every shard's log truncation has passed every decided transaction,
+	// and the barrier we hold keeps new ones out: the decision log's
+	// records are all unreachable now, so fold it down to its watermark.
+	return db.compactDecisionLog()
 }
 
 // Lookup returns a user's stored movement state.
