@@ -122,6 +122,21 @@ func (t *Tree) SetSV(uid motion.UserID, sv float64) error {
 	return nil
 }
 
+// SetSVEnc registers uid's already-encoded sequence value directly,
+// bypassing the fixed-point encoder. Replica bootstrap transfers a
+// primary's registered values in their encoded form (Snapshot().SVs) —
+// the float inputs are not recoverable from a live tree — so an exact
+// copy must install the encodings verbatim. Like SetSV, indexed users are
+// rejected.
+func (t *Tree) SetSVEnc(uid motion.UserID, enc uint64) error {
+	if _, indexed := t.cur[uid]; indexed {
+		return fmt.Errorf("core: cannot change SV of indexed user %d", uid)
+	}
+	t.touch(uid)
+	t.svEnc[uid] = enc
+	return nil
+}
+
 // UnsetSV removes uid's sequence value, undoing a provisional SetSV after a
 // failed insert so no orphan value lingers. Like SetSV, it is rejected for
 // indexed users.

@@ -24,13 +24,14 @@ import (
 
 // HotPathReport is the pebbench -json document.
 type HotPathReport struct {
-	Schema     int               `json:"schema"` // bump when fields change meaning
-	Quick      bool              `json:"quick"`
-	GoVersion  string            `json:"go_version"`
-	Codec      peb.WALCodecBench `json:"wal_codec"`
-	Commit     CommitBench       `json:"commit"`
-	Checkpoint CheckpointBench   `json:"checkpoint"`
-	PKNN       PKNNBench         `json:"pknn"`
+	Schema      int               `json:"schema"` // bump when fields change meaning
+	Quick       bool              `json:"quick"`
+	GoVersion   string            `json:"go_version"`
+	Codec       peb.WALCodecBench `json:"wal_codec"`
+	Commit      CommitBench       `json:"commit"`
+	Checkpoint  CheckpointBench   `json:"checkpoint"`
+	PKNN        PKNNBench         `json:"pknn"`
+	Replication ReplicationBench  `json:"replication"`
 }
 
 // CommitBench measures durable single-object commits (Durability: Sync —
@@ -70,6 +71,19 @@ type PKNNBench struct {
 	Queries     int     `json:"queries"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	P50Micros   float64 `json:"p50_us"`
+}
+
+// ReplicationBench measures a replica tailing a committing primary: apply
+// lag (in WAL records) sampled after every commit, and the replica's read
+// latency once caught up. FinalLagRecords is the stable counter — after a
+// synchronous CatchUp on a quiesced primary the replica must report zero
+// lag, or the tailing protocol is broken.
+type ReplicationBench struct {
+	Commits         int     `json:"commits"`
+	LagP50Records   float64 `json:"lag_p50_records"`
+	LagP99Records   float64 `json:"lag_p99_records"`
+	FinalLagRecords float64 `json:"final_lag_records"`
+	ReadP50Micros   float64 `json:"read_p50_us"`
 }
 
 func hotObj(uid, salt int) peb.Object {
@@ -148,7 +162,86 @@ func RunHotPath(quick bool, logf func(string, ...interface{})) (HotPathReport, e
 	if err != nil {
 		return rep, fmt.Errorf("pknn bench: %w", err)
 	}
+
+	repCommits := commitOps / 2
+	logf("hotpath: replication bench (%d commits tailed)", repCommits)
+	rep.Replication, err = runReplicationBench(filepath.Join(dir, "rep.idx"), repCommits)
+	if err != nil {
+		return rep, fmt.Errorf("replication bench: %w", err)
+	}
 	return rep, nil
+}
+
+// runReplicationBench commits against a durable primary while a replica
+// tails it, sampling the replica's apply lag after every commit, then
+// quiesces, catches the replica up, and measures its read path.
+func runReplicationBench(path string, commits int) (ReplicationBench, error) {
+	db, err := peb.Open(peb.Options{Path: path, Durability: peb.DurabilitySync, BufferPages: 64})
+	if err != nil {
+		return ReplicationBench{}, err
+	}
+	defer db.Close()
+	const population = 256
+	space := peb.Region{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	day := peb.TimeInterval{Start: 0, End: 1440}
+	for i := 2; i <= population; i++ {
+		if err := db.DefineRelation(peb.UserID(i), 1, "f"); err != nil {
+			return ReplicationBench{}, err
+		}
+	}
+	if err := db.Grant(2, "f", space, day); err != nil {
+		return ReplicationBench{}, err
+	}
+	b := db.NewBatch()
+	for i := 1; i <= population; i++ {
+		b.Upsert(hotObj(i, 0))
+	}
+	if err := db.Apply(b); err != nil {
+		return ReplicationBench{}, err
+	}
+
+	r, err := peb.NewReplica(db)
+	if err != nil {
+		return ReplicationBench{}, err
+	}
+	defer r.Close()
+
+	lags := make([]uint64, 0, commits)
+	for i := 0; i < commits; i++ {
+		if err := db.Upsert(hotObj(i%population+1, i+1)); err != nil {
+			return ReplicationBench{}, err
+		}
+		if seq, h := db.CommitSeq(), r.Horizon(); h < seq {
+			lags = append(lags, seq-h)
+		} else {
+			lags = append(lags, 0)
+		}
+	}
+	if _, err := r.CatchUp(); err != nil {
+		return ReplicationBench{}, err
+	}
+	res := ReplicationBench{
+		Commits:         commits,
+		LagP50Records:   pctlU64(lags, 50),
+		LagP99Records:   pctlU64(lags, 99),
+		FinalLagRecords: float64(db.CommitSeq()) - float64(r.Horizon()),
+	}
+
+	reads := commits / 4
+	if reads < 100 {
+		reads = 100
+	}
+	lat := make([]time.Duration, reads)
+	for i := range lat {
+		start := time.Now()
+		if _, err := r.RangeQuery(1, space, 10); err != nil {
+			return ReplicationBench{}, err
+		}
+		lat[i] = time.Since(start)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.ReadP50Micros = percentile(lat, 0.50)
+	return res, nil
 }
 
 func runCommitBench(path string, ops int) (CommitBench, error) {
@@ -326,5 +419,6 @@ func CompareHotPath(base, cur HotPathReport) []string {
 			cur.Checkpoint.FullBuilds, base.Checkpoint.FullBuilds))
 	}
 	check("pknn.allocs_per_op", base.PKNN.AllocsPerOp, cur.PKNN.AllocsPerOp, 0.5, 2)
+	check("replication.final_lag_records", base.Replication.FinalLagRecords, cur.Replication.FinalLagRecords, 0, 0.01)
 	return bad
 }

@@ -1,0 +1,578 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Segmented write-ahead log.
+//
+// A SegmentedWAL is the WAL's record framing and group-commit protocol
+// (see wal.go) over a sequence of numbered segment files instead of one
+// monolithic file:
+//
+//	<path>.000001   sealed — full, fsynced, never written again
+//	<path>.000002   sealed
+//	<path>.000003   active — appends go here
+//
+// A segment that grows past the roll threshold is sealed: it is fsynced
+// one final time and the next numbered segment becomes the active one.
+// Because sealing always fsyncs — under every sync policy — a sealed
+// segment is durable in its entirety, which buys two structural
+// guarantees:
+//
+//   - a group-commit leader advances the global durability watermark
+//     after fsyncing only the active file (bytes it did not cover live in
+//     sealed segments, which are durable already);
+//   - recovery may treat a torn tail in any non-final segment as
+//     corruption: torn tails can only form in the segment that was
+//     active at the crash, which is by construction the highest-numbered
+//     one that survived.
+//
+// Checkpoint truncation becomes deletion: DropThrough removes the sealed
+// segments a checkpoint's cut mark covers entirely and never rewrites a
+// byte — the stage-tail-and-rename rotation of WAL.TruncateTo (and the
+// WALTailBytesRewritten cost it was charged under) does not exist here.
+// Records the mark covers only partially stay in place; recovery skips
+// them by sequence number, so correctness never depends on their removal.
+//
+// Sealed segments are also the log's replication unit: a follower can
+// read sealed files without coordination (their content is frozen) and
+// tail the active one, trusting the CRC framing to stop at a frame that
+// is still being written. Logical offsets (WALToken, the durability
+// watermark) run monotonically across segments and never reset.
+
+// DefaultWALSegmentBytes is the roll threshold used when the caller does
+// not specify one.
+const DefaultWALSegmentBytes = 4 << 20
+
+// SegPos addresses a byte position in a segmented log: a 1-based segment
+// index and a byte offset inside that segment. It is the segmented
+// equivalent of WAL.Mark's logical offset — checkpoints capture one at
+// their cut and pass it to DropThrough at their publish.
+type SegPos struct {
+	Seg uint64
+	Off int64
+}
+
+// Less orders positions (segment-major).
+func (p SegPos) Less(q SegPos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// segInfo is one sealed segment's bookkeeping.
+type segInfo struct {
+	idx  uint64
+	base int64 // logical offset of the segment's first byte
+	size int64
+}
+
+// SegmentedWAL is an append-only commit log over numbered segment files.
+// All methods are safe for concurrent use. Framing, sync policies, group
+// commit, and the fail-stop poisoning contract are identical to WAL.
+type SegmentedWAL struct {
+	fs       VFS
+	path     string
+	policy   WALSyncPolicy
+	window   time.Duration
+	rollSize int64
+
+	// mu guards the active handle, offsets, and the sealed-segment list.
+	mu        sync.Mutex
+	f         VFile // active segment
+	activeIdx uint64
+	activeOff int64
+	base      int64 // logical offset of the active segment's first byte
+	sealed    []segInfo
+	err       error // poisoned: every later Append/Commit fails
+
+	// Group-commit state; same lock discipline as WAL (sm may acquire mu,
+	// never the reverse).
+	sm      sync.Mutex
+	sc      *sync.Cond
+	syncing bool
+	synced  int64 // logical offset made durable
+
+	frame []byte // reusable append scratch (guarded by mu)
+
+	appends atomic.Uint64
+	syncs   atomic.Uint64
+	bytes   atomic.Uint64
+	// sealedN/removedN count segment lifecycle events since open: rolls
+	// that sealed an active segment, and sealed segments DropThrough
+	// deleted.
+	sealedN  atomic.Uint64
+	removedN atomic.Uint64
+}
+
+// SegmentWALName returns the file name of segment idx of the log at path.
+func SegmentWALName(path string, idx uint64) string {
+	return fmt.Sprintf("%s.%06d", path, idx)
+}
+
+// parseSegmentIndex extracts the index from a segment file name, or 0.
+func parseSegmentIndex(path, name string) uint64 {
+	rest, ok := strings.CutPrefix(name, path+".")
+	if !ok || len(rest) < 6 {
+		return 0
+	}
+	idx, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return idx
+}
+
+// ListWALSegments returns the indices of the log's segment files at path,
+// sorted ascending. The legacy single file at path itself is not listed.
+func ListWALSegments(fs VFS, path string) ([]uint64, error) {
+	names, err := fs.ListDir(filepath.Dir(path))
+	if err != nil {
+		return nil, err
+	}
+	var idxs []uint64
+	for _, name := range names {
+		if idx := parseSegmentIndex(path, name); idx > 0 {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs, nil
+}
+
+// SegmentedWALExists reports whether a log exists at path in either
+// generation: the legacy single file or any numbered segment.
+func SegmentedWALExists(fs VFS, path string) (bool, error) {
+	if ok, err := fs.Exists(path); err != nil || ok {
+		return ok, err
+	}
+	idxs, err := ListWALSegments(fs, path)
+	if err != nil {
+		return false, err
+	}
+	return len(idxs) > 0, nil
+}
+
+// RemoveSegmentedWAL deletes every file of the log at path — the legacy
+// single file and all segments. Best effort: the first error is returned
+// but the sweep continues.
+func RemoveSegmentedWAL(fs VFS, path string) error {
+	var firstErr error
+	if ok, _ := fs.Exists(path); ok {
+		if err := fs.Remove(path); err != nil {
+			firstErr = err
+		}
+	}
+	idxs, err := ListWALSegments(fs, path)
+	if err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	for _, idx := range idxs {
+		if err := fs.Remove(SegmentWALName(path, idx)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// OpenSegmentedWAL opens (creating if needed) the segmented log at path
+// and scans it: the returned records are the durable committed prefix
+// across all segments, in append order. A torn or corrupt tail in the
+// final segment is truncated away; an invalid tail in any earlier
+// (sealed) segment is corruption and fails the open.
+//
+// A legacy single-file log at path itself (written by OpenWAL) is
+// migrated first: the file is atomically renamed to segment 000001, so
+// existing directories upgrade in place and a crash mid-migration leaves
+// either generation intact.
+//
+// rollSize is the seal threshold; <= 0 selects DefaultWALSegmentBytes.
+func OpenSegmentedWAL(fs VFS, path string, policy WALSyncPolicy, rollSize int64) (*SegmentedWAL, [][]byte, error) {
+	if rollSize <= 0 {
+		rollSize = DefaultWALSegmentBytes
+	}
+	// A crash mid-rotation under the legacy single-file log can leave its
+	// staging file behind; it was never renamed, so its content is dead.
+	if ok, _ := fs.Exists(path + ".tmp"); ok {
+		_ = fs.Remove(path + ".tmp")
+	}
+
+	idxs, err := ListWALSegments(fs, path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: list wal segments: %w", err)
+	}
+	if ok, err := fs.Exists(path); err != nil {
+		return nil, nil, fmt.Errorf("store: probe legacy wal: %w", err)
+	} else if ok {
+		if len(idxs) > 0 {
+			// The migration rename is atomic, so the protocol never leaves
+			// both generations; a mixed directory was assembled by hand and
+			// the relative order of its records is unknowable.
+			return nil, nil, fmt.Errorf("store: both legacy wal %s and segments exist", path)
+		}
+		if err := fs.Rename(path, SegmentWALName(path, 1)); err != nil {
+			return nil, nil, fmt.Errorf("store: migrate legacy wal: %w", err)
+		}
+		idxs = []uint64{1}
+	}
+	if len(idxs) == 0 {
+		idxs = []uint64{1}
+	}
+
+	w := &SegmentedWAL{fs: fs, path: path, policy: policy, window: DefaultGroupWindow, rollSize: rollSize}
+	w.sc = sync.NewCond(&w.sm)
+
+	var records [][]byte
+	for i, idx := range idxs {
+		last := i == len(idxs)-1
+		name := SegmentWALName(path, idx)
+		f, err := fs.OpenFile(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: open wal segment %s: %w", name, err)
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: stat wal segment %s: %w", name, err)
+		}
+		var data []byte
+		if size > 0 {
+			data = make([]byte, size)
+			if _, err := f.ReadAt(data, 0); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("store: read wal segment %s: %w", name, err)
+			}
+		}
+		segRecords, valid := scanWAL(data)
+		if int64(valid) < size && !last {
+			// Sealing fsyncs before the next segment is created, so only
+			// the final segment can carry a torn tail (see type comment).
+			f.Close()
+			return nil, nil, fmt.Errorf("store: wal segment %s has an invalid tail but is not the last segment", name)
+		}
+		records = append(records, segRecords...)
+		if !last {
+			f.Close()
+			w.sealed = append(w.sealed, segInfo{idx: idx, base: w.base, size: int64(valid)})
+			w.base += int64(valid)
+			continue
+		}
+		if int64(valid) < size {
+			if err := f.Truncate(int64(valid)); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("store: drop torn wal tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("store: sync truncated wal: %w", err)
+			}
+		}
+		w.f = f
+		w.activeIdx = idx
+		w.activeOff = int64(valid)
+	}
+	w.synced = w.base + w.activeOff
+	return w, records, nil
+}
+
+// ScanWALFrames parses the CRC-framed records at the front of data,
+// returning the payloads and the number of framed bytes consumed. It is
+// the tailing primitive replicas read segments with: a torn or in-flight
+// frame simply ends the scan (consumed < len(data)), and the caller
+// re-reads once more bytes land.
+func ScanWALFrames(data []byte) ([][]byte, int) {
+	return scanWAL(data)
+}
+
+// Poison permanently disables the log with err — same fail-stop contract
+// as WAL.Poison.
+func (w *SegmentedWAL) Poison(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = fmt.Errorf("store: wal poisoned: %w", err)
+	}
+}
+
+// Stats returns the number of records appended and fsyncs performed since
+// open (seal fsyncs included).
+func (w *SegmentedWAL) Stats() (appends, syncs uint64) {
+	return w.appends.Load(), w.syncs.Load()
+}
+
+// SegmentStats returns the number of segments sealed and removed since
+// open.
+func (w *SegmentedWAL) SegmentStats() (sealed, removed uint64) {
+	return w.sealedN.Load(), w.removedN.Load()
+}
+
+// BytesAppended returns the framed bytes appended since open. Segment
+// removal does not reset it: it measures write volume, not file size.
+func (w *SegmentedWAL) BytesAppended() uint64 {
+	return w.bytes.Load()
+}
+
+// Append buffers one record at the log's tail, sealing and rolling the
+// active segment first if it has reached the threshold. The returned
+// token is the logical end offset, for Commit. On any error the log is
+// poisoned.
+func (w *SegmentedWAL) Append(payload []byte) (WALToken, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if len(payload) == 0 {
+		// Same zero-filled-tail defense as WAL.Append.
+		w.err = fmt.Errorf("store: wal record must not be empty")
+		return 0, w.err
+	}
+	if len(payload) > walMaxRecord {
+		w.err = fmt.Errorf("store: wal record %d bytes exceeds limit", len(payload))
+		return 0, w.err
+	}
+	if w.activeOff >= w.rollSize && w.activeOff > 0 {
+		if err := w.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if need := 8 + len(payload); cap(w.frame) < need {
+		w.frame = make([]byte, need)
+	}
+	buf := w.frame[:8+len(payload)]
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:], crc32.Checksum(payload, walCRC))
+	copy(buf[8:], payload)
+	if _, err := w.f.WriteAt(buf, w.activeOff); err != nil {
+		w.err = fmt.Errorf("store: wal append: %w", err)
+		return 0, w.err
+	}
+	w.activeOff += int64(len(buf))
+	w.appends.Add(1)
+	w.bytes.Add(uint64(len(buf)))
+	return WALToken(w.base + w.activeOff), nil
+}
+
+// rollLocked seals the active segment and opens the next one. Caller
+// holds mu. The seal fsync runs under every sync policy: sealed segments
+// must be durable in full (see the type comment for why both the
+// watermark protocol and recovery depend on it).
+//
+// The durability watermark is NOT advanced here (mu holders never touch
+// sm): a commit waiting on a sealed-segment record simply elects a sync
+// leader, whose capture of the logical end under mu already covers the
+// sealed bytes — its fsync of the new active file completes the claim.
+func (w *SegmentedWAL) rollLocked() error {
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("store: wal seal sync: %w", err)
+		return w.err
+	}
+	w.syncs.Add(1)
+	next := w.activeIdx + 1
+	nf, err := w.fs.OpenFile(SegmentWALName(w.path, next))
+	if err != nil {
+		w.err = fmt.Errorf("store: wal roll: %w", err)
+		return w.err
+	}
+	w.sealed = append(w.sealed, segInfo{idx: w.activeIdx, base: w.base, size: w.activeOff})
+	_ = w.f.Close()
+	w.f = nf
+	w.base += w.activeOff
+	w.activeIdx = next
+	w.activeOff = 0
+	w.sealedN.Add(1)
+	return nil
+}
+
+// Commit waits until the record identified by token is durable, per the
+// sync policy. Records in removed segments count as durable (the
+// checkpoint that removed them made them redundant).
+func (w *SegmentedWAL) Commit(token WALToken) error {
+	if token == 0 {
+		return nil
+	}
+	if w.policy == WALSyncNone {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.err
+	}
+	return w.syncTo(int64(token))
+}
+
+// Sync forces everything appended so far to disk, regardless of policy.
+func (w *SegmentedWAL) Sync() error {
+	w.mu.Lock()
+	target := w.base + w.activeOff
+	err := w.err
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.syncTo(target)
+}
+
+// syncTo blocks until the logical offset target is durable, electing a
+// group-commit leader as needed — WAL.syncTo with one structural
+// difference: the leader fsyncs only the active segment, which suffices
+// because every sealed segment was fsynced when it was sealed.
+func (w *SegmentedWAL) syncTo(target int64) error {
+	w.sm.Lock()
+	for {
+		if w.synced >= target {
+			w.sm.Unlock()
+			return nil
+		}
+		w.mu.Lock()
+		err := w.err
+		w.mu.Unlock()
+		if err != nil {
+			w.sm.Unlock()
+			return err
+		}
+		if !w.syncing {
+			break
+		}
+		w.sc.Wait()
+	}
+	w.syncing = true
+	w.sm.Unlock()
+
+	if w.policy == WALSyncGrouped && w.window > 0 {
+		time.Sleep(w.window)
+	}
+	// Capture end and handle together under mu: every byte <= end outside
+	// the captured file lives in a sealed (already durable) segment, so
+	// fsyncing the capture covers the whole claim even if a roll swaps the
+	// active file before the fsync runs (the stale capture fsyncs the
+	// now-sealed file — harmless).
+	w.mu.Lock()
+	end := w.base + w.activeOff
+	f := w.f
+	w.mu.Unlock()
+	serr := f.Sync()
+
+	w.sm.Lock()
+	w.syncing = false
+	if serr == nil {
+		if end > w.synced {
+			w.synced = end
+		}
+		w.syncs.Add(1)
+	}
+	w.sc.Broadcast()
+	w.sm.Unlock()
+
+	if serr != nil {
+		w.mu.Lock()
+		if w.err == nil {
+			w.err = fmt.Errorf("store: wal sync: %w", serr)
+		}
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Mark returns the log's current append position. A checkpoint captures
+// the mark at its cut (while its lock excludes appenders) and passes it
+// to DropThrough at its publish, so only segments the checkpoint covers
+// entirely are dropped.
+func (w *SegmentedWAL) Mark() SegPos {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return SegPos{Seg: w.activeIdx, Off: w.activeOff}
+}
+
+// DropThrough deletes every sealed segment the mark covers entirely —
+// segments below mark.Seg, plus mark.Seg itself when the mark sits at or
+// past its end. Nothing is ever rewritten: records in a partially
+// covered segment stay where they are (recovery skips them by sequence
+// number), and the active segment is never removed. Returns the bytes
+// and segment count removed.
+//
+// Removal is pure space reclamation, so a failed delete does not poison
+// the log: the stale segment replays harmlessly and the next checkpoint
+// retries. The first error is still reported.
+func (w *SegmentedWAL) DropThrough(mark SegPos) (removed int64, segments int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, 0, w.err
+	}
+	kept := w.sealed[:0]
+	for _, s := range w.sealed {
+		covered := s.idx < mark.Seg || (s.idx == mark.Seg && mark.Off >= s.size)
+		if !covered {
+			kept = append(kept, s)
+			continue
+		}
+		if rerr := w.fs.Remove(SegmentWALName(w.path, s.idx)); rerr != nil {
+			if err == nil {
+				err = fmt.Errorf("store: drop wal segment %06d: %w", s.idx, rerr)
+			}
+			kept = append(kept, s)
+			continue
+		}
+		removed += s.size
+		segments++
+		w.removedN.Add(1)
+	}
+	w.sealed = kept
+	return removed, segments, err
+}
+
+// Size returns the log's current on-disk length in bytes: the retained
+// sealed segments plus the active one. This is what recovery would
+// replay, the quantity AutoCheckpoint thresholds measure.
+func (w *SegmentedWAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	size := w.activeOff
+	for _, s := range w.sealed {
+		size += s.size
+	}
+	return size
+}
+
+// Segments returns the indices of the retained segments in order, the
+// active one last — the fetch units a replica tails.
+func (w *SegmentedWAL) Segments() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	idxs := make([]uint64, 0, len(w.sealed)+1)
+	for _, s := range w.sealed {
+		idxs = append(idxs, s.idx)
+	}
+	return append(idxs, w.activeIdx)
+}
+
+// Close syncs and closes the log. A clean Close therefore loses nothing
+// even under WALSyncNone.
+func (w *SegmentedWAL) Close() error {
+	serr := w.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cerr := w.f.Close()
+	if w.err == nil {
+		w.err = fmt.Errorf("store: wal is closed")
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -60,10 +60,11 @@ import (
 //	        queries proceed against the live tree throughout.
 //	publish (write lock) — rename .meta.tmp over .meta (the commit
 //	        point), flip the parked pages into the allocator's free
-//	        list, and truncate the WAL up to the cut's mark (records
-//	        committed during the build survive, via log rotation). The
-//	        only I/O under the lock is the rename and the log
-//	        truncation — both O(1) in the index size.
+//	        list, and delete the sealed WAL segments the cut's mark
+//	        covers entirely (records committed during the build live in
+//	        newer segments and are untouched — nothing is ever
+//	        rewritten). The only I/O under the lock is the rename and
+//	        the segment deletes — both O(1) in the index size.
 //
 // The cut image stays valid during the build because sealed pages are
 // never rewritten in place, freed pages are parked rather than reused
@@ -83,8 +84,10 @@ import (
 //
 // With a write-ahead log, the meta records the log sequence number of the
 // last commit the checkpoint covers; recovery replays only newer records,
-// and the publish phase truncates the covered prefix (pure space
-// reclamation — correctness never depends on the truncation happening).
+// and the publish phase deletes the log segments the cut covers entirely
+// (pure space reclamation — correctness never depends on the removal
+// happening, so partially covered records simply stay and replay as
+// no-ops).
 
 // metaFile is the JSON side-file format.
 type metaFile struct {
@@ -156,11 +159,16 @@ type CheckpointStats struct {
 	IncrementalBuilds uint64
 	PagesWalked       uint64
 
-	// WALTailBytesRewritten counts the bytes log rotation copied to keep
-	// the records committed during build phases (cumulative). The rewrite
-	// is bounded by the build-window commit volume, never the whole log —
-	// this stat is the margin a future segmented log would reclaim
-	// (ROADMAP), and the regression tests pin it to the uncovered suffix.
+	// WALSegmentsRemoved counts sealed log segments deleted at publish —
+	// the segmented log's whole-file replacement for tail rotation
+	// (cumulative).
+	WALSegmentsRemoved uint64
+
+	// WALTailBytesRewritten counted the bytes the pre-segmentation log
+	// rotation copied to keep records committed during build phases. The
+	// segmented log never rewrites a byte — publish deletes whole sealed
+	// segments — so this is now always 0. The field survives for
+	// compatibility, and the pipeline regression tests pin it to zero.
 	WALTailBytesRewritten uint64
 }
 
@@ -198,7 +206,7 @@ type ckptImage struct {
 	nextSV   float64
 	encoded  bool
 	walSeq   uint64
-	walMark  int64
+	walMark  store.SegPos
 	numPages uint64
 	free     []store.PageID        // free ∪ parked ids at cut
 	alive    []store.PageID        // allocated ids at cut
@@ -315,7 +323,7 @@ func (db *DB) runCheckpoint(run *ckptRun) error {
 		db.mu.Unlock()
 		return buildErr
 	}
-	committed, walBytes, tailBytes, err := db.ckptPublishLocked(img)
+	committed, walBytes, walSegs, err := db.ckptPublishLocked(img)
 	if !committed {
 		db.ckptAbortLocked(img)
 		db.mu.Unlock()
@@ -334,7 +342,7 @@ func (db *DB) runCheckpoint(run *ckptRun) error {
 	st.PagesFlushed += uint64(img.flushed)
 	st.PagesReclaimed += uint64(len(img.dead))
 	st.WALBytesTruncated += uint64(walBytes)
-	st.WALTailBytesRewritten += uint64(tailBytes)
+	st.WALSegmentsRemoved += uint64(walSegs)
 	if img.incremental {
 		st.IncrementalBuilds++
 	} else {
@@ -580,11 +588,13 @@ func (img *ckptImage) metaBytes() ([]byte, error) {
 
 // ckptPublishLocked is the pipeline's final critical section (caller
 // holds the write lock): rename the staged meta — the atomic commit point
-// — then make the reclaimed pages reallocatable and drop the covered WAL
-// prefix. committed reports whether the commit point landed; on
-// committed=true with err != nil the checkpoint succeeded but the log is
-// now disabled (see the error text).
-func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes, tailBytes int64, err error) {
+// — then make the reclaimed pages reallocatable and delete the sealed WAL
+// segments the cut covers entirely (held down to any replica's retention
+// floor). committed reports whether the commit point landed; on
+// committed=true with err != nil the checkpoint succeeded but segment
+// reclamation did not — the segments linger harmlessly until the next
+// publish retries.
+func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes int64, walSegs int, err error) {
 	if db.closed {
 		// Unreachable — Close drains the pipeline via ckptMu — but never
 		// publish into a torn-down DB.
@@ -619,21 +629,38 @@ func (db *DB) ckptPublishLocked(img *ckptImage) (committed bool, walBytes, tailB
 	db.fileDisk.DeferFrees(false)
 
 	if db.wal != nil {
-		n, rewritten, terr := db.wal.TruncateTo(img.walMark)
-		walBytes, tailBytes = n, rewritten
+		// Attached replicas pin the log at their tail cursor: drop only
+		// segments every reader — this checkpoint AND every replica — is
+		// past. Segment removal is pure space reclamation (recovery skips
+		// covered records by sequence number), so a failure neither fails
+		// the checkpoint nor disables the log: the segments linger and the
+		// next publish retries.
+		n, segs, terr := db.wal.DropThrough(db.retentionFloor(img.walMark))
+		walBytes, walSegs = n, segs
 		if terr != nil {
-			// The checkpoint itself committed; this failure only disables
-			// the (poisoned, fail-stop) log. Say so rather than reporting
-			// the checkpoint as failed.
-			return true, walBytes, tailBytes, fmt.Errorf("peb: checkpoint committed, but log truncation failed and the write-ahead log is now disabled — reopen to restore durability: %w", terr)
+			return true, walBytes, walSegs, fmt.Errorf("peb: checkpoint committed, but dropping covered wal segments failed (they linger until the next checkpoint): %w", terr)
 		}
-	} else if ok, _ := db.opts.FS.Exists(db.opts.Path + ".wal"); ok {
+	} else if ok, _ := store.SegmentedWALExists(db.opts.FS, db.opts.Path+".wal"); ok {
 		// Non-durable DB over a leftover log from a durable run: this
 		// checkpoint's WalSeq covers every replayed record, so the log is
 		// dead weight — drop it (best effort).
-		_ = db.opts.FS.Remove(db.opts.Path + ".wal")
+		_ = store.RemoveSegmentedWAL(db.opts.FS, db.opts.Path+".wal")
 	}
-	return true, walBytes, tailBytes, nil
+	return true, walBytes, walSegs, nil
+}
+
+// retentionFloor lowers a checkpoint's drop mark to the lowest cursor of
+// any attached replica, so sealed segments stay readable until every
+// replica has tailed past them.
+func (db *DB) retentionFloor(mark store.SegPos) store.SegPos {
+	db.repMu.Lock()
+	defer db.repMu.Unlock()
+	for _, floor := range db.repFloors {
+		if floor.Less(mark) {
+			mark = floor
+		}
+	}
+	return mark
 }
 
 // ckptAbortLocked unwinds a failed pipeline (caller holds the write
@@ -772,7 +799,7 @@ func OpenExisting(opts Options) (*DB, error) {
 	case err == nil:
 		db, err = openFromCheckpoint(opts, metaData)
 	case errors.Is(err, fs.ErrNotExist):
-		hasWAL, werr := opts.FS.Exists(opts.Path + ".wal")
+		hasWAL, werr := store.SegmentedWALExists(opts.FS, opts.Path+".wal")
 		if werr != nil {
 			return nil, fmt.Errorf("peb: probe wal: %w", werr)
 		}
@@ -998,14 +1025,17 @@ func openFromWALOnly(opts Options) (*DB, error) {
 // walSeq, so a future Checkpoint's WalSeq covers it (Checkpoint then
 // removes it) and a re-recovery before that reproduces this same state.
 func (db *DB) attachWAL(afterSeq uint64) error {
-	hasWAL, err := db.opts.FS.Exists(db.opts.Path + ".wal")
+	hasWAL, err := store.SegmentedWALExists(db.opts.FS, db.opts.Path+".wal")
 	if err != nil {
 		return fmt.Errorf("peb: probe wal: %w", err)
 	}
 	if !hasWAL && db.opts.Durability == DurabilityNone {
 		return nil
 	}
-	wal, records, err := store.OpenWAL(db.opts.FS, db.opts.Path+".wal", db.opts.Durability.walPolicy())
+	// Opening migrates a legacy single-file log (pre-segmentation era) to
+	// segment 000001 in place, then replays segments in order.
+	wal, records, err := store.OpenSegmentedWAL(db.opts.FS, db.opts.Path+".wal",
+		db.opts.Durability.walPolicy(), db.opts.WALSegmentBytes)
 	if err != nil {
 		return err
 	}

@@ -153,12 +153,12 @@ func TestCrashCheckpointUnderLoad(t *testing.T) {
 	if err := <-ckptErr; err != nil {
 		t.Fatalf("gated checkpoint failed: %v", err)
 	}
-	// The build-window commits forced a log rotation, and the stats report
-	// its cost — the uncovered suffix (the store-level regression test
-	// pins the rewrite to exactly that suffix, byte for byte).
+	// Segmented log: publish drops whole covered segments; the uncovered
+	// build-window suffix stays in place in its own segments. Nothing is
+	// ever rewritten — even with commits racing the build.
 	st := db.CheckpointStats()
-	if st.WALTailBytesRewritten == 0 {
-		t.Error("WALTailBytesRewritten = 0, want > 0 (commits landed during the build)")
+	if st.WALTailBytesRewritten != 0 {
+		t.Errorf("WALTailBytesRewritten = %d, want 0 (segmented log never rewrites)", st.WALTailBytesRewritten)
 	}
 
 	// Every acknowledged commit is visible on the live DB...
@@ -277,10 +277,12 @@ func TestCheckpointCoalesce(t *testing.T) {
 }
 
 // TestCheckpointStats: the pipeline reports per-phase durations and work
-// counters, and the publish-phase truncation accounts the WAL bytes.
+// counters, and the publish-phase segment drop accounts the WAL bytes.
+// The small WALSegmentBytes forces the load to seal several segments so
+// publish actually has covered segments to remove.
 func TestCheckpointStats(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "s.idx")
-	db := mustOpen(t, Options{Path: path, Durability: DurabilitySync})
+	db := mustOpen(t, Options{Path: path, Durability: DurabilitySync, WALSegmentBytes: 4 << 10})
 	load := func(salt int) {
 		t.Helper()
 		for i := 1; i <= 150; i++ {
@@ -310,10 +312,20 @@ func TestCheckpointStats(t *testing.T) {
 	if st.WALBytesTruncated == 0 {
 		t.Error("WALBytesTruncated = 0, want > 0")
 	}
-	// Quiescent checkpoints have no build-window commits, so rotation has
-	// no tail to rewrite — the whole log empties in place.
+	if st.WALSegmentsRemoved == 0 {
+		t.Error("WALSegmentsRemoved = 0, want > 0 (publish drops covered sealed segments)")
+	}
+	// The segmented log never rewrites: publish only deletes whole covered
+	// segments, so the rewrite counter is structurally zero.
 	if st.WALTailBytesRewritten != 0 {
-		t.Errorf("WALTailBytesRewritten = %d, want 0 for quiescent checkpoints", st.WALTailBytesRewritten)
+		t.Errorf("WALTailBytesRewritten = %d, want 0 (segmented log never rewrites)", st.WALTailBytesRewritten)
+	}
+	ws := db.WALStats()
+	if ws.SegmentsSealed == 0 {
+		t.Error("WALStats.SegmentsSealed = 0, want > 0 (load crossed the roll threshold)")
+	}
+	if ws.SegmentsRemoved == 0 {
+		t.Error("WALStats.SegmentsRemoved = 0, want > 0")
 	}
 	if st.LastBuild <= 0 || st.TotalBuild < st.LastBuild {
 		t.Errorf("implausible build durations: last %v, total %v", st.LastBuild, st.TotalBuild)

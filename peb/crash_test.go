@@ -266,16 +266,17 @@ func runScript(t *testing.T, db *DB, ops []scriptOp) (states []*oracle, acked in
 	return states, acked
 }
 
-// TestCrashRecoveryBruteForce is the oracle sweep described in the file
-// comment. For every fault point and both crash models, recovery must land
-// on the acknowledged prefix — or the prefix plus the single in-flight op
-// (fault after its log record was written but before its ack).
-func TestCrashRecoveryBruteForce(t *testing.T) {
+// runBruteForceSweep is the oracle sweep described in the file comment,
+// shared by the default-layout and segmented-boundary variants. For every
+// fault point and both crash models, recovery must land on the
+// acknowledged prefix — or the prefix plus the single in-flight op (fault
+// after its log record was written but before its ack).
+func runBruteForceSweep(t *testing.T, opts func(fs store.VFS) Options) {
 	ops := crashScript()
 
 	// Golden run: no faults; counts the faultable-operation universe.
 	golden := store.NewCrashFS()
-	db, err := Open(crashOpts(golden))
+	db, err := Open(opts(golden))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestCrashRecoveryBruteForce(t *testing.T) {
 				fs.SetFailAfter(k)
 				var states []*oracle
 				acked := 0
-				db, err := Open(crashOpts(fs))
+				db, err := Open(opts(fs))
 				if err == nil {
 					states, acked = runScript(t, db, ops)
 				} else {
@@ -316,7 +317,7 @@ func TestCrashRecoveryBruteForce(t *testing.T) {
 				}
 				fs.Reboot(keepUnsynced)
 
-				re, err := Open(crashOpts(fs))
+				re, err := Open(opts(fs))
 				if err != nil {
 					t.Fatalf("k=%d: recovery failed: %v", k, err)
 				}
@@ -343,6 +344,25 @@ func TestCrashRecoveryBruteForce(t *testing.T) {
 			}
 		})
 	}
+}
+
+func TestCrashRecoveryBruteForce(t *testing.T) {
+	runBruteForceSweep(t, crashOpts)
+}
+
+// TestCrashRecoveryBruteForceSegmented reruns the sweep with a roll
+// threshold small enough that the workload crosses many segment
+// boundaries: faults now land on seal fsyncs, on the first append into a
+// fresh segment, and between a seal and the next segment's creation —
+// under both reboot models. Recovery must additionally cope with a sealed
+// segment whose unsynced tail was dropped and with an empty or torn
+// youngest segment.
+func TestCrashRecoveryBruteForceSegmented(t *testing.T) {
+	runBruteForceSweep(t, func(fs store.VFS) Options {
+		o := crashOpts(fs)
+		o.WALSegmentBytes = 512
+		return o
+	})
 }
 
 // TestCrashCheckpointPairingNonDurable: without a WAL there is no replay
@@ -553,8 +573,8 @@ func TestRecoveryWithoutDurabilityPreservesLog(t *testing.T) {
 	if err := re2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := fs.Exists("db.idx.wal"); ok {
-		t.Fatal("stale wal survived a covering checkpoint")
+	if ok, _ := store.SegmentedWALExists(fs, "db.idx.wal"); ok {
+		t.Fatal("stale wal segments survived a covering checkpoint")
 	}
 	re3, err := OpenExisting(plain)
 	if err != nil {

@@ -73,6 +73,9 @@ func (o Options) validate() error {
 	if o.Durability != DurabilityNone && o.Path == "" {
 		bad = append(bad, "Durability requires Path")
 	}
+	if o.WALSegmentBytes < 0 {
+		bad = append(bad, fmt.Sprintf("WALSegmentBytes %d < 0", o.WALSegmentBytes))
+	}
 	if o.AutoCheckpoint.WALBytes < 0 {
 		bad = append(bad, fmt.Sprintf("AutoCheckpoint.WALBytes %d < 0", o.AutoCheckpoint.WALBytes))
 	}

@@ -150,7 +150,16 @@ func goldenPolicies(t *testing.T) *policy.Store {
 	return ps
 }
 
-const goldenDir = "testdata/golden/gobwal"
+const (
+	// goldenDir is the PR 3-era fixture: gob-codec WAL records in a
+	// single log file.
+	goldenDir = "testdata/golden/gobwal"
+	// goldenSingleWALDir is the PR 6-era fixture: binary-codec records,
+	// still in the single `.wal` file that predates log segmentation. It
+	// pins the segment-migration path the same way goldenDir pins the
+	// codec upgrade.
+	goldenSingleWALDir = "testdata/golden/singlewal"
+)
 
 func goldenOptions(dir string) Options {
 	return Options{
@@ -160,17 +169,17 @@ func goldenOptions(dir string) Options {
 	}
 }
 
-// copyGoldenFixture clones the committed fixture into a scratch directory
-// (recovery legitimately rewrites the log and sweeps side files).
-func copyGoldenFixture(t *testing.T) string {
+// copyGoldenFixture clones a committed fixture into a scratch directory
+// (recovery legitimately migrates the log and sweeps side files).
+func copyGoldenFixture(t *testing.T, fixture string) string {
 	t.Helper()
-	entries, err := os.ReadDir(goldenDir)
+	entries, err := os.ReadDir(fixture)
 	if err != nil {
 		t.Fatalf("golden fixture missing: %v", err)
 	}
 	dir := t.TempDir()
 	for _, e := range entries {
-		data, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		data, err := os.ReadFile(filepath.Join(fixture, e.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +225,7 @@ func verifyGoldenState(t *testing.T, db *DB) {
 // gob-era WAL written before the binary codec existed must recover to
 // exactly the scripted state under the current code.
 func TestGoldenGobWALRecovery(t *testing.T) {
-	dir := copyGoldenFixture(t)
+	dir := copyGoldenFixture(t, goldenDir)
 	db, err := OpenExisting(goldenOptions(dir))
 	if err != nil {
 		t.Fatalf("recover golden fixture: %v", err)
@@ -252,9 +261,64 @@ func TestGoldenGobWALRecovery(t *testing.T) {
 	}
 }
 
-// TestGoldenFixtureFrozen guards the fixture bytes themselves: the log must
-// still be the gob-era one (no record carries the binary codec's magic
-// header), so nobody regenerates it with a modern writer by accident.
+// TestGoldenSingleWALMigration proves the log-segmentation upgrade path:
+// a database whose write-ahead log is the pre-segmentation single `.wal`
+// file (binary codec, PR 6 era) must open under the current code — which
+// migrates the legacy file into the first numbered segment — and recover
+// to exactly the scripted state, byte-for-byte policies included.
+func TestGoldenSingleWALMigration(t *testing.T) {
+	dir := copyGoldenFixture(t, goldenSingleWALDir)
+	legacy := filepath.Join(dir, "golden.idx.wal")
+	if _, err := os.Stat(legacy); err != nil {
+		t.Fatalf("fixture must start with a legacy single-file log: %v", err)
+	}
+	db, err := OpenExisting(goldenOptions(dir))
+	if err != nil {
+		t.Fatalf("recover single-file-WAL fixture: %v", err)
+	}
+	defer db.Close()
+	verifyGoldenState(t, db)
+
+	// Migration renames the legacy log into segment 000001; the single
+	// file itself must be gone so no future open sees two logs.
+	if _, err := os.Stat(legacy); !os.IsNotExist(err) {
+		t.Fatalf("legacy single-file log still present after migration (stat err=%v)", err)
+	}
+	if _, err := os.Stat(legacy + ".000001"); err != nil {
+		t.Fatalf("migrated segment 000001 missing: %v", err)
+	}
+
+	// The migrated DB must keep working across commits, a checkpoint, and
+	// a second recovery — now entirely on the segmented log.
+	extra := goldenObj(98, 5)
+	if err := db.Upsert(extra); err != nil {
+		t.Fatalf("post-migration upsert: %v", err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("post-migration checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenExisting(goldenOptions(dir))
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	defer re.Close()
+	got, ok, err := re.Lookup(98)
+	if err != nil || !ok || got != extra {
+		t.Fatalf("post-migration object lost: %+v ok=%v err=%v", got, ok, err)
+	}
+	want := goldenObjects()
+	if got := re.Size(); got != len(want)+1 {
+		t.Fatalf("post-migration size = %d, want %d", got, len(want)+1)
+	}
+}
+
+// TestGoldenFixtureFrozen guards the fixture bytes themselves: the gobwal
+// log must still be the gob-era one and the singlewal fixture must still
+// carry a single pre-segmentation `.wal` file — so nobody regenerates
+// either with a modern writer by accident.
 func TestGoldenFixtureFrozen(t *testing.T) {
 	data, err := os.ReadFile(filepath.Join(goldenDir, "golden.idx.wal"))
 	if err != nil {
@@ -263,14 +327,32 @@ func TestGoldenFixtureFrozen(t *testing.T) {
 	if len(data) == 0 {
 		t.Fatal("golden WAL is empty; the fixture must carry a post-checkpoint log tail")
 	}
+	data, err = os.ReadFile(filepath.Join(goldenSingleWALDir, "golden.idx.wal"))
+	if err != nil {
+		t.Fatalf("singlewal fixture missing: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("singlewal WAL is empty; the fixture must carry a post-checkpoint log tail")
+	}
+	entries, err := os.ReadDir(goldenSingleWALDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if n := e.Name(); len(n) > len("golden.idx.wal") && n[:len("golden.idx.wal.")] == "golden.idx.wal." {
+			t.Fatalf("singlewal fixture contains a segment file %q; it must predate segmentation", n)
+		}
+	}
 }
 
-// TestRegenerateGoldenFixture is the fixture's provenance record, not a
+// TestRegenerateGoldenFixture is the fixtures' provenance record, not a
 // test: run with PEB_REGEN_GOLDEN=1 it writes a fresh fixture into
-// testdata/golden/regen-out (never over the committed one). It was run
-// exactly once, while the WAL codec was still encoding/gob, to produce
-// testdata/golden/gobwal — running it today would produce a binary-codec
-// log and must NOT replace the frozen fixture.
+// testdata/golden/regen-out (never over a committed one). It was run once
+// while the WAL codec was still encoding/gob to produce
+// testdata/golden/gobwal, and once more after the binary codec but before
+// log segmentation to produce testdata/golden/singlewal — running it
+// today would produce a segmented binary-codec log and must NOT replace
+// either frozen fixture.
 func TestRegenerateGoldenFixture(t *testing.T) {
 	if os.Getenv("PEB_REGEN_GOLDEN") == "" {
 		t.Skip("set PEB_REGEN_GOLDEN=1 to write a fresh fixture into testdata/golden/regen-out")

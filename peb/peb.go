@@ -171,6 +171,13 @@ type Options struct {
 	// Tests inject store.CrashFS here to simulate torn writes and power
 	// cuts.
 	FS store.VFS
+	// WALSegmentBytes is the write-ahead-log segment roll threshold: the
+	// active segment is sealed (fsynced, never written again) and a new
+	// one started once it grows past this many bytes. Sealed segments are
+	// whole-file units — checkpoints delete the fully covered ones instead
+	// of rewriting anything, and replicas fetch them without coordination.
+	// Zero selects store.DefaultWALSegmentBytes.
+	WALSegmentBytes int64
 	// AutoCheckpoint, when any threshold is set, starts a background
 	// maintainer that checkpoints automatically once the write-ahead log
 	// exceeds the threshold, bounding recovery time without the
@@ -280,11 +287,17 @@ type DB struct {
 	// overwrites a page the checkpoint references — the invariant that
 	// makes the image a valid recovery base under any crash. The next
 	// Checkpoint's reachability sweep reclaims the quarantined pages.
-	wal          *store.WAL
+	wal          *store.SegmentedWAL
 	walSeq       uint64
 	ckptSeq      uint64
 	prevPolicies string
 	ckptSealed   bool
+
+	// Replica retention floors (replica.go): each attached in-process
+	// Replica pins the log at its tail cursor, so checkpoint publication
+	// never deletes a sealed segment a replica has yet to read.
+	repMu     sync.Mutex
+	repFloors map[*Replica]store.SegPos
 
 	// encBuf is the reusable WAL record encode buffer: walAppendTxn
 	// encodes into it under the write lock and WAL.Append copies the
@@ -411,7 +424,7 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("peb: probe checkpoint: %w", err)
 		}
-		hasWAL, err := opts.FS.Exists(opts.Path + ".wal")
+		hasWAL, err := store.SegmentedWALExists(opts.FS, opts.Path+".wal")
 		if err != nil {
 			return nil, fmt.Errorf("peb: probe wal: %w", err)
 		}
@@ -456,7 +469,8 @@ func openFresh(opts Options) (*DB, error) {
 		return nil, err
 	}
 	if opts.Durability != DurabilityNone {
-		wal, records, err := store.OpenWAL(opts.FS, opts.Path+".wal", opts.Durability.walPolicy())
+		wal, records, err := store.OpenSegmentedWAL(opts.FS, opts.Path+".wal",
+			opts.Durability.walPolicy(), opts.WALSegmentBytes)
 		if err != nil {
 			db.fileDisk.Close()
 			return nil, err
@@ -929,6 +943,16 @@ func (db *DB) Lookup(uid UserID) (Object, bool, error) {
 	return db.view.Get(uid)
 }
 
+// CommitSeq returns the WAL sequence number of the latest commit — the
+// horizon a fully caught-up Replica of this DB reports. Routers use the
+// pair for read-your-writes: a follower whose Horizon has reached the
+// CommitSeq observed after a write serves reads that include it.
+func (db *DB) CommitSeq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.walSeq
+}
+
 // Size returns the number of indexed users (0 on a closed DB).
 func (db *DB) Size() int {
 	db.mu.RLock()
@@ -977,8 +1001,13 @@ type WALStats struct {
 	Appends uint64
 	Syncs   uint64
 	// BytesAppended is the framed log volume written since open (headers +
-	// payloads; rotation does not reset it).
+	// payloads; segment removal does not reset it).
 	BytesAppended uint64
+	// SegmentsSealed counts active segments rolled into sealed (immutable,
+	// fully fsynced) ones; SegmentsRemoved counts sealed segments deleted
+	// by checkpoints whose cut covered them entirely.
+	SegmentsSealed  uint64
+	SegmentsRemoved uint64
 }
 
 // WALStats returns the log's activity counters since open.
@@ -989,7 +1018,11 @@ func (db *DB) WALStats() WALStats {
 		return WALStats{}
 	}
 	appends, syncs := db.wal.Stats()
-	return WALStats{Appends: appends, Syncs: syncs, BytesAppended: db.wal.BytesAppended()}
+	sealed, removed := db.wal.SegmentStats()
+	return WALStats{
+		Appends: appends, Syncs: syncs, BytesAppended: db.wal.BytesAppended(),
+		SegmentsSealed: sealed, SegmentsRemoved: removed,
+	}
 }
 
 // IOStats reports the index's buffer statistics since the last ResetStats.

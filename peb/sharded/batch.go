@@ -159,6 +159,7 @@ func (db *DB) Apply(b *Batch) error {
 		if err := db.shards[parts[0]].Apply(subs[parts[0]]); err != nil {
 			return err
 		}
+		db.noteWrite(parts[0])
 		db.applyOwnerDelta(ownerDelta)
 		return nil
 	}
@@ -209,6 +210,9 @@ func (db *DB) Apply(b *Batch) error {
 			// marker failure only fail-stops that shard's log.
 			firstErr = fmt.Errorf("sharded: apply: commit marker: %w", err)
 		}
+	}
+	for _, i := range parts {
+		db.noteWrite(i)
 	}
 	db.applyOwnerDelta(ownerDelta)
 	return firstErr

@@ -46,6 +46,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/store"
 	"repro/internal/zcurve"
@@ -93,6 +94,19 @@ type Options struct {
 	// every shard. Path must be empty (it is derived per shard) and
 	// TxnResolve must be nil (the router installs its own resolver).
 	DB peb.Options
+	// ReplicasPerShard, when positive, attaches that many peb.Replica
+	// followers to every shard and serves RangeQuery and NearestNeighbors
+	// from them round-robin (see replica.go for the read-your-writes
+	// freshness protocol). Requires durability: followers tail the
+	// per-shard write-ahead logs.
+	ReplicasPerShard int
+	// StalenessBound relaxes follower freshness: a follower may serve a
+	// read while lagging at most this many commits behind the last write
+	// the router sent to that shard. Zero (the default) demands full
+	// read-your-writes freshness; a follower that cannot reach the bound
+	// even after a synchronous catch-up is skipped in favor of the
+	// primary. Meaningful only with ReplicasPerShard > 0.
+	StalenessBound uint64
 }
 
 // DB is a space-partitioned moving-object database over independent
@@ -128,6 +142,18 @@ type DB struct {
 	// txnDecisions counts verdicts appended since the last compaction —
 	// zero means the log already holds nothing but its watermark.
 	txnDecisions uint64
+
+	// Follower-read state (replica.go). replicas holds each shard's
+	// follower pool (nil without ReplicasPerShard); rr is the per-shard
+	// round-robin cursor; written is the per-shard WAL sequence of the
+	// last commit this router routed there — the horizon a follower must
+	// reach to serve reads.
+	replicas [][]*peb.Replica
+	rr       []atomic.Uint64
+	written  []atomic.Uint64
+
+	followerReads    atomic.Uint64
+	primaryFallbacks atomic.Uint64
 }
 
 // manifest is the router's persisted identity: the facts that must match
@@ -153,6 +179,12 @@ func (o Options) validate() error {
 	}
 	if o.DB.Durability != peb.DurabilityNone && o.Dir == "" {
 		return fmt.Errorf("%w: Durability requires Dir", peb.ErrBadOptions)
+	}
+	if o.ReplicasPerShard < 0 {
+		return fmt.Errorf("%w: ReplicasPerShard %d < 0", peb.ErrBadOptions, o.ReplicasPerShard)
+	}
+	if o.ReplicasPerShard > 0 && o.DB.Durability == peb.DurabilityNone {
+		return fmt.Errorf("%w: ReplicasPerShard requires Durability (followers tail the per-shard logs)", peb.ErrBadOptions)
 	}
 	return nil
 }
@@ -269,6 +301,12 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 	db.nextTxn = maxTxn + 1
+	if opts.ReplicasPerShard > 0 {
+		if err := db.attachReplicas(opts.ReplicasPerShard); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -381,9 +419,10 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	var firstErr error
+	// Followers first: they tail the shard logs that are about to close.
+	firstErr := db.closeReplicas()
 	if db.txnLog != nil {
-		if err := db.txnLog.Close(); err != nil {
+		if err := db.txnLog.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		db.txnLog = nil
@@ -411,6 +450,7 @@ func (db *DB) Upsert(o Object) error {
 	if err := db.shards[target].Upsert(o); err != nil {
 		return err
 	}
+	db.noteWrite(target)
 	db.ownMu.Lock()
 	prev, had := db.owner[o.UID]
 	db.owner[o.UID] = target
@@ -419,6 +459,7 @@ func (db *DB) Upsert(o Object) error {
 		if err := db.shards[prev].Remove(o.UID); err != nil {
 			return fmt.Errorf("sharded: re-home user %d out of shard %d: %w", o.UID, prev, err)
 		}
+		db.noteWrite(prev)
 	}
 	return nil
 }
@@ -441,6 +482,7 @@ func (db *DB) Remove(uid UserID) error {
 	if err := db.shards[idx].Remove(uid); err != nil {
 		return err
 	}
+	db.noteWrite(idx)
 	db.ownMu.Lock()
 	delete(db.owner, uid)
 	db.ownMu.Unlock()
@@ -511,6 +553,9 @@ func (db *DB) EncodePolicies() error {
 		if err != nil {
 			return fmt.Errorf("sharded: install encoding on shard %d: %w", i, err)
 		}
+	}
+	for i := range db.shards {
+		db.noteWrite(i)
 	}
 	return nil
 }
@@ -604,7 +649,7 @@ func (db *DB) RangeQuery(issuer UserID, r Region, t float64) ([]Object, error) {
 		return nil, &peb.InvalidRegionError{Region: r}
 	}
 	return gatherRange(db.routeRegion(r, t, db.shardSlack), issuer, r, t,
-		func(i int) querier { return db.shards[i] })
+		db.reader)
 }
 
 // NearestNeighbors answers the privacy-aware k-nearest-neighbor query by
@@ -620,7 +665,7 @@ func (db *DB) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([
 		return nil, ErrClosed
 	}
 	return gatherKNN(db.knnOrder(x, y, t, db.shardSlack), issuer, x, y, k, t,
-		func(i int) querier { return db.shards[i] })
+		db.reader)
 }
 
 // shardSlack is DB.MotionSlack for the live shards (the routing functions

@@ -32,6 +32,12 @@ type Stats struct {
 	Checkpoints peb.CheckpointStats
 	// ViewSwaps sums the per-shard view republishes.
 	ViewSwaps uint64
+	// FollowerReads counts shard queries served by a replica follower;
+	// PrimaryFallbacks counts queries that wanted a follower but fell back
+	// to the primary (the follower could not reach the required horizon).
+	// Both are zero without Options.ReplicasPerShard.
+	FollowerReads    uint64
+	PrimaryFallbacks uint64
 }
 
 // Stats returns the aggregated counters since Open.
@@ -53,6 +59,9 @@ func (db *DB) Stats() Stats {
 
 		out.WAL.Appends += ss.WAL.Appends
 		out.WAL.Syncs += ss.WAL.Syncs
+		out.WAL.BytesAppended += ss.WAL.BytesAppended
+		out.WAL.SegmentsSealed += ss.WAL.SegmentsSealed
+		out.WAL.SegmentsRemoved += ss.WAL.SegmentsRemoved
 		out.ViewSwaps += ss.ViewSwaps
 
 		c := &out.Checkpoints
@@ -66,6 +75,7 @@ func (db *DB) Stats() Stats {
 		c.PagesReclaimed += ss.Checkpoints.PagesReclaimed
 		c.WALBytesTruncated += ss.Checkpoints.WALBytesTruncated
 		c.WALTailBytesRewritten += ss.Checkpoints.WALTailBytesRewritten
+		c.WALSegmentsRemoved += ss.Checkpoints.WALSegmentsRemoved
 		if ss.Checkpoints.LastCut > c.LastCut {
 			c.LastCut = ss.Checkpoints.LastCut
 		}
@@ -76,5 +86,7 @@ func (db *DB) Stats() Stats {
 			c.LastPublish = ss.Checkpoints.LastPublish
 		}
 	}
+	out.FollowerReads = db.followerReads.Load()
+	out.PrimaryFallbacks = db.primaryFallbacks.Load()
 	return out
 }
