@@ -30,7 +30,7 @@ var Experiments = []Experiment{
 	expFig19a, expFig19b, expFig19c,
 	expAblationKeyOrder, expAblationSearchOrder, expAblationCurve,
 	expScaling, expBulkload, expDurability, expCheckpoint, expSharding,
-	expCQ, expReplication,
+	expCQ, expReplication, expResharding,
 }
 
 // ByID returns the experiment with the given id.

@@ -32,6 +32,7 @@ type HotPathReport struct {
 	Checkpoint  CheckpointBench   `json:"checkpoint"`
 	PKNN        PKNNBench         `json:"pknn"`
 	Replication ReplicationBench  `json:"replication"`
+	Resharding  ReshardingBench   `json:"resharding"`
 }
 
 // CommitBench measures durable single-object commits (Durability: Sync —
@@ -84,6 +85,27 @@ type ReplicationBench struct {
 	LagP99Records   float64 `json:"lag_p99_records"`
 	FinalLagRecords float64 `json:"final_lag_records"`
 	ReadP50Micros   float64 `json:"read_p50_us"`
+}
+
+// ReshardingBench measures the skewed-commit workload against a static
+// uniform 8-shard topology and again after the AutoReshard maintainer has
+// reshaped that layout around the load — the hot range split in two, the
+// cold ranges merged (see resharding.go). Splits, Merges and LostObjects
+// are the stable facts CI gates on — both kinds of topology change must
+// fire and the population must survive the migrations exactly; the shard
+// counts, latency and throughput fields are the trajectory.
+type ReshardingBench struct {
+	Commits      int     `json:"commits"`       // per measured phase
+	ShardsBefore int     `json:"shards_before"` // the static layout
+	ShardsAfter  int     `json:"shards_after"`  // the converged dynamic layout
+	Splits       uint64  `json:"splits"`
+	Merges       uint64  `json:"merges"`
+	LostObjects  float64 `json:"lost_objects"`
+	// Hot-rectangle commit p99 (µs) on the static vs post-split topology.
+	HotP99StaticMicros float64 `json:"hot_p99_static_us"`
+	HotP99SplitMicros  float64 `json:"hot_p99_split_us"`
+	OpsPerSecStatic    float64 `json:"ops_per_sec_static"`
+	OpsPerSecSplit     float64 `json:"ops_per_sec_split"`
 }
 
 func hotObj(uid, salt int) peb.Object {
@@ -168,6 +190,20 @@ func RunHotPath(quick bool, logf func(string, ...interface{})) (HotPathReport, e
 	rep.Replication, err = runReplicationBench(filepath.Join(dir, "rep.idx"), repCommits)
 	if err != nil {
 		return rep, fmt.Errorf("replication bench: %w", err)
+	}
+
+	// The resharding phases get a floor rather than the quick-mode commit
+	// count: the p99 columns are queueing-delay tails and the throughput
+	// delta is a steady-state effect — 600-commit phases make both too
+	// noisy to read.
+	reshCommits := commitOps
+	if reshCommits < 2400 {
+		reshCommits = 2400
+	}
+	logf("hotpath: resharding bench (%d skewed commits per phase)", reshCommits)
+	rep.Resharding, err = runReshardingBench(filepath.Join(dir, "reshard"), reshCommits)
+	if err != nil {
+		return rep, fmt.Errorf("resharding bench: %w", err)
 	}
 	return rep, nil
 }
@@ -420,5 +456,12 @@ func CompareHotPath(base, cur HotPathReport) []string {
 	}
 	check("pknn.allocs_per_op", base.PKNN.AllocsPerOp, cur.PKNN.AllocsPerOp, 0.5, 2)
 	check("replication.final_lag_records", base.Replication.FinalLagRecords, cur.Replication.FinalLagRecords, 0, 0.01)
+	check("resharding.lost_objects", base.Resharding.LostObjects, cur.Resharding.LostObjects, 0, 0.01)
+	if base.Resharding.Splits > 0 && cur.Resharding.Splits == 0 {
+		bad = append(bad, "resharding.splits: 0 — the load-driven split never fired")
+	}
+	if base.Resharding.Merges > 0 && cur.Resharding.Merges == 0 {
+		bad = append(bad, "resharding.merges: 0 — the cold shards never coalesced")
+	}
 	return bad
 }

@@ -1,6 +1,9 @@
 package zcurve
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Sharding helpers: a space-partitioned engine assigns each shard one
 // contiguous range of Hilbert values (the curve's locality makes a
@@ -35,6 +38,41 @@ func SplitRange(order, n int) []Interval {
 		lo += size
 	}
 	return out
+}
+
+// SplitByDensity picks the curve value at which to bisect iv so the two
+// halves carry a near-equal share of the observed population: values holds
+// the curve values of the objects currently stored in the range (order and
+// values outside iv do not matter — they are ignored), and the returned
+// cut is the last value of the LEFT half, i.e. the range splits into
+// [iv.Lo, at] and [at+1, iv.Hi]. With no observations the range bisects
+// geometrically. Both halves are always non-empty value ranges; ok is
+// false only when iv cannot be split at all (fewer than two curve values).
+//
+// The cut is placed at the population median, so a hot shard whose load
+// concentrates in one sliver of its range — the rush-hour city — splits
+// right through the crowd instead of down the middle of empty curve.
+func SplitByDensity(iv Interval, values []uint64) (at uint64, ok bool) {
+	if iv.Hi <= iv.Lo {
+		return 0, false // a single value (or inverted range) cannot split
+	}
+	inside := make([]uint64, 0, len(values))
+	for _, v := range values {
+		if iv.Contains(v) {
+			inside = append(inside, v)
+		}
+	}
+	if len(inside) == 0 {
+		return iv.Lo + (iv.Hi-iv.Lo)/2, true // no density signal: bisect
+	}
+	sort.Slice(inside, func(a, b int) bool { return inside[a] < inside[b] })
+	at = inside[(len(inside)-1)/2] // lower median joins the left half
+	// Clamp so both halves keep at least one curve value: at == iv.Hi
+	// would leave the right half empty.
+	if at >= iv.Hi {
+		at = iv.Hi - 1
+	}
+	return at, true
 }
 
 // AnyOverlaps reports whether any interval of ivs intersects iv. Both

@@ -164,3 +164,40 @@ func TestHilbertRangeIntersectsRectBruteForce(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitByDensity(t *testing.T) {
+	iv := Interval{Lo: 10, Hi: 20}
+
+	// Median placement: the lower median joins the left half, so the split
+	// lands where the population actually balances.
+	at, ok := SplitByDensity(iv, []uint64{11, 12, 13, 19, 20})
+	if !ok || at != 13 {
+		t.Fatalf("median split = (%d,%v), want (13,true)", at, ok)
+	}
+
+	// Out-of-range observations are ignored.
+	at, ok = SplitByDensity(iv, []uint64{0, 1, 14, 15, 16, 99})
+	if !ok || at != 15 {
+		t.Fatalf("filtered split = (%d,%v), want (15,true)", at, ok)
+	}
+
+	// No observations inside: geometric midpoint.
+	at, ok = SplitByDensity(iv, nil)
+	if !ok || at != 15 {
+		t.Fatalf("empty split = (%d,%v), want (15,true)", at, ok)
+	}
+
+	// The split point is clamped below Hi so the upper half is never empty.
+	at, ok = SplitByDensity(iv, []uint64{20, 20, 20})
+	if !ok || at != 19 {
+		t.Fatalf("clamped split = (%d,%v), want (19,true)", at, ok)
+	}
+	if lo, hi := (Interval{Lo: iv.Lo, Hi: at}), (Interval{Lo: at + 1, Hi: iv.Hi}); lo.Len() == 0 || hi.Len() == 0 {
+		t.Fatalf("degenerate halves %v / %v", lo, hi)
+	}
+
+	// A single-value range cannot split.
+	if _, ok := SplitByDensity(Interval{Lo: 7, Hi: 7}, []uint64{7}); ok {
+		t.Fatal("single-value range reported splittable")
+	}
+}

@@ -149,19 +149,37 @@ func (db *DB) Apply(b *Batch) error {
 			parts = append(parts, i)
 		}
 	}
+	committed, err := db.commitParts(parts, subs)
+	if committed {
+		db.applyOwnerDelta(ownerDelta)
+	}
+	return err
+}
+
+// commitParts atomically commits the staged per-shard sub-batches whose
+// slots are listed in parts: a single participant commits through its
+// shard's own atomic Apply, several commit via two-phase commit with the
+// decision point in the router's log. Shared by Apply and the resharding
+// migration loop (reshard.go), which moves objects between shards with
+// exactly the same all-or-nothing guarantees as a user batch. The caller
+// holds the write barrier.
+//
+// committed reports whether the batch's effects are in place (it can be
+// true alongside a non-nil error: a commit-marker failure fail-stops one
+// shard's log, but the transaction itself is durably decided).
+func (db *DB) commitParts(parts []int, subs []*peb.Batch) (committed bool, err error) {
 	if len(parts) == 0 {
-		return nil
+		return true, nil
 	}
 
 	// Single owner: the shard's own atomic Apply is all the protocol
 	// needed.
 	if len(parts) == 1 {
 		if err := db.shards[parts[0]].Apply(subs[parts[0]]); err != nil {
-			return err
+			return false, err
 		}
 		db.noteWrite(parts[0])
-		db.applyOwnerDelta(ownerDelta)
-		return nil
+		return true, nil
 	}
 
 	// Cross-shard: two-phase commit.
@@ -179,7 +197,7 @@ func (db *DB) Apply(b *Batch) error {
 		p, err := db.shards[i].PrepareApply(subs[i], txnID)
 		if err != nil {
 			abortAll()
-			return fmt.Errorf("sharded: apply: shard %d: %w", i, err)
+			return false, fmt.Errorf("sharded: apply: shard %d: %w", i, err)
 		}
 		prepared = append(prepared, p)
 	}
@@ -197,10 +215,10 @@ func (db *DB) Apply(b *Batch) error {
 				// shard to the same verdict from whatever the decision
 				// log holds.
 				db.closed = true
-				return fmt.Errorf("sharded: transaction %d in doubt (commit decision: %v; retraction: %v) — restart to resolve", txnID, err, aerr)
+				return false, fmt.Errorf("sharded: transaction %d in doubt (commit decision: %v; retraction: %v) — restart to resolve", txnID, err, aerr)
 			}
 			abortAll()
-			return err
+			return false, err
 		}
 	}
 	var firstErr error
@@ -214,8 +232,7 @@ func (db *DB) Apply(b *Batch) error {
 	for _, i := range parts {
 		db.noteWrite(i)
 	}
-	db.applyOwnerDelta(ownerDelta)
-	return firstErr
+	return true, firstErr
 }
 
 // applyOwnerDelta folds a committed batch's routing changes into the owner

@@ -13,36 +13,47 @@ import (
 //
 // A CQ attaches one cq.Engine to every shard and routes standing queries
 // the same way the router routes one-shot queries: a range subscription is
-// installed only on the shards whose Hilbert-value range intersects the
+// installed only on the shards whose Hilbert-value COVER intersects the
 // query region enlarged by the motion slack (MaxSpeed × MaxUpdateInterval);
 // a PkNN subscription fans out to every shard, since any shard can hold a
 // nearest neighbor. Each shard evaluates its slice incrementally against
 // its own commits, and a per-subscription merger goroutine folds the
 // per-shard delta streams into one.
 //
+// The fan-out is no longer fixed at subscribe time: the topology changes
+// online (reshard.go), and the router notifies every attached CQ under
+// the same write barrier that commits the change. A split's new shard
+// (or a merge target's widened cover) gets a fresh leg injected into
+// every subscription it now concerns — registered against the new shard
+// before any commit can land there, so no delta is missed — and a
+// merge-drained shard's legs are retired: the leg is removed from the
+// merge state and the residue reconciled, instead of tearing the whole
+// subscription down. A subscription therefore lives across any number of
+// splits and merges without dropping or duplicating deltas; migration
+// itself moves objects with their timestamps intact, so a move surfaces
+// as no delta at all (or the documented transient Leave/Enter when the
+// streams race), exactly like ordinary re-homing.
+//
 // The merger does not forward shard deltas verbatim — it recomputes. It
-// keeps the result slice each shard last reported (seeded by the per-shard
+// keeps the result slice each leg last reported (seeded by the per-shard
 // initial results, maintained by the per-shard deltas) and derives the
 // merged result the way the router's one-shot queries do: a user reported
-// by several shards at once (caught mid-re-homing) counts once, newest
-// state wins; PkNN keeps the global (Dist, UID)-ordered top k of the
-// per-shard results. A delta is emitted only when the merged result
-// changes, so the ordinary re-homing — insert into the new shard, then
-// remove from the old — surfaces as a single Update (or nothing), not an
-// Enter/Leave pair: global membership never lapses, because the insertion
-// commits before the removal.
+// by several shards at once (caught mid-re-homing or mid-migration)
+// counts once, newest state wins; PkNN keeps the global (Dist, UID)-
+// ordered top k of the per-shard results. A delta is emitted only when
+// the merged result changes.
 //
 // Ordering across shards is the one caveat. Within a shard, deltas arrive
-// in commit order; across shards there is no global order, and the
-// removal's delta can outrun the insertion's when a re-homing races the
-// pumps. The merged stream then reports Leave followed by Enter instead of
-// one Update. Either way the stream stays well-formed (Enter only for
-// absent users, Leave only for present ones) and mirrors of the stream
-// converge to the true result once the stream quiesces — the contract the
-// sharded oracle test enforces.
+// in commit order; across shards there is no global order, and a
+// removal's delta can outrun the insertion's when a re-homing (or a
+// migration batch) races the pumps. The merged stream then reports Leave
+// followed by Enter instead of nothing. Either way the stream stays
+// well-formed (Enter only for absent users, Leave only for present ones)
+// and mirrors of the stream converge to the true result once the stream
+// quiesces — the contract the sharded oracle test enforces.
 //
 // The per-shard subscriptions run with the Cancel overflow policy over a
-// generous buffer: the merger's per-shard result slices are state, and a
+// generous buffer: the merger's per-leg result slices are state, and a
 // silently dropped shard delta would corrupt them. The consumer-facing
 // channel honors the caller's own SubOptions; a slow consumer costs the
 // caller gaps (DropOldest) or their subscription (Cancel), never merge
@@ -52,16 +63,21 @@ import (
 // engine per shard plus a merger per subscription. Create it with
 // AttachCQ; all methods are safe for concurrent use.
 type CQ struct {
-	db      *DB
-	engines []*cq.Engine
-	slack   float64
+	db    *DB
+	slack float64
 
-	mu     sync.Mutex
-	closed bool
+	// mu guards the maps below; it is a leaf with respect to db.smu and
+	// is never held across an engine or merger interaction.
+	mu      sync.Mutex
+	closed  bool
+	engines map[int]*cq.Engine // by shard id
+	subs    map[*Subscription]struct{}
 }
 
 // AttachCQ builds the continuous-query layer over db, attaching an
-// incremental evaluation engine to every shard.
+// incremental evaluation engine to every shard. The CQ follows the
+// topology from then on: shards created by splits get engines (and legs)
+// automatically, shards drained by merges release theirs.
 func AttachCQ(db *DB) (*CQ, error) {
 	db.smu.RLock()
 	defer db.smu.RUnlock()
@@ -70,19 +86,21 @@ func AttachCQ(db *DB) (*CQ, error) {
 	}
 	c := &CQ{
 		db:      db,
-		engines: make([]*cq.Engine, len(db.shards)),
 		slack:   db.shards[0].MaxSpeed() * db.shards[0].MaxUpdateInterval(),
+		engines: make(map[int]*cq.Engine, len(db.shards)),
+		subs:    make(map[*Subscription]struct{}),
 	}
 	for i, s := range db.shards {
 		e, err := cq.Attach(s)
 		if err != nil {
-			for _, prev := range c.engines[:i] {
+			for _, prev := range c.engines {
 				prev.Close()
 			}
 			return nil, err
 		}
-		c.engines[i] = e
+		c.engines[db.metas[i].id] = e
 	}
+	db.cqRegister(c)
 	return c, nil
 }
 
@@ -95,8 +113,13 @@ func (c *CQ) Close() {
 		return
 	}
 	c.closed = true
-	c.mu.Unlock()
+	engines := make([]*cq.Engine, 0, len(c.engines))
 	for _, e := range c.engines {
+		engines = append(engines, e)
+	}
+	c.mu.Unlock()
+	c.db.cqUnregister(c)
+	for _, e := range engines {
 		e.Close()
 	}
 }
@@ -104,8 +127,14 @@ func (c *CQ) Close() {
 // Stats returns the per-shard engines' counters summed — the sharded
 // deployment's aggregate incremental-evaluation picture.
 func (c *CQ) Stats() cq.Stats {
-	var out cq.Stats
+	c.mu.Lock()
+	engines := make([]*cq.Engine, 0, len(c.engines))
 	for _, e := range c.engines {
+		engines = append(engines, e)
+	}
+	c.mu.Unlock()
+	var out cq.Stats
+	for _, e := range engines {
 		st := e.Stats()
 		out.Commits += st.Commits
 		out.Evaluated += st.Evaluated
@@ -119,28 +148,224 @@ func (c *CQ) Stats() cq.Stats {
 	return out
 }
 
+// cqRegister / cqUnregister maintain the DB's set of attached CQ layers
+// (the recipients of topology notifications).
+func (db *DB) cqRegister(c *CQ) {
+	db.cqMu.Lock()
+	db.cqs[c] = struct{}{}
+	db.cqMu.Unlock()
+}
+
+func (db *DB) cqUnregister(c *CQ) {
+	db.cqMu.Lock()
+	delete(db.cqs, c)
+	db.cqMu.Unlock()
+}
+
+// cqSnapshot returns the attached CQ layers.
+func (db *DB) cqSnapshot() []*CQ {
+	db.cqMu.Lock()
+	out := make([]*CQ, 0, len(db.cqs))
+	for c := range db.cqs {
+		out = append(out, c)
+	}
+	db.cqMu.Unlock()
+	return out
+}
+
+// cqTopologyChanged tells every attached CQ that routes or covers just
+// changed. Called under the write barrier (db.smu held exclusively), so
+// no commit can land on any shard between the topology change and the
+// CQ's re-fan-out — a new shard's legs register before the shard's first
+// commit, which is what makes "no missed deltas across a split" hold.
+func (db *DB) cqTopologyChanged() {
+	for _, c := range db.cqSnapshot() {
+		c.topologyChanged()
+	}
+}
+
+// cqShardRemoving tells every attached CQ that the shard with the given
+// id is about to be closed (merge finalization). Called under the write
+// barrier; the shard is already drained, so its legs hold only residue
+// the merger reconciles away.
+func (db *DB) cqShardRemoving(id int) {
+	for _, c := range db.cqSnapshot() {
+		c.shardRemoving(id)
+	}
+}
+
+// topologyChanged refreshes the engine set and every subscription's
+// fan-out against the current topology. Caller holds db.smu exclusively.
+func (c *CQ) topologyChanged() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	for i, sm := range c.db.metas {
+		if _, ok := c.engines[sm.id]; !ok {
+			e, err := cq.Attach(c.db.shards[i])
+			if err != nil {
+				// Attach fails only on a closing engine; any subscription
+				// needing the shard dies with ErrEngineClosed soon anyway.
+				continue
+			}
+			c.engines[sm.id] = e
+		}
+	}
+	engines := make(map[int]*cq.Engine, len(c.engines))
+	for id, e := range c.engines {
+		engines[id] = e
+	}
+	subs := make([]*Subscription, 0, len(c.subs))
+	for s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+
+	for _, s := range subs {
+		c.refan(s, engines)
+	}
+}
+
+// shardRemoving retires every leg on the shard's engine and releases the
+// engine. Caller holds db.smu exclusively.
+func (c *CQ) shardRemoving(id int) {
+	c.mu.Lock()
+	e := c.engines[id]
+	delete(c.engines, id)
+	subs := make([]*Subscription, 0, len(c.subs))
+	for s := range c.subs {
+		subs = append(subs, s)
+	}
+	c.mu.Unlock()
+	// Mark the legs retired BEFORE closing the engine: the close ends
+	// each leg's stream, and the marker tells the merger to fold the leg
+	// away instead of treating the end as a subscription failure.
+	for _, s := range subs {
+		s.markRetired(id)
+	}
+	if e != nil {
+		e.Close()
+	}
+}
+
+// refan injects legs for every shard the subscription must now cover but
+// does not. Caller holds db.smu exclusively (so no commit races the
+// initial-result capture) and must NOT hold c.mu (leg injection feeds
+// the merger's mux, and the merger takes c.mu during shutdown).
+func (c *CQ) refan(s *Subscription, engines map[int]*cq.Engine) {
+	for _, id := range c.desiredShards(s) {
+		if s.hasLeg(id) {
+			continue
+		}
+		e := engines[id]
+		if e == nil {
+			continue
+		}
+		opt := cq.SubOptions{Buffer: s.legBuf, Overflow: cq.Cancel}
+		l := &leg{id: id}
+		if s.knn {
+			ss, init, err := e.SubscribePkNN(s.issuer, s.x, s.y, s.k, s.t, opt)
+			if err != nil {
+				continue
+			}
+			l.sub = ss
+			l.slice = make(map[UserID]Object, len(init))
+			l.dist = make(map[UserID]float64, len(init))
+			for _, nb := range init {
+				l.slice[nb.Object.UID] = nb.Object
+				l.dist[nb.Object.UID] = nb.Dist
+			}
+		} else {
+			ss, init, err := e.SubscribeRange(s.issuer, s.region, s.t, opt)
+			if err != nil {
+				continue
+			}
+			l.sub = ss
+			l.slice = make(map[UserID]Object, len(init))
+			for _, o := range init {
+				l.slice[o.UID] = o
+			}
+		}
+		s.injectLeg(l)
+	}
+}
+
+// desiredShards returns the ids of the shards the subscription must fan
+// out to under the current topology: every shard for PkNN, the shards
+// whose cover intersects the slack-enlarged region for a range
+// subscription. Caller holds db.smu (either side).
+func (c *CQ) desiredShards(s *Subscription) []int {
+	if s.knn {
+		ids := make([]int, len(c.db.metas))
+		for i, sm := range c.db.metas {
+			ids[i] = sm.id
+		}
+		return ids
+	}
+	var out []int
+	ew := enlarge(s.region, c.slack)
+	rect, ok := c.db.grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+	if !ok {
+		return nil // the enlarged region misses the space entirely
+	}
+	for _, sm := range c.db.metas {
+		if zcurve.HilbertRangeIntersectsRect(rect, sm.cover, c.db.grid.Order) {
+			out = append(out, sm.id)
+		}
+	}
+	return out
+}
+
+// leg is one shard's delta stream feeding a merged subscription, keyed
+// by the shard's stable id. slice (and dist, for PkNN) is the result the
+// shard last reported — mutated only by the merger goroutine once the
+// leg is live. retired is set (under the subscription's legMu) when the
+// shard is being merged away: the leg's end then folds it out of the
+// merge instead of ending the subscription.
+type leg struct {
+	id      int
+	sub     *cq.Subscription
+	slice   map[UserID]Object
+	dist    map[UserID]float64
+	retired bool
+}
+
 // Subscription is a caller's handle on one merged standing query.
 // Semantics mirror cq.Subscription: receive from Deltas, stop with Close,
 // inspect Err once the channel closes.
 type Subscription struct {
+	c     *CQ
 	out   chan cq.Delta
 	stopC chan struct{}
+	mux   chan legDelta
+	wg    sync.WaitGroup
 
-	shardIdx  []int
-	shardSubs []*cq.Subscription
+	// The registered query, kept to build new legs when the topology
+	// changes.
+	issuer UserID
+	region Region // range form
+	x, y   float64
+	k      int // knn form
+	t      float64
+	knn    bool
+	legBuf int
+	policy cq.OverflowPolicy
+
+	// legMu guards legs and the retired flags: appended by injection
+	// (under the router's write barrier), read by the merger's recompute
+	// loops and by shutdown.
+	legMu sync.Mutex
+	legs  []*leg
 
 	mu      sync.Mutex
 	err     error
 	closing bool
 
-	// Merger-goroutine state (single-threaded after construction).
-	knn            bool
-	k              int
-	policy         cq.OverflowPolicy
-	perShard       []map[UserID]Object  // shard slice of the result, per fanned-out shard
-	perDist        []map[UserID]float64 // knn only
-	emitted        map[UserID]Object    // the merged result the consumer has been told
-	emittedDist    map[UserID]float64   // knn only
+	// Merger-goroutine state (single-threaded).
+	emitted        map[UserID]Object
+	emittedDist    map[UserID]float64 // knn only
 	seq            uint64
 	pendingDropped int
 }
@@ -175,8 +400,16 @@ func (s *Subscription) shutdown(err error) {
 		return
 	}
 	close(s.stopC)
-	for _, ss := range s.shardSubs {
-		ss.Close()
+	s.legMu.Lock()
+	legs := append([]*leg(nil), s.legs...)
+	s.legMu.Unlock()
+	for _, l := range legs {
+		l.sub.Close()
+	}
+	if s.c != nil {
+		s.c.mu.Lock()
+		delete(s.c.subs, s)
+		s.c.mu.Unlock()
 	}
 }
 
@@ -184,6 +417,59 @@ func (s *Subscription) isClosing() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closing
+}
+
+// hasLeg reports whether the subscription already covers shard id.
+func (s *Subscription) hasLeg(id int) bool {
+	s.legMu.Lock()
+	defer s.legMu.Unlock()
+	for _, l := range s.legs {
+		if l.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// markRetired flags the subscription's legs on shard id so their end is
+// treated as a topology event, not a failure.
+func (s *Subscription) markRetired(id int) {
+	s.legMu.Lock()
+	defer s.legMu.Unlock()
+	for _, l := range s.legs {
+		if l.id == id {
+			l.retired = true
+		}
+	}
+}
+
+func (s *Subscription) isRetired(l *leg) bool {
+	s.legMu.Lock()
+	defer s.legMu.Unlock()
+	return l.retired
+}
+
+// injectLeg adds a live leg to a running subscription: registered under
+// the closing gate (so the sentinel still holds the WaitGroup open when
+// the pump is added), announced to the merger through the mux — FIFO
+// ensures the merger integrates the leg's initial slice before any of
+// its deltas — and then pumped. Called with the router's write barrier
+// held; the initial slice therefore reflects every commit before the
+// topology change and none after.
+func (s *Subscription) injectLeg(l *leg) {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		l.sub.Close()
+		return
+	}
+	s.wg.Add(1)
+	s.legMu.Lock()
+	s.legs = append(s.legs, l)
+	s.legMu.Unlock()
+	s.mu.Unlock()
+	s.mux <- legDelta{leg: l, inject: true}
+	go s.pump(l)
 }
 
 // shardBuffer sizes the per-shard legs from the caller's buffer choice.
@@ -211,35 +497,12 @@ func consumerBuffer(opt cq.SubOptions) int {
 	return opt.Buffer
 }
 
-// routeSubscription returns the shards a range subscription must cover:
-// those whose Hilbert range intersects the region enlarged by the static
-// motion slack. Unlike one-shot routing this cannot consult the live
-// MotionSlack (the fan-out is fixed at subscribe time), so it assumes the
-// update contract — objects refresh within MaxUpdateInterval — exactly as
-// the per-shard engines' interval prune does. An object violating the
-// contract re-enters the merged result at its next update, when re-homing
-// lands it in a covered shard.
-func (c *CQ) routeSubscription(r Region) []int {
-	var out []int
-	ew := enlarge(r, c.slack)
-	rect, ok := c.db.grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
-	if !ok {
-		return nil // the enlarged region misses the space entirely
-	}
-	for i := range c.db.ranges {
-		if zcurve.HilbertRangeIntersectsRect(rect, c.db.ranges[i], c.db.grid.Order) {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
 // SubscribeRange registers issuer's PRQ over region r at evaluation time t
 // as a merged continuous query and returns the current merged result.
 // Registration holds the router's read barrier, so it is atomic with
-// respect to cross-shard operations; per-shard legs register atomically
-// against their own shard's commits, and the merger reconciles anything a
-// concurrent re-homing slips between the legs.
+// respect to cross-shard operations and topology changes; per-shard legs
+// register atomically against their own shard's commits, and the merger
+// reconciles anything a concurrent re-homing slips between the legs.
 func (c *CQ) SubscribeRange(issuer UserID, r Region, t float64, opt cq.SubOptions) (*Subscription, []Object, error) {
 	if !r.Valid() {
 		return nil, nil, &peb.InvalidRegionError{Region: r}
@@ -250,9 +513,14 @@ func (c *CQ) SubscribeRange(issuer UserID, r Region, t float64, opt cq.SubOption
 		return nil, nil, err
 	}
 	s := c.newSub(false, 0, opt)
-	for _, i := range c.routeSubscription(r) {
-		ss, init, err := c.engines[i].SubscribeRange(issuer, r, t,
-			cq.SubOptions{Buffer: shardBuffer(opt), Overflow: cq.Cancel})
+	s.issuer, s.region, s.t = issuer, r, t
+	for _, id := range c.desiredShards(s) {
+		e := c.engineOf(id)
+		if e == nil {
+			continue
+		}
+		ss, init, err := e.SubscribeRange(issuer, r, t,
+			cq.SubOptions{Buffer: s.legBuf, Overflow: cq.Cancel})
 		if err != nil {
 			s.abandonLegs()
 			return nil, nil, err
@@ -261,9 +529,10 @@ func (c *CQ) SubscribeRange(issuer UserID, r Region, t float64, opt cq.SubOption
 		for _, o := range init {
 			slice[o.UID] = o
 		}
-		s.addLeg(i, ss, slice, nil)
+		s.legs = append(s.legs, &leg{id: id, sub: ss, slice: slice})
 	}
 	initial := s.seedRange()
+	c.adopt(s)
 	s.start()
 	return s, initial, nil
 }
@@ -280,9 +549,14 @@ func (c *CQ) SubscribePkNN(issuer UserID, x, y float64, k int, t float64, opt cq
 		return nil, nil, err
 	}
 	s := c.newSub(true, k, opt)
-	for i := range c.engines {
-		ss, init, err := c.engines[i].SubscribePkNN(issuer, x, y, k, t,
-			cq.SubOptions{Buffer: shardBuffer(opt), Overflow: cq.Cancel})
+	s.issuer, s.x, s.y, s.t = issuer, x, y, t
+	for _, id := range c.desiredShards(s) {
+		e := c.engineOf(id)
+		if e == nil {
+			continue
+		}
+		ss, init, err := e.SubscribePkNN(issuer, x, y, k, t,
+			cq.SubOptions{Buffer: s.legBuf, Overflow: cq.Cancel})
 		if err != nil {
 			s.abandonLegs()
 			return nil, nil, err
@@ -293,11 +567,26 @@ func (c *CQ) SubscribePkNN(issuer UserID, x, y float64, k int, t float64, opt cq
 			slice[nb.Object.UID] = nb.Object
 			dist[nb.Object.UID] = nb.Dist
 		}
-		s.addLeg(i, ss, slice, dist)
+		s.legs = append(s.legs, &leg{id: id, sub: ss, slice: slice, dist: dist})
 	}
 	initial := s.seedKNN()
+	c.adopt(s)
 	s.start()
 	return s, initial, nil
+}
+
+// engineOf returns the engine for shard id (nil when detached).
+func (c *CQ) engineOf(id int) *cq.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engines[id]
+}
+
+// adopt records a fully-registered subscription for topology re-fan-out.
+func (c *CQ) adopt(s *Subscription) {
+	c.mu.Lock()
+	c.subs[s] = struct{}{}
+	c.mu.Unlock()
 }
 
 // usable reports whether the CQ and its DB still accept subscriptions.
@@ -316,36 +605,32 @@ func (c *CQ) usable() error {
 
 func (c *CQ) newSub(knn bool, k int, opt cq.SubOptions) *Subscription {
 	return &Subscription{
+		c:      c,
 		out:    make(chan cq.Delta, consumerBuffer(opt)),
 		stopC:  make(chan struct{}),
+		mux:    make(chan legDelta, 128),
 		knn:    knn,
 		k:      k,
 		policy: opt.Overflow,
+		legBuf: shardBuffer(opt),
 	}
-}
-
-func (s *Subscription) addLeg(shard int, ss *cq.Subscription, slice map[UserID]Object, dist map[UserID]float64) {
-	s.shardIdx = append(s.shardIdx, shard)
-	s.shardSubs = append(s.shardSubs, ss)
-	s.perShard = append(s.perShard, slice)
-	s.perDist = append(s.perDist, dist)
 }
 
 // abandonLegs tears down the legs of a subscription that failed to
 // register fully (no merger ever starts).
 func (s *Subscription) abandonLegs() {
-	for _, ss := range s.shardSubs {
-		ss.Close()
+	for _, l := range s.legs {
+		l.sub.Close()
 	}
 }
 
-// seedRange computes the merged initial result from the per-shard initials
+// seedRange computes the merged initial result from the per-leg initials
 // and primes the emitted state with it: union, duplicates keep the newer
 // state, sorted by user id — the same merge one-shot RangeQuery performs.
 func (s *Subscription) seedRange() []Object {
 	s.emitted = make(map[UserID]Object)
-	for _, slice := range s.perShard {
-		for uid, o := range slice {
+	for _, l := range s.legs {
+		for uid, o := range l.slice {
 			if prev, ok := s.emitted[uid]; !ok || o.T > prev.T {
 				s.emitted[uid] = o
 			}
@@ -371,18 +656,20 @@ func (s *Subscription) seedKNN() []Neighbor {
 	return res
 }
 
-// mergedKNN derives the merged top k from the per-shard result slices:
+// mergedKNN derives the merged top k from the per-leg result slices:
 // duplicates keep the newer state, order is (Dist, UID), truncated to k.
 func (s *Subscription) mergedKNN() []Neighbor {
 	best := make(map[UserID]Neighbor)
-	for j := range s.perShard {
-		for uid, o := range s.perShard[j] {
-			nb := Neighbor{Object: o, Dist: s.perDist[j][uid]}
+	s.legMu.Lock()
+	for _, l := range s.legs {
+		for uid, o := range l.slice {
+			nb := Neighbor{Object: o, Dist: l.dist[uid]}
 			if prev, ok := best[uid]; !ok || o.T > prev.Object.T {
 				best[uid] = nb
 			}
 		}
 	}
+	s.legMu.Unlock()
 	out := make([]Neighbor, 0, len(best))
 	for _, nb := range best {
 		out = append(out, nb)
@@ -400,11 +687,13 @@ func (s *Subscription) mergedKNN() []Neighbor {
 }
 
 // legDelta is one delta tagged with the leg it arrived on; done marks a
-// leg's channel closing.
+// leg's channel closing, inject announces a freshly-injected leg whose
+// initial slice must be folded into the merged result.
 type legDelta struct {
-	leg  int
-	d    cq.Delta
-	done bool
+	leg    *leg
+	d      cq.Delta
+	done   bool
+	inject bool
 }
 
 // start launches the pumps and the merger. One pump per leg forwards that
@@ -412,78 +701,143 @@ type legDelta struct {
 // even when the fan-out is empty; the merger folds the mux into the
 // consumer channel and closes it when every pump has drained.
 func (s *Subscription) start() {
-	mux := make(chan legDelta, len(s.shardSubs)+1)
-	var wg sync.WaitGroup
-	for j, ss := range s.shardSubs {
-		wg.Add(1)
-		go func(j int, ss *cq.Subscription) {
-			defer wg.Done()
-			for d := range ss.Deltas() {
-				mux <- legDelta{leg: j, d: d}
-			}
-			mux <- legDelta{leg: j, done: true}
-		}(j, ss)
+	for _, l := range s.legs {
+		s.wg.Add(1)
+		go s.pump(l)
 	}
-	wg.Add(1)
+	s.wg.Add(1)
 	go func() {
-		defer wg.Done()
+		defer s.wg.Done()
 		<-s.stopC
 	}()
 	go func() {
-		wg.Wait()
-		close(mux)
+		s.wg.Wait()
+		close(s.mux)
 	}()
-	go s.merge(mux)
+	go s.merge()
+}
+
+// pump forwards one leg's deltas into the mux, then reports its end.
+func (s *Subscription) pump(l *leg) {
+	defer s.wg.Done()
+	for d := range l.sub.Deltas() {
+		s.mux <- legDelta{leg: l, d: d}
+	}
+	s.mux <- legDelta{leg: l, done: true}
 }
 
 // merge is the merger goroutine: it consumes tagged leg deltas until every
-// pump exits, recomputing the merged result per delta and emitting only
+// pump exits, recomputing the merged result per event and emitting only
 // real transitions. It never blocks on the consumer (the overflow policy
 // rules there), so the pumps always drain and shutdown cannot wedge.
-func (s *Subscription) merge(mux <-chan legDelta) {
+func (s *Subscription) merge() {
 	defer close(s.out)
-	for ld := range mux {
-		if ld.done {
-			// A leg ended. Caller-initiated Close already recorded nil;
-			// anything else (engine close, slow merger, evaluation error)
-			// terminates the merged subscription with the leg's cause.
-			if err := s.shardSubs[ld.leg].Err(); err != nil {
+	for ld := range s.mux {
+		switch {
+		case ld.done:
+			if s.isRetired(ld.leg) {
+				// The shard was merged away. The leg is already drained of
+				// meaningful deltas (migration committed its removals before
+				// the barrier that retired it); fold the leg out and
+				// reconcile any residue the streams had not delivered.
+				s.seq++
+				s.retireLeg(ld.leg)
+				continue
+			}
+			// A leg ended outside a topology change. Caller-initiated Close
+			// already recorded nil; anything else (engine close, slow
+			// merger, evaluation error) terminates the merged subscription
+			// with the leg's cause.
+			if err := ld.leg.sub.Err(); err != nil {
 				s.shutdown(err)
 			} else if !s.isClosing() {
 				s.shutdown(cq.ErrEngineClosed)
 			}
-			continue
-		}
-		if s.isClosing() {
-			continue // draining; the consumer is gone
-		}
-		s.seq++
-		if s.knn {
-			s.applyKNN(ld.leg, ld.d)
-		} else {
-			s.applyRange(ld.leg, ld.d)
+		case ld.inject:
+			if s.isClosing() {
+				continue
+			}
+			s.seq++
+			s.integrateLeg(ld.leg)
+		default:
+			if s.isClosing() {
+				continue // draining; the consumer is gone
+			}
+			s.seq++
+			if s.knn {
+				s.applyKNN(ld.leg, ld.d)
+			} else {
+				s.applyRange(ld.leg, ld.d)
+			}
 		}
 	}
 }
 
+// integrateLeg folds a freshly-injected leg's initial slice into the
+// merged result, emitting whatever transitions it causes (normally none:
+// a split's new shard starts empty, and objects a migration already
+// moved carry their old timestamps, so the recompute finds no change).
+func (s *Subscription) integrateLeg(l *leg) {
+	if s.knn {
+		s.emitKNNDiff()
+		return
+	}
+	for uid := range l.slice {
+		s.refreshUser(uid)
+	}
+}
+
+// retireLeg removes a retired leg from the merge and reconciles the
+// residue: any user whose only reporter was the dead leg leaves the
+// merged result (their migrated copy, if any, re-enters via the target
+// shard's leg — possibly already integrated, in which case nothing is
+// emitted at all).
+func (s *Subscription) retireLeg(l *leg) {
+	s.legMu.Lock()
+	for i, cur := range s.legs {
+		if cur == l {
+			s.legs = append(s.legs[:i], s.legs[i+1:]...)
+			break
+		}
+	}
+	s.legMu.Unlock()
+	if s.isClosing() {
+		return
+	}
+	if s.knn {
+		s.emitKNNDiff()
+		return
+	}
+	for uid := range l.slice {
+		s.refreshUser(uid)
+	}
+}
+
 // applyRange folds one leg delta into a range subscription: update the
-// leg's slice, recompute the touched user's merged state across legs, and
-// emit iff the consumer-visible state changed.
-func (s *Subscription) applyRange(leg int, d cq.Delta) {
+// leg's slice and recompute the touched user's merged state across legs.
+func (s *Subscription) applyRange(l *leg, d cq.Delta) {
 	uid := d.Object.UID
 	switch d.Kind {
 	case cq.Leave:
-		delete(s.perShard[leg], uid)
+		delete(l.slice, uid)
 	default:
-		s.perShard[leg][uid] = d.Object
+		l.slice[uid] = d.Object
 	}
+	s.refreshUser(uid)
+}
+
+// refreshUser recomputes one user's merged state across every live leg
+// and emits iff the consumer-visible state changed.
+func (s *Subscription) refreshUser(uid UserID) {
 	var cur *Object
-	for j := range s.perShard {
-		if o, ok := s.perShard[j][uid]; ok && (cur == nil || o.T > cur.T) {
+	s.legMu.Lock()
+	for _, l := range s.legs {
+		if o, ok := l.slice[uid]; ok && (cur == nil || o.T > cur.T) {
 			o := o
 			cur = &o
 		}
 	}
+	s.legMu.Unlock()
 	prev, was := s.emitted[uid]
 	switch {
 	case cur != nil && !was:
@@ -499,19 +853,24 @@ func (s *Subscription) applyRange(leg int, d cq.Delta) {
 }
 
 // applyKNN folds one leg delta into a PkNN subscription: update the leg's
-// slice, recompute the merged top k, and emit its diff against the
-// consumer's view — leaves first (sorted by user id), then enters and
-// updates in (Dist, UID) order, all sharing one sequence tick.
-func (s *Subscription) applyKNN(leg int, d cq.Delta) {
+// slice, recompute the merged top k, and emit its diff.
+func (s *Subscription) applyKNN(l *leg, d cq.Delta) {
 	uid := d.Object.UID
 	switch d.Kind {
 	case cq.Leave:
-		delete(s.perShard[leg], uid)
-		delete(s.perDist[leg], uid)
+		delete(l.slice, uid)
+		delete(l.dist, uid)
 	default:
-		s.perShard[leg][uid] = d.Object
-		s.perDist[leg][uid] = d.Dist
+		l.slice[uid] = d.Object
+		l.dist[uid] = d.Dist
 	}
+	s.emitKNNDiff()
+}
+
+// emitKNNDiff recomputes the merged top k and emits its diff against the
+// consumer's view — leaves first (sorted by user id), then enters and
+// updates in (Dist, UID) order, all sharing one sequence tick.
+func (s *Subscription) emitKNNDiff() {
 	res := s.mergedKNN()
 	newE := make(map[UserID]Object, len(res))
 	newD := make(map[UserID]float64, len(res))

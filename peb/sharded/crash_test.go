@@ -194,3 +194,152 @@ func TestShardedCrashAfterDecision(t *testing.T) {
 		t.Fatal("acknowledged cross-shard commit lost")
 	}
 }
+
+// The resharding crash suite: the fault point sweeps over every
+// filesystem operation of a run that performs an online split (or merge),
+// and recovery must land on a consistent topology — all-or-nothing with
+// respect to the manifest's commit point, every object present exactly
+// once in the shard that routes its position, and the verdict stable
+// across further reopens.
+
+// crashReshardRun seeds three users per quadrant, then splits shard 0 (or
+// merges it into its route neighbor). Errors are ignored — the filesystem
+// is dying mid-run by design.
+func crashReshardRun(fs store.VFS, kind string) {
+	db, err := Open(crashShardedOpts(fs))
+	if err != nil {
+		return
+	}
+	defer db.Close()
+	u := 1
+	for _, q := range quadrant {
+		for j := 0; j < 3; j++ {
+			_ = db.Upsert(Object{UID: UserID(u), X: q[0] + float64(j*7), Y: q[1] + float64(j*7), T: 1})
+			u++
+		}
+	}
+	if kind == "split" {
+		_ = db.Split(0)
+	} else {
+		_ = db.Merge(0)
+	}
+}
+
+// checkReshardRecovery asserts the recovered topology and data are
+// consistent after a mid-reshard crash, and returns the shard count for
+// the stability check.
+func checkReshardRecovery(t *testing.T, db *DB, label string, kind string) int {
+	t.Helper()
+	n := db.Shards()
+	switch kind {
+	case "split":
+		if n != 4 && n != 5 {
+			t.Fatalf("%s: %d shards, want 4 (no split) or 5 (split)", label, n)
+		}
+	case "merge":
+		if n != 4 && n != 3 {
+			t.Fatalf("%s: %d shards, want 4 (no merge) or 3 (merge)", label, n)
+		}
+	}
+	// Open rolls any pending migration forward before serving.
+	if db.pending != nil {
+		t.Fatalf("%s: pending %s survived recovery", label, db.pending.Kind)
+	}
+	// Topology invariants hold exactly (routes partition, covers contain).
+	ts := topoState{epoch: db.epoch, nextID: db.nextID, metas: db.metas}
+	if err := ts.validate(db.grid.Order); err != nil {
+		t.Fatalf("%s: recovered topology invalid: %v", label, err)
+	}
+	// Every object exists exactly once, at a position it was written with,
+	// in the shard that routes it.
+	seen := make(map[UserID]bool)
+	total := 0
+	for i, s := range db.shards {
+		objs, err := s.Objects()
+		if err != nil {
+			t.Fatalf("%s: enumerate slot %d: %v", label, i, err)
+		}
+		for _, o := range objs {
+			if seen[o.UID] {
+				t.Fatalf("%s: user %d present in two shards", label, o.UID)
+			}
+			seen[o.UID] = true
+			total++
+			if o.T != 1 {
+				t.Fatalf("%s: user %d carries unexpected state %+v", label, o.UID, o)
+			}
+			if got := db.shardOf(o.X, o.Y); got != i {
+				t.Fatalf("%s: user %d held by slot %d but routed to %d", label, o.UID, i, got)
+			}
+		}
+	}
+	if db.Size() != total {
+		t.Fatalf("%s: owner map holds %d users, shards hold %d", label, db.Size(), total)
+	}
+	return n
+}
+
+func testShardedCrashMidReshard(t *testing.T, kind string) {
+	golden := store.NewCrashFS()
+	crashReshardRun(golden, kind)
+	total := golden.Ops()
+	if total < 30 {
+		t.Fatalf("suspiciously few fault points: %d", total)
+	}
+	// Sanity: the golden run completed the topology change.
+	{
+		db, err := Open(crashShardedOpts(golden))
+		if err != nil {
+			t.Fatalf("golden reopen: %v", err)
+		}
+		want := 5
+		if kind == "merge" {
+			want = 3
+		}
+		if got := checkReshardRecovery(t, db, "golden", kind); got != want {
+			t.Fatalf("golden run holds %d shards, want %d", got, want)
+		}
+		if db.Size() != 12 {
+			t.Fatalf("golden run holds %d users, want 12", db.Size())
+		}
+		db.Close()
+	}
+
+	for _, keepUnsynced := range []bool{false, true} {
+		for k := 0; k < total; k++ {
+			label := fmt.Sprintf("%s k=%d keep=%v", kind, k, keepUnsynced)
+			fs := store.NewCrashFS()
+			fs.SetFailAfter(k)
+			crashReshardRun(fs, kind)
+			if !fs.Dead() {
+				fs.CutPower()
+			}
+			fs.Reboot(keepUnsynced)
+
+			db, err := Open(crashShardedOpts(fs))
+			if err != nil {
+				t.Fatalf("%s: recovery failed: %v", label, err)
+			}
+			n1 := checkReshardRecovery(t, db, label, kind)
+			size1 := db.Size()
+			if err := db.Close(); err != nil {
+				t.Fatalf("%s: close: %v", label, err)
+			}
+
+			// Topology and data verdicts are stable across another reopen.
+			db, err = Open(crashShardedOpts(fs))
+			if err != nil {
+				t.Fatalf("%s: second recovery failed: %v", label, err)
+			}
+			n2 := checkReshardRecovery(t, db, label+" (reopened)", kind)
+			if n2 != n1 || db.Size() != size1 {
+				t.Fatalf("%s: verdict flipped across reopens: %d/%d shards, %d/%d users",
+					label, n1, n2, size1, db.Size())
+			}
+			db.Close()
+		}
+	}
+}
+
+func TestShardedCrashMidSplit(t *testing.T) { testShardedCrashMidReshard(t, "split") }
+func TestShardedCrashMidMerge(t *testing.T) { testShardedCrashMidReshard(t, "merge") }

@@ -59,12 +59,15 @@ func (db *DB) closeReplicas() error {
 	return firstErr
 }
 
-// noteWrite records that the router just committed on shard i, raising
-// the horizon follower reads on that shard must reach. The sequence is
-// read back from the shard (commits from concurrent routed writes may
-// have interleaved; observing a later one only strengthens the check),
-// and the per-shard watermark only ever ratchets up.
+// noteWrite records that the router just committed on shard i: it feeds
+// the shard's load meter (the hot-shard detector's signal) and, with
+// replicas attached, raises the horizon follower reads on that shard
+// must reach. The sequence is read back from the shard (commits from
+// concurrent routed writes may have interleaved; observing a later one
+// only strengthens the check), and the per-shard watermark only ever
+// ratchets up.
 func (db *DB) noteWrite(i int) {
+	db.metas[i].load.noteCommit()
 	if len(db.replicas) == 0 {
 		return
 	}
@@ -79,7 +82,9 @@ func (db *DB) noteWrite(i int) {
 
 // reader picks the query target for shard i: the next follower in
 // round-robin order when one is fresh enough, the primary otherwise.
+// Either way the shard's load meter records the consultation.
 func (db *DB) reader(i int) querier {
+	db.metas[i].load.noteQuery()
 	if len(db.replicas) == 0 {
 		return db.shards[i]
 	}

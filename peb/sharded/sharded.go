@@ -47,6 +47,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/store"
 	"repro/internal/zcurve"
@@ -79,10 +80,12 @@ const DefaultShards = 4
 // Options configures a sharded DB. The zero value runs DefaultShards
 // memory-backed shards over the paper's default space.
 type Options struct {
-	// Shards is the number of space partitions (default DefaultShards).
-	// The count is fixed at creation and persisted in the manifest;
-	// reopening an existing directory with a different count is refused
-	// (resharding is not supported).
+	// Shards is the number of space partitions to CREATE with (default
+	// DefaultShards). The live topology is dynamic — Split and Merge (and
+	// the AutoReshard maintainer) change it online and persist it in the
+	// manifest — so on reopen the manifest's topology is adopted and this
+	// field is ignored; only a genuinely corrupt or incompatible manifest
+	// is an error.
 	Shards int
 	// Dir, when non-empty, is the root directory: each shard keeps its
 	// page file, checkpoint side files, and write-ahead log under
@@ -107,6 +110,16 @@ type Options struct {
 	// even after a synchronous catch-up is skipped in favor of the
 	// primary. Meaningful only with ReplicasPerShard > 0.
 	StalenessBound uint64
+	// LoadRateHalfLife sets the horizon of the per-shard EWMA commit and
+	// query rates in ShardStats (and of the AutoReshard trigger): a burst's
+	// contribution to the rate halves every such interval. Default 10s.
+	LoadRateHalfLife time.Duration
+	// AutoReshard, when its Interval is positive, runs a background
+	// maintainer that splits hot shards and merges cold adjacent ones by
+	// the observed EWMA commit rates (see AutoReshardPolicy). Incompatible
+	// with ReplicasPerShard (splits are not yet coordinated with follower
+	// pools).
+	AutoReshard AutoReshardPolicy
 }
 
 // DB is a space-partitioned moving-object database over independent
@@ -115,8 +128,40 @@ type DB struct {
 	opts   Options
 	fs     store.VFS
 	grid   zcurve.Grid
-	ranges []zcurve.Interval
 	shards []*peb.DB
+
+	// Topology (topology.go). metas is parallel to shards (one entry per
+	// live engine, in slot order); routes is the sorted write-routing
+	// table and covers the per-slot query-pruning intervals, both derived
+	// from metas by rebuildRoutes; epoch counts topology versions (bumped
+	// on every route change); nextID allocates shard ids (never reused);
+	// pending is the in-flight split or merge, if any. All guarded by smu:
+	// readers hold the read side, topology changes the write side.
+	metas  []shardMeta
+	routes []routeEntry
+	covers []zcurve.Interval
+	epoch  uint64
+	nextID int
+	// pending, splits, merges are additionally guarded for Stats readers
+	// holding only the read barrier — splits/merges are plain counters
+	// written under the write barrier, read via atomic loads.
+	pending *pendingOp
+	splits  atomic.Uint64
+	merges  atomic.Uint64
+
+	// now is the load meters' clock, injectable in tests.
+	now func() time.Time
+
+	// Reshard maintainer lifecycle (reshard.go); nil without AutoReshard.
+	reshardStop chan struct{}
+	reshardDone chan struct{}
+	reshardOnce sync.Once
+
+	// cqMu guards cqs, the attached CQ routers (cq.go). Topology changes
+	// notify them under the write barrier so subscription fan-out follows
+	// the shard set without ever missing a commit.
+	cqMu sync.Mutex
+	cqs  map[*CQ]struct{}
 
 	// smu is the router barrier: routed single-shard operations and
 	// queries hold the read side (and so run concurrently, each
@@ -156,17 +201,6 @@ type DB struct {
 	primaryFallbacks atomic.Uint64
 }
 
-// manifest is the router's persisted identity: the facts that must match
-// across reopens for the on-disk shards to be interpreted correctly.
-type manifest struct {
-	Version   int
-	Shards    int
-	SpaceSide float64
-	GridOrder int
-}
-
-const manifestVersion = 1
-
 func (o Options) validate() error {
 	if o.Shards < 0 {
 		return fmt.Errorf("%w: Shards %d < 0", peb.ErrBadOptions, o.Shards)
@@ -186,6 +220,15 @@ func (o Options) validate() error {
 	if o.ReplicasPerShard > 0 && o.DB.Durability == peb.DurabilityNone {
 		return fmt.Errorf("%w: ReplicasPerShard requires Durability (followers tail the per-shard logs)", peb.ErrBadOptions)
 	}
+	if o.LoadRateHalfLife < 0 {
+		return fmt.Errorf("%w: LoadRateHalfLife %v < 0", peb.ErrBadOptions, o.LoadRateHalfLife)
+	}
+	if err := o.AutoReshard.validate(); err != nil {
+		return err
+	}
+	if o.AutoReshard.Interval > 0 && o.ReplicasPerShard > 0 {
+		return fmt.Errorf("%w: AutoReshard is not coordinated with ReplicasPerShard follower pools yet", peb.ErrBadOptions)
+	}
 	return nil
 }
 
@@ -195,10 +238,13 @@ func shardDir(dir string, i int) string {
 }
 
 // Open creates a sharded DB, or — when Dir holds one — recovers it: the
-// manifest is verified, every shard recovers independently (checkpoint
-// plus log replay, with cross-shard transactions resolved against the
-// router's decision log), and the routing map is rebuilt from the shards'
-// contents, healing any duplicate a crash mid-re-homing left behind.
+// manifest's topology is adopted (Options.Shards counts only at
+// creation), every listed shard recovers independently (checkpoint plus
+// log replay, with cross-shard transactions resolved against the router's
+// decision log), the routing map is rebuilt from the shards' contents —
+// healing any duplicate a crash mid-re-homing left behind — and an
+// in-flight split or merge the manifest records is rolled forward to
+// completion before the first operation is served.
 func Open(opts Options) (*DB, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -210,20 +256,26 @@ func Open(opts Options) (*DB, error) {
 	if fsys == nil {
 		fsys = store.OSFS{}
 	}
-	n := opts.Shards
 
-	// Real-filesystem deployments need the directories to exist; virtual
-	// filesystems (CrashFS in tests) treat paths as opaque names.
-	if opts.Dir != "" {
-		if _, isOS := fsys.(store.OSFS); isOS {
-			for i := 0; i < n; i++ {
-				if err := os.MkdirAll(shardDir(opts.Dir, i), 0o755); err != nil {
-					return nil, fmt.Errorf("sharded: create shard dir: %w", err)
-				}
-			}
+	// Real-filesystem deployments need the root to exist before the
+	// manifest is written; virtual filesystems (CrashFS in tests) treat
+	// paths as opaque names.
+	_, isOS := fsys.(store.OSFS)
+	if opts.Dir != "" && isOS {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("sharded: create root dir: %w", err)
 		}
-		if err := checkManifest(fsys, opts); err != nil {
-			return nil, err
+	}
+	ts, err := loadTopology(fsys, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := len(ts.metas)
+	if opts.Dir != "" && isOS {
+		for _, sm := range ts.metas {
+			if err := os.MkdirAll(shardDir(opts.Dir, sm.id), 0o755); err != nil {
+				return nil, fmt.Errorf("sharded: create shard dir: %w", err)
+			}
 		}
 	}
 
@@ -251,7 +303,7 @@ func Open(opts Options) (*DB, error) {
 		po := opts.DB
 		po.FS = fsys
 		if opts.Dir != "" {
-			po.Path = filepath.Join(shardDir(opts.Dir, i), "peb.idx")
+			po.Path = filepath.Join(shardDir(opts.Dir, ts.metas[i].id), "peb.idx")
 		}
 		po.TxnResolve = func(id uint64) bool { return committed[id] }
 		wg.Add(1)
@@ -283,14 +335,20 @@ func Open(opts Options) (*DB, error) {
 
 	grid := zcurve.Grid{Side: shards[0].Bounds().MaxX, Order: shards[0].GridOrder()}
 	db := &DB{
-		opts:   opts,
-		fs:     fsys,
-		grid:   grid,
-		ranges: zcurve.SplitRange(grid.Order, n),
-		shards: shards,
-		owner:  make(map[UserID]int),
-		txnLog: txnLog,
+		opts:    opts,
+		fs:      fsys,
+		grid:    grid,
+		shards:  shards,
+		metas:   ts.metas,
+		epoch:   ts.epoch,
+		nextID:  ts.nextID,
+		pending: ts.pending,
+		now:     time.Now,
+		cqs:     make(map[*CQ]struct{}),
+		owner:   make(map[UserID]int),
+		txnLog:  txnLog,
 	}
+	db.rebuildRoutes()
 	if err := db.reconcile(); err != nil {
 		db.Close()
 		return nil, err
@@ -301,59 +359,25 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 	db.nextTxn = maxTxn + 1
+
+	// A pending split or merge in the manifest already happened — its
+	// route flip was durably committed — so recovery completes the
+	// migration before the database serves anything.
+	if db.pending != nil {
+		if err := db.completePendingLocked(); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("sharded: complete in-flight %s: %w", db.pending.Kind, err)
+		}
+	}
+
 	if opts.ReplicasPerShard > 0 {
 		if err := db.attachReplicas(opts.ReplicasPerShard); err != nil {
 			db.Close()
 			return nil, err
 		}
 	}
+	db.startMaintainer()
 	return db, nil
-}
-
-// checkManifest verifies an existing manifest against the options, or
-// writes a fresh one. The manifest is written before any shard is created
-// so a crash can never leave shards whose count the next open guesses.
-func checkManifest(fsys store.VFS, opts Options) error {
-	path := filepath.Join(opts.Dir, "sharded.json")
-	ok, err := fsys.Exists(path)
-	if err != nil {
-		return fmt.Errorf("sharded: probe manifest: %w", err)
-	}
-	side := opts.DB.SpaceSide
-	if side == 0 {
-		side = peb.DefaultSpaceSide
-	}
-	if !ok {
-		m := manifest{Version: manifestVersion, Shards: opts.Shards, SpaceSide: side, GridOrder: peb.DefaultGridOrder}
-		data, err := marshalManifest(m)
-		if err != nil {
-			return err
-		}
-		if err := store.WriteFileAtomic(fsys, path, data); err != nil {
-			return fmt.Errorf("sharded: write manifest: %w", err)
-		}
-		return nil
-	}
-	data, err := fsys.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("sharded: read manifest: %w", err)
-	}
-	m, err := unmarshalManifest(data)
-	if err != nil {
-		return err
-	}
-	if m.Shards != opts.Shards {
-		return fmt.Errorf("sharded: directory holds %d shards, options ask for %d (resharding is not supported)", m.Shards, opts.Shards)
-	}
-	if m.SpaceSide != side {
-		return fmt.Errorf("sharded: directory space side %g does not match options %g", m.SpaceSide, side)
-	}
-	if m.GridOrder != peb.DefaultGridOrder {
-		// Shard ranges are value ranges on this curve order; reopening
-		// them on a different order would silently misroute queries.
-		return fmt.Errorf("sharded: directory grid order %d does not match engine order %d", m.GridOrder, peb.DefaultGridOrder)
-	}
-	return nil
 }
 
 // reconcile rebuilds the user→shard map from the shards' contents. A crash
@@ -396,23 +420,39 @@ func (db *DB) reconcile() error {
 	return nil
 }
 
-// shardOf maps a position to the index of the shard owning its Hilbert
-// value.
+// shardOf maps a position to the slot of the shard whose route owns its
+// Hilbert value — where a write of that position goes right now.
 func (db *DB) shardOf(x, y float64) int {
 	v := db.grid.HilbertValue(x, y)
-	i := sort.Search(len(db.ranges), func(i int) bool { return db.ranges[i].Hi >= v })
-	if i >= len(db.ranges) {
-		i = len(db.ranges) - 1
+	i := sort.Search(len(db.routes), func(i int) bool { return db.routes[i].iv.Hi >= v })
+	if i >= len(db.routes) {
+		i = len(db.routes) - 1
 	}
-	return i
+	return db.routes[i].slot
 }
 
-// Shards returns the number of shards.
-func (db *DB) Shards() int { return len(db.shards) }
+// Shards returns the current number of shards (splits and merges change
+// it online).
+func (db *DB) Shards() int {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	return len(db.shards)
+}
+
+// Epoch returns the topology version: it advances on every routing
+// change (twice per completed split or merge — once for the route flip,
+// once when the migration finishes and covers contract).
+func (db *DB) Epoch() uint64 {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	return db.epoch
+}
 
 // Close closes every shard and the router's decision log. Close drains
 // cross-shard operations (it takes the barrier) and is idempotent.
 func (db *DB) Close() error {
+	// The maintainer takes the barrier itself; stop it before acquiring.
+	db.stopMaintainer()
 	db.smu.Lock()
 	defer db.smu.Unlock()
 	if db.closed {
@@ -674,32 +714,43 @@ func (db *DB) shardSlack(i int, t float64) float64 {
 	return db.shards[i].MotionSlack(t)
 }
 
-// routeRegion returns the indexes of the shards whose Hilbert range can
-// hold an object relevant to a range query over r at time t. Each shard's
-// region is effectively enlarged by its own motion slack: an object is
-// stored under the position of its last update, so it can qualify for r
-// while being stored up to slack away.
+// routeRegion returns the slots of the shards whose COVER interval can
+// hold an object relevant to a range query over r at time t — pruning by
+// cover, not route, so a query during a migration still consults both
+// halves of a splitting range. Each shard's region is effectively
+// enlarged by its own motion slack: an object is stored under the
+// position of its last update, so it can qualify for r while being
+// stored up to slack away.
 func (db *DB) routeRegion(r Region, t float64, slack func(int, float64) float64) []int {
+	return routeRegionOver(db.grid, db.covers, r, t, slack)
+}
+
+func routeRegionOver(grid zcurve.Grid, covers []zcurve.Interval, r Region, t float64, slack func(int, float64) float64) []int {
 	var out []int
-	for i := range db.shards {
+	for i := range covers {
 		ew := enlarge(r, slack(i, t))
-		rect, ok := db.grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
+		rect, ok := grid.RectOf(ew.MinX, ew.MinY, ew.MaxX, ew.MaxY)
 		if !ok {
 			continue // the enlarged window misses the space entirely
 		}
-		if zcurve.HilbertRangeIntersectsRect(rect, db.ranges[i], db.grid.Order) {
+		if zcurve.HilbertRangeIntersectsRect(rect, covers[i], grid.Order) {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-// knnOrder returns every shard with its candidate-distance lower bound,
-// sorted ascending — the best-first expansion order.
+// knnOrder returns every shard with its candidate-distance lower bound
+// (against its cover interval), sorted ascending — the best-first
+// expansion order.
 func (db *DB) knnOrder(x, y, t float64, slack func(int, float64) float64) []knnShard {
-	out := make([]knnShard, 0, len(db.shards))
-	for i := range db.shards {
-		lb := db.grid.HilbertMinDist(x, y, db.ranges[i]) - slack(i, t)
+	return knnOrderOver(db.grid, db.covers, x, y, t, slack)
+}
+
+func knnOrderOver(grid zcurve.Grid, covers []zcurve.Interval, x, y, t float64, slack func(int, float64) float64) []knnShard {
+	out := make([]knnShard, 0, len(covers))
+	for i := range covers {
+		lb := grid.HilbertMinDist(x, y, covers[i]) - slack(i, t)
 		if lb < 0 {
 			lb = 0
 		}

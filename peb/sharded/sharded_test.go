@@ -115,11 +115,22 @@ func TestShardedReopen(t *testing.T) {
 		t.Fatal("policy lost across reopen")
 	}
 
-	// Shard-count mismatch is refused, not misrouted.
-	bad := opts
-	bad.Shards = 8
-	if _, err := Open(bad); err == nil {
-		t.Fatal("reopen with different shard count accepted")
+	re.Close()
+
+	// Options.Shards counts only at creation: a reopen with a different
+	// count adopts the manifest's topology instead of erroring.
+	other := opts
+	other.Shards = 8
+	re2, err := Open(other)
+	if err != nil {
+		t.Fatalf("reopen with different Shards option refused: %v", err)
+	}
+	defer re2.Close()
+	if got := re2.Shards(); got != 4 {
+		t.Fatalf("reopen adopted %d shards, want the manifest's 4", got)
+	}
+	if re2.Size() != 5 {
+		t.Fatalf("size %d after topology-adopting reopen, want 5", re2.Size())
 	}
 }
 
@@ -235,16 +246,16 @@ func TestShardedRangesSpanSpace(t *testing.T) {
 	}
 	total := zcurve.Interval{Lo: 0, Hi: db.grid.MaxValue()}
 	var covered uint64
-	for _, iv := range db.ranges {
-		covered += iv.Len()
+	for _, sm := range db.metas {
+		covered += sm.route.Len()
 	}
 	if covered != total.Len() {
-		t.Fatalf("ranges cover %d of %d values", covered, total.Len())
+		t.Fatalf("routes cover %d of %d values", covered, total.Len())
 	}
 	for x := 25.0; x < 1000; x += 111 {
 		for y := 25.0; y < 1000; y += 97 {
 			i := db.shardOf(x, y)
-			if !db.ranges[i].Contains(db.grid.HilbertValue(x, y)) {
+			if !db.metas[i].route.Contains(db.grid.HilbertValue(x, y)) {
 				t.Fatalf("shardOf(%g,%g)=%d does not own the position's value", x, y, i)
 			}
 		}

@@ -1,6 +1,7 @@
 package sharded
 
 import (
+	"repro/internal/zcurve"
 	"repro/peb"
 )
 
@@ -10,9 +11,14 @@ import (
 // is ever half-visible. Queries scatter-gather over the pinned shards
 // exactly like the live DB's, without taking any lock; writers proceed
 // concurrently the moment Snapshot returns.
+//
+// The topology is captured with the cut: a split or merge that lands after
+// the pin changes the live DB's routing but not the snapshot's, whose
+// pinned shards still hold every object exactly where the cut saw it.
 type Snapshot struct {
-	db    *DB
-	snaps []*peb.Snapshot
+	grid   zcurve.Grid
+	covers []zcurve.Interval
+	snaps  []*peb.Snapshot
 }
 
 // Snapshot pins a consistent cut. The barrier it takes is brief — one
@@ -25,7 +31,11 @@ func (db *DB) Snapshot() (*Snapshot, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
-	s := &Snapshot{db: db, snaps: make([]*peb.Snapshot, len(db.shards))}
+	s := &Snapshot{
+		grid:   db.grid,
+		covers: append([]zcurve.Interval(nil), db.covers...),
+		snaps:  make([]*peb.Snapshot, len(db.shards)),
+	}
 	for i, shard := range db.shards {
 		snap, err := shard.Snapshot()
 		if err != nil {
@@ -87,14 +97,14 @@ func (s *Snapshot) RangeQuery(issuer UserID, r Region, t float64) ([]Object, err
 	if !r.Valid() {
 		return nil, &peb.InvalidRegionError{Region: r}
 	}
-	idxs := s.db.routeRegion(r, t, s.slack)
+	idxs := routeRegionOver(s.grid, s.covers, r, t, s.slack)
 	return gatherRange(idxs, issuer, r, t, func(i int) querier { return s.snaps[i] })
 }
 
 // NearestNeighbors answers the privacy-aware k-nearest-neighbor query
 // against the cut via the same best-first shard expansion as the live DB.
 func (s *Snapshot) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([]Neighbor, error) {
-	return gatherKNN(s.db.knnOrder(x, y, t, s.slack), issuer, x, y, k, t,
+	return gatherKNN(knnOrderOver(s.grid, s.covers, x, y, t, s.slack), issuer, x, y, k, t,
 		func(i int) querier { return s.snaps[i] })
 }
 
