@@ -50,6 +50,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "smoke-test preset: tiny populations, few queries (CI)")
 		jsonOut  = flag.Bool("json", false, "run the hot-path bench and print its JSON report to stdout")
 		baseline = flag.String("baseline", "", "with -json: diff stable counters against this committed report")
+		mon      = flag.String("mon", "", "serve /metrics, /statusz, and /debug/pprof on this address while engine-driving experiments run (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *quick {
@@ -75,10 +76,11 @@ func main() {
 	}
 
 	opts := exp.Options{
-		Scale:      *scale,
-		Seed:       *seed,
-		Parallel:   *parallel,
-		QueryCount: *queries,
+		Scale:       *scale,
+		Seed:        *seed,
+		Parallel:    *parallel,
+		QueryCount:  *queries,
+		MonitorAddr: *mon,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...interface{}) {

@@ -18,20 +18,33 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"repro/peb"
+	"repro/peb/obs"
 	"repro/peb/sharded"
 )
 
 func main() {
+	mon := flag.String("mon", "", "serve /metrics, /statusz, and /debug/pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+
 	db, err := sharded.Open(sharded.Options{Shards: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	if *mon != "" {
+		srv, err := obs.Serve(*mon, obs.ForSharded(db))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoint on http://%s (curl /metrics, /statusz)\n\n", srv.Addr())
+	}
 
 	// Four district hubs, one per quadrant of the 1000×1000 space.
 	hubs := [4][2]float64{{250, 250}, {250, 750}, {750, 750}, {750, 250}}

@@ -38,6 +38,15 @@ func (t *Tree) Reader() *Reader {
 	return &Reader{pool: t.pool, root: t.root, height: t.height, size: t.size, leafCount: t.leafCount}
 }
 
+// ReaderIO is Reader with the per-handle I/O sink attached at creation —
+// one allocation instead of Reader().WithIO's two, for owners that build
+// a counted reader on every view republish.
+func (t *Tree) ReaderIO(c *store.IOCounter) *Reader {
+	r := t.Reader()
+	r.io = c
+	return r
+}
+
 // WithIO returns a copy of the Reader that additionally records every page
 // request's hit/miss outcome into c. The pool's global counters are
 // unaffected. Used for per-snapshot I/O statistics.

@@ -43,9 +43,18 @@ type View struct {
 // View returns a read-only snapshot of the tree's current state. The
 // returned View is valid until the tree's next mutation.
 func (t *Tree) View() *View {
+	return t.ViewIO(nil)
+}
+
+// ViewIO is View with per-handle I/O attribution: page requests made
+// through the returned view are additionally recorded into io (when
+// non-nil), on top of the pool's global counters. peb.DB publishes its
+// query view through this so query page visits are separable from
+// write-path I/O.
+func (t *Tree) ViewIO(io *store.IOCounter) *View {
 	return &View{
 		cfg:      t.cfg,
-		tree:     t.tree.Reader(),
+		tree:     t.tree.ReaderIO(io),
 		policies: t.policies,
 		svEnc:    t.svEnc,
 		cur:      t.cur,

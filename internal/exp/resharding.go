@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/peb"
+	pebobs "repro/peb/obs"
 	"repro/peb/sharded"
 )
 
@@ -171,7 +172,7 @@ func reshardObserve(st sharded.Stats) reshardQuiet {
 // driving load until the topology has converged — the split fired, no
 // migration is in flight, and nothing changed across three consecutive
 // polls — so the measured phase sees the settled layout.
-func reshardRun(dir string, commits, committers, users int, splitRate, mergeRate float64) (reshardResult, error) {
+func reshardRun(dir string, commits, committers, users int, splitRate, mergeRate float64, mon string) (reshardResult, error) {
 	opts := sharded.Options{
 		Shards: reshardStaticShards,
 		Dir:    dir,
@@ -194,6 +195,13 @@ func reshardRun(dir string, commits, committers, users int, splitRate, mergeRate
 		return reshardResult{}, err
 	}
 	defer db.Close()
+	if mon != "" {
+		srv, err := pebobs.Serve(mon, pebobs.ForSharded(db))
+		if err != nil {
+			return reshardResult{}, fmt.Errorf("resharding: monitor endpoint: %w", err)
+		}
+		defer srv.Close()
+	}
 
 	// Warm phase: both variants drive the same unmeasured volume, so the
 	// measured phases start from comparable WAL and page state; the dynamic
@@ -276,12 +284,12 @@ var expResharding = Experiment{
 		}
 		defer os.RemoveAll(dir)
 
-		static, err := reshardRun(filepath.Join(dir, "static"), commits, committers, users, 0, 0)
+		static, err := reshardRun(filepath.Join(dir, "static"), commits, committers, users, 0, 0, o.MonitorAddr)
 		if err != nil {
 			return nil, fmt.Errorf("resharding static: %w", err)
 		}
 		splitRate, mergeRate := reshardThresholds(static.opsPerSec)
-		dyn, err := reshardRun(filepath.Join(dir, "dynamic"), commits, committers, users, splitRate, mergeRate)
+		dyn, err := reshardRun(filepath.Join(dir, "dynamic"), commits, committers, users, splitRate, mergeRate, o.MonitorAddr)
 		if err != nil {
 			return nil, fmt.Errorf("resharding dynamic: %w", err)
 		}
@@ -315,12 +323,12 @@ var expResharding = Experiment{
 func runReshardingBench(dir string, commits int) (ReshardingBench, error) {
 	const committers = 16
 	users := reshardUsers(commits, committers)
-	static, err := reshardRun(filepath.Join(dir, "static"), commits, committers, users, 0, 0)
+	static, err := reshardRun(filepath.Join(dir, "static"), commits, committers, users, 0, 0, "")
 	if err != nil {
 		return ReshardingBench{}, fmt.Errorf("static phase: %w", err)
 	}
 	splitRate, mergeRate := reshardThresholds(static.opsPerSec)
-	dyn, err := reshardRun(filepath.Join(dir, "dynamic"), commits, committers, users, splitRate, mergeRate)
+	dyn, err := reshardRun(filepath.Join(dir, "dynamic"), commits, committers, users, splitRate, mergeRate, "")
 	if err != nil {
 		return ReshardingBench{}, fmt.Errorf("dynamic phase: %w", err)
 	}

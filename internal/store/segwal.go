@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Segmented write-ahead log.
@@ -114,7 +116,30 @@ type SegmentedWAL struct {
 	// deleted.
 	sealedN  atomic.Uint64
 	removedN atomic.Uint64
+
+	// obs holds the owner's latency histograms (nil fields record
+	// nothing). Set once via Observe before the log sees concurrent use.
+	// lastSyncApps tracks the append count at the previous durability
+	// advance (guarded by sm), so each fsync can report its group size.
+	obs          WALObserver
+	lastSyncApps uint64
 }
+
+// WALObserver carries the instruments a SegmentedWAL feeds: per-append
+// write duration, per-group fsync duration, and records made durable per
+// fsync (the group-commit batch size). All fields are optional; recording
+// on the histograms is zero-alloc, so the hot paths carry them at full
+// speed.
+type WALObserver struct {
+	AppendNanos  *obs.Histogram
+	FsyncNanos   *obs.Histogram
+	FsyncRecords *obs.Histogram
+}
+
+// Observe attaches the observer. Call before the log sees concurrent
+// appends (peb wires it during open); it is not synchronized against
+// in-flight operations.
+func (w *SegmentedWAL) Observe(o WALObserver) { w.obs = o }
 
 // SegmentWALName returns the file name of segment idx of the log at path.
 func SegmentWALName(path string, idx uint64) string {
@@ -333,6 +358,10 @@ func (w *SegmentedWAL) BytesAppended() uint64 {
 func (w *SegmentedWAL) Append(payload []byte) (WALToken, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	var start time.Time
+	if w.obs.AppendNanos != nil {
+		start = time.Now()
+	}
 	if w.err != nil {
 		return 0, w.err
 	}
@@ -364,6 +393,9 @@ func (w *SegmentedWAL) Append(payload []byte) (WALToken, error) {
 	w.activeOff += int64(len(buf))
 	w.appends.Add(1)
 	w.bytes.Add(uint64(len(buf)))
+	if w.obs.AppendNanos != nil {
+		w.obs.AppendNanos.ObserveDuration(time.Since(start))
+	}
 	return WALToken(w.base + w.activeOff), nil
 }
 
@@ -463,7 +495,14 @@ func (w *SegmentedWAL) syncTo(target int64) error {
 	end := w.base + w.activeOff
 	f := w.f
 	w.mu.Unlock()
+	var fstart time.Time
+	if w.obs.FsyncNanos != nil {
+		fstart = time.Now()
+	}
 	serr := f.Sync()
+	if serr == nil && w.obs.FsyncNanos != nil {
+		w.obs.FsyncNanos.ObserveDuration(time.Since(fstart))
+	}
 
 	w.sm.Lock()
 	w.syncing = false
@@ -472,6 +511,13 @@ func (w *SegmentedWAL) syncTo(target int64) error {
 			w.synced = end
 		}
 		w.syncs.Add(1)
+		if w.obs.FsyncRecords != nil {
+			// The durability advance covers every record appended since
+			// the previous advance — the group this fsync committed.
+			a := w.appends.Load()
+			w.obs.FsyncRecords.Observe(a - w.lastSyncApps)
+			w.lastSyncApps = a
+		}
 	}
 	w.sc.Broadcast()
 	w.sm.Unlock()

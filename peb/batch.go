@@ -1,6 +1,8 @@
 package peb
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/motion"
 	"repro/internal/policy"
@@ -82,11 +84,16 @@ func (b *Batch) Grant(owner UserID, role Role, locr Region, tint TimeInterval) {
 // policy changes take effect on new sequence values only after
 // EncodePolicies.
 func (db *DB) Apply(b *Batch) error {
+	start := time.Now()
 	tok, err := db.applyCommit(b)
 	if err != nil {
 		return err
 	}
-	return db.walSync(tok)
+	if err := db.walSync(tok); err != nil {
+		return err
+	}
+	db.met.commit.ObserveDuration(time.Since(start))
+	return nil
 }
 
 func (db *DB) applyCommit(b *Batch) (store.WALToken, error) {

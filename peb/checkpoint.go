@@ -350,6 +350,15 @@ func (db *DB) runCheckpoint(run *ckptRun) error {
 		st.PagesWalked += uint64(img.walked)
 	}
 	db.statsMu.Unlock()
+
+	db.met.ckptCut.ObserveDuration(cutDur)
+	db.met.ckptBuild.ObserveDuration(buildDur)
+	db.met.ckptPublish.ObserveDuration(publishDur)
+	db.events.Record("checkpoint", "checkpoint committed",
+		"cut", cutDur, "build", buildDur, "publish", publishDur,
+		"flushed", img.flushed, "reclaimed", len(img.dead),
+		"incremental", img.incremental,
+		"wal_bytes_truncated", walBytes, "wal_segments_removed", walSegs)
 	return err
 }
 
@@ -943,6 +952,8 @@ func openFromCheckpoint(opts Options, metaData []byte) (*DB, error) {
 		prevPolicies: polName,
 	}
 	db.prepCond = sync.NewCond(&db.prepMu)
+	db.initObs()
+	db.view = tree.ViewIO(db.qio)
 	if mf.Version >= 2 {
 		db.encoded = mf.Encoded
 		for _, uid := range mf.Users {
@@ -1081,6 +1092,7 @@ func (db *DB) attachWAL(afterSeq uint64) error {
 	// outright — its live abort restored the pre-transaction state exactly,
 	// so the log minus the record replays to the same history; its marker
 	// (when present) carries the restored sequence-value cursor.
+	replayed := 0
 	for i := range recs {
 		rec := recs[i]
 		if rec.Seq <= afterSeq {
@@ -1094,13 +1106,18 @@ func (db *DB) attachWAL(afterSeq uint64) error {
 			wal.Close()
 			return fmt.Errorf("peb: replay wal record %d: %w", i, err)
 		}
+		replayed++
 	}
 	db.refreshView()
 	db.collectGarbage()
+	db.events.Record("recovery", "write-ahead log replayed",
+		"records", len(recs), "replayed", replayed, "after_seq", afterSeq,
+		"resolved_txns", len(outcome), "commit_seq", db.walSeq)
 	if db.opts.Durability == DurabilityNone {
 		return wal.Close()
 	}
 	db.wal = wal
+	db.observeWAL()
 	return nil
 }
 

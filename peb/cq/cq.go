@@ -67,6 +67,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/zcurve"
 	"repro/peb"
 )
@@ -146,6 +147,10 @@ type Stats struct {
 type Engine struct {
 	db     *peb.DB
 	detach func()
+	// delta is the DB's pre-registered commit-to-delta histogram: the time
+	// from a commit's notification to the last delta of that commit being
+	// enqueued (or dropped). Fed only while subscriptions exist.
+	delta *obs.Histogram
 
 	grid     zcurve.Grid
 	maxSpeed float64
@@ -231,6 +236,7 @@ func (s *Subscription) Close() {
 func Attach(db *peb.DB) (*Engine, error) {
 	e := &Engine{
 		db:        db,
+		delta:     db.CQDeltaHistogram(),
 		subs:      make(map[uint64]*sub),
 		byGrantor: make(map[peb.UserID]map[uint64]*sub),
 	}

@@ -2,6 +2,7 @@ package cq
 
 import (
 	"sort"
+	"time"
 
 	"repro/peb"
 )
@@ -16,6 +17,8 @@ func (e *Engine) onCommit(info peb.CommitInfo, cv *peb.CommitView) {
 	if e.closed || len(e.subs) == 0 {
 		return
 	}
+	start := time.Now()
+	defer func() { e.delta.ObserveDuration(time.Since(start)) }()
 	e.stats.Commits++
 	e.stats.Naive += uint64(e.grantorLinks)
 	if info.PolicyChange || info.Rebuild {

@@ -1,0 +1,157 @@
+// Package obs exposes a running PEB-tree engine's observability surface
+// over HTTP: Prometheus text at /metrics, a JSON status snapshot (stats,
+// topology, recent maintainer events) at /statusz, and the standard
+// net/http/pprof profiling endpoints under /debug/pprof/.
+//
+// The package is glue, not instrumentation: every series it serves is
+// recorded by the engine itself (see repro/internal/obs and the Metrics
+// and Events accessors on peb.DB and sharded.DB), so mounting or
+// dropping the endpoint changes nothing on any hot path.
+//
+// Typical wiring:
+//
+//	db, _ := sharded.Open(opts)
+//	srv, _ := obs.Serve("localhost:6060", obs.ForSharded(db))
+//	defer srv.Close()
+//	// curl localhost:6060/metrics
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	iobs "repro/internal/obs"
+	"repro/peb"
+	"repro/peb/sharded"
+)
+
+// Target is one scrapable engine: where to gather metric registries, the
+// event log tail, and the status snapshot. Gather is a function, not a
+// fixed slice, because a sharded engine's registry set follows the
+// topology — splits and merges add and retire per-shard registries
+// between scrapes. Events and Status may be nil (the corresponding
+// /statusz sections are omitted).
+type Target struct {
+	Gather func() []*iobs.Registry
+	Events func() []iobs.Event
+	Status func() any
+}
+
+// statusDB is /statusz for a single-tree engine.
+type statusDB struct {
+	Size        int                 `json:"size"`
+	CommitSeq   uint64              `json:"commit_seq"`
+	ViewSwaps   uint64              `json:"view_swaps"`
+	WAL         peb.WALStats        `json:"wal"`
+	Checkpoints peb.CheckpointStats `json:"checkpoints"`
+	Buffer      bufferStatus        `json:"buffer"`
+}
+
+// statusSharded is /statusz for a sharded router: the aggregate plus the
+// per-shard topology breakdown.
+type statusSharded struct {
+	Stats sharded.Stats `json:"stats"`
+}
+
+type bufferStatus struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// ForDB builds the Target for a single-tree engine.
+func ForDB(db *peb.DB) Target {
+	return Target{
+		Gather: func() []*iobs.Registry { return []*iobs.Registry{db.Metrics()} },
+		Events: func() []iobs.Event { return db.Events().Recent(0) },
+		Status: func() any {
+			io := db.IOStats()
+			return statusDB{
+				Size:        db.Size(),
+				CommitSeq:   db.CommitSeq(),
+				ViewSwaps:   db.ViewSwaps(),
+				WAL:         db.WALStats(),
+				Checkpoints: db.CheckpointStats(),
+				Buffer:      bufferStatus{Hits: io.Hits, Misses: io.Misses},
+			}
+		},
+	}
+}
+
+// ForSharded builds the Target for a sharded router: the merged registry
+// set (router + every live shard), the router's event log, and the full
+// per-shard stats as status. Per-shard engine events stay on each
+// engine's own log; the router log holds the topology-scoped decisions.
+func ForSharded(db *sharded.DB) Target {
+	return Target{
+		Gather: func() []*iobs.Registry { return db.MetricsRegistries() },
+		Events: func() []iobs.Event { return db.Events().Recent(0) },
+		Status: func() any { return statusSharded{Stats: db.Stats()} },
+	}
+}
+
+// statuszPayload is the /statusz document.
+type statuszPayload struct {
+	Time   time.Time    `json:"time"`
+	Status any          `json:"status,omitempty"`
+	Events []iobs.Event `json:"events,omitempty"`
+}
+
+// Handler returns the endpoint's HTTP handler:
+//
+//	/metrics        Prometheus text exposition (all gathered registries)
+//	/statusz        JSON snapshot: status struct + recent events
+//	/debug/pprof/   the standard runtime profiles
+func Handler(t Target) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = iobs.WriteText(w, t.Gather()...)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		p := statuszPayload{Time: time.Now()}
+		if t.Status != nil {
+			p.Status = t.Status()
+		}
+		if t.Events != nil {
+			p.Events = t.Events()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live monitoring endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the endpoint on addr (e.g. "localhost:6060"; a ":0" port
+// picks a free one — read it back from Addr). The listener is bound
+// before Serve returns, so a scrape of Addr() never races the startup.
+func Serve(addr string, t Target) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(t)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, host:port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

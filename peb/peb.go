@@ -59,12 +59,15 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bxtree"
 	"repro/internal/core"
 	"repro/internal/motion"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/store"
 )
@@ -201,6 +204,20 @@ type Options struct {
 	// (peb/cq) are the intended consumer; most callers attach hooks later
 	// via AddCommitHook instead.
 	OnCommit CommitHook
+	// Logger, when non-nil, receives every recorded maintainer event —
+	// checkpoints, recovery summaries, transaction verdicts, slow queries
+	// — as a structured log record, in addition to the bounded in-memory
+	// event log every DB keeps (see Events).
+	Logger *slog.Logger
+	// SlowQueryThreshold, when positive, records an event (and bumps
+	// peb_slow_queries_total) for every one-shot query slower than it.
+	// Zero disables slow-query tracking.
+	SlowQueryThreshold time.Duration
+	// MetricsLabel, when non-empty, labels every metric series this DB
+	// exports with shard="<MetricsLabel>". The sharded router sets it to
+	// each engine's stable shard id so per-shard series stay attributable
+	// across topology changes.
+	MetricsLabel string
 	// StopTheWorldCheckpoints is a benchmarking/debug knob: run the
 	// entire checkpoint — flush, fsync, reachability sweep, side files —
 	// inside one write-lock critical section (the pre-pipeline behavior)
@@ -393,6 +410,15 @@ type DB struct {
 	garbage        []gcBatch
 	policiesPinned bool
 
+	// Observability (observe.go). met holds the registered hot-path
+	// instruments; events is the bounded maintainer event log; qio
+	// accumulates the pages visited by one-shot queries on the published
+	// view (the view is created with it attached). All three are built by
+	// initObs during construction and live for the DB's lifetime.
+	met    dbMetrics
+	events *obs.EventLog
+	qio    *store.IOCounter
+
 	// users is every id ever seen (policies or movement), the population
 	// the encoding phase assigns sequence values over.
 	users map[UserID]bool
@@ -465,6 +491,7 @@ func openFresh(opts Options) (*DB, error) {
 		snaps:    make(map[*Snapshot]struct{}),
 	}
 	db.prepCond = sync.NewCond(&db.prepMu)
+	db.initObs()
 	if err := db.newTree(policy.Assignment{}); err != nil {
 		return nil, err
 	}
@@ -483,6 +510,7 @@ func openFresh(opts Options) (*DB, error) {
 			return nil, fmt.Errorf("peb: refusing to start fresh over a non-empty wal")
 		}
 		db.wal = wal
+		db.observeWAL()
 	}
 	return db, nil
 }
@@ -543,7 +571,9 @@ func (db *DB) newTree(assignment policy.Assignment) error {
 // refreshView republishes the query snapshot after an index mutation. The
 // caller holds the write lock, so no query observes the swap mid-flight.
 func (db *DB) refreshView() {
-	db.view = db.tree.View()
+	// The view carries the query I/O counter, so one-shot query page
+	// visits are attributable separately from write-path I/O.
+	db.view = db.tree.ViewIO(db.qio)
 	db.viewSwaps++
 }
 
@@ -660,11 +690,16 @@ func (db *DB) Close() error {
 // DefineRelation records that owner considers peer to hold role. Policies
 // owner has granted to that role then apply to peer.
 func (db *DB) DefineRelation(owner, peer UserID, role Role) error {
+	start := time.Now()
 	tok, err := db.defineRelationCommit(owner, peer, role)
 	if err != nil {
 		return err
 	}
-	return db.walSync(tok)
+	if err := db.walSync(tok); err != nil {
+		return err
+	}
+	db.met.commit.ObserveDuration(time.Since(start))
+	return nil
 }
 
 func (db *DB) defineRelationCommit(owner, peer UserID, role Role) (store.WALToken, error) {
@@ -686,11 +721,16 @@ func (db *DB) defineRelationCommit(owner, peer UserID, role Role) (store.WALToke
 // Grant adds a location-privacy policy for owner: users related to owner
 // by role may see owner's location while owner is inside locr during tint.
 func (db *DB) Grant(owner UserID, role Role, locr Region, tint TimeInterval) error {
+	start := time.Now()
 	tok, err := db.grantCommit(owner, role, locr, tint)
 	if err != nil {
 		return err
 	}
-	return db.walSync(tok)
+	if err := db.walSync(tok); err != nil {
+		return err
+	}
+	db.met.commit.ObserveDuration(time.Since(start))
+	return nil
 }
 
 func (db *DB) grantCommit(owner UserID, role Role, locr Region, tint TimeInterval) (store.WALToken, error) {
@@ -843,11 +883,16 @@ func (db *DB) rebuildLocked(assignment policy.Assignment) error {
 // Bulk loads should stage updates in a Batch and call Apply: one lock
 // acquisition and one view republish for the whole batch.
 func (db *DB) Upsert(o Object) error {
+	start := time.Now()
 	tok, err := db.upsertCommit(o)
 	if err != nil {
 		return err
 	}
-	return db.walSync(tok)
+	if err := db.walSync(tok); err != nil {
+		return err
+	}
+	db.met.commit.ObserveDuration(time.Since(start))
+	return nil
 }
 
 func (db *DB) upsertCommit(o Object) (store.WALToken, error) {
@@ -901,11 +946,16 @@ func (db *DB) upsertCommit(o Object) (store.WALToken, error) {
 
 // Remove deletes a user's index entry (the user's policies remain).
 func (db *DB) Remove(uid UserID) error {
+	start := time.Now()
 	tok, err := db.removeCommit(uid)
 	if err != nil {
 		return err
 	}
-	return db.walSync(tok)
+	if err := db.walSync(tok); err != nil {
+		return err
+	}
+	db.met.commit.ObserveDuration(time.Since(start))
+	return nil
 }
 
 func (db *DB) removeCommit(uid UserID) (store.WALToken, error) {
@@ -973,6 +1023,15 @@ func (db *DB) RangeQuery(issuer UserID, r Region, t float64) ([]Object, error) {
 	if !r.Valid() {
 		return nil, &InvalidRegionError{Region: r}
 	}
+	start := time.Now()
+	out, err := db.rangeQueryLocked(issuer, r, t)
+	d := time.Since(start)
+	db.met.prq.ObserveDuration(d)
+	db.noteSlowQuery("prq", d, err)
+	return out, err
+}
+
+func (db *DB) rangeQueryLocked(issuer UserID, r Region, t float64) ([]Object, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
@@ -986,6 +1045,15 @@ func (db *DB) RangeQuery(issuer UserID, r Region, t float64) ([]Object, error) {
 // policies let issuer see them (the paper's PkNN, Definition 3), sorted by
 // ascending distance. Like RangeQuery, it is a per-call-snapshot wrapper.
 func (db *DB) NearestNeighbors(issuer UserID, x, y float64, k int, t float64) ([]Neighbor, error) {
+	start := time.Now()
+	out, err := db.nearestNeighborsLocked(issuer, x, y, k, t)
+	d := time.Since(start)
+	db.met.pknn.ObserveDuration(d)
+	db.noteSlowQuery("pknn", d, err)
+	return out, err
+}
+
+func (db *DB) nearestNeighborsLocked(issuer UserID, x, y float64, k int, t float64) ([]Neighbor, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {

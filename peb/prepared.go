@@ -119,6 +119,8 @@ func (db *DB) PrepareApply(b *Batch, txnID uint64) (*Prepared, error) {
 		db.finishPrepared()
 		return nil, err
 	}
+	db.events.Record("txn.prepare", "participant prepared",
+		"txn", txnID, "ops", len(b.ops))
 	if err := db.walSync(tok); err != nil {
 		// The prepared record's durability is unknown and the log is
 		// poisoned. Undo in memory so this participant reports a clean
@@ -179,6 +181,7 @@ func (p *Prepared) Commit() error {
 	tok, err := db.walAppendTxn(nil, p.txnID, txnCommitted)
 	db.mu.Unlock()
 	db.finishPrepared()
+	db.events.Record("txn.commit", "participant committed", "txn", p.txnID)
 	if err != nil {
 		return err
 	}
@@ -202,6 +205,7 @@ func (p *Prepared) Abort() error {
 	tok, aerr := db.walAppendTxn(nil, p.txnID, txnAborted)
 	db.mu.Unlock()
 	db.finishPrepared()
+	db.events.Record("txn.abort", "participant aborted", "txn", p.txnID)
 	if err != nil {
 		return err
 	}

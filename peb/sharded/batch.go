@@ -197,6 +197,8 @@ func (db *DB) commitParts(parts []int, subs []*peb.Batch) (committed bool, err e
 		p, err := db.shards[i].PrepareApply(subs[i], txnID)
 		if err != nil {
 			abortAll()
+			db.events.Record("txn.abort", "cross-shard transaction aborted at prepare",
+				"txn", txnID, "parts", len(parts), "shard", db.metas[i].id, "err", err)
 			return false, fmt.Errorf("sharded: apply: shard %d: %w", i, err)
 		}
 		prepared = append(prepared, p)
@@ -215,9 +217,13 @@ func (db *DB) commitParts(parts []int, subs []*peb.Batch) (committed bool, err e
 				// shard to the same verdict from whatever the decision
 				// log holds.
 				db.closed = true
+				db.events.Record("txn.indoubt", "decision log unwritable both ways; router fail-stopped",
+					"txn", txnID, "parts", len(parts), "commit_err", err, "retract_err", aerr)
 				return false, fmt.Errorf("sharded: transaction %d in doubt (commit decision: %v; retraction: %v) — restart to resolve", txnID, err, aerr)
 			}
 			abortAll()
+			db.events.Record("txn.abort", "cross-shard transaction aborted at decision",
+				"txn", txnID, "parts", len(parts), "err", err)
 			return false, err
 		}
 	}
@@ -232,6 +238,8 @@ func (db *DB) commitParts(parts []int, subs []*peb.Batch) (committed bool, err e
 	for _, i := range parts {
 		db.noteWrite(i)
 	}
+	db.events.Record("txn.commit", "cross-shard transaction committed",
+		"txn", txnID, "parts", len(parts))
 	return true, firstErr
 }
 

@@ -3,6 +3,7 @@ package sharded
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/peb"
 )
@@ -26,6 +27,7 @@ func (db *DB) attachReplicas(n int) error {
 	db.replicas = make([][]*peb.Replica, len(db.shards))
 	db.rr = make([]atomic.Uint64, len(db.shards))
 	db.written = make([]atomic.Uint64, len(db.shards))
+	db.stalled = make([]atomic.Bool, len(db.shards))
 	for i, s := range db.shards {
 		pool := make([]*peb.Replica, 0, n)
 		for k := 0; k < n; k++ {
@@ -101,8 +103,18 @@ func (db *DB) reader(i int) querier {
 		// undecided cross-shard transaction stalling the apply queue.
 		if h, err := r.CatchUp(); err != nil || h+bound < need {
 			db.primaryFallbacks.Add(1)
+			// Record the stall once per transition, not per fallback: the
+			// event log is for decisions, not per-read noise.
+			if !db.stalled[i].Swap(true) {
+				db.events.Record("replica.stall", "shard's followers cannot reach the read horizon",
+					"shard", db.metas[i].id, "horizon", h, "need", need, "err", err)
+			}
 			return db.shards[i]
 		}
+	}
+	if db.stalled[i].Swap(false) {
+		db.events.Record("replica.catchup", "shard's followers serve reads again",
+			"shard", db.metas[i].id, "need", need)
 	}
 	db.followerReads.Add(1)
 	return r
@@ -125,21 +137,73 @@ func (db *DB) FollowerHorizons() [][]uint64 {
 	return out
 }
 
-// FollowerLags reports each follower's apply lag in WAL records — the
-// shard's latest committed sequence minus the follower's applied horizon,
-// clamped at zero (the horizon is sampled after the commit sequence, so a
-// fast follower can appear ahead). Shape matches FollowerHorizons.
-func (db *DB) FollowerLags() [][]uint64 {
+// LagReading is one follower's apply lag at a sampled instant: the raw
+// inputs (the shard's committed sequence and the follower's applied
+// horizon) alongside the derived lag, so a monitor comparing readings
+// over time can tell a stalled follower (Horizon frozen) from a merely
+// busy one (Horizon advancing behind a faster CommitSeq).
+type LagReading struct {
+	// Lag is CommitSeq − Horizon in WAL records, clamped at zero (the
+	// horizon is sampled after the commit sequence, so a fast follower
+	// can appear ahead).
+	Lag uint64
+	// Horizon is the follower's applied WAL sequence; CommitSeq is the
+	// shard primary's committed sequence at sampling time.
+	Horizon   uint64
+	CommitSeq uint64
+	// SampledAt timestamps the reading.
+	SampledAt time.Time
+}
+
+// FollowerLagReadings reports each follower's apply lag as a timestamped
+// reading, in shard-slot order (empty inner slices without replicas).
+func (db *DB) FollowerLagReadings() [][]LagReading {
 	db.smu.RLock()
 	defer db.smu.RUnlock()
-	out := make([][]uint64, len(db.shards))
+	_, out := db.followerLagsLocked()
+	return out
+}
+
+// followerLagsByShard is FollowerLagReadings plus the parallel stable
+// shard ids, for callers labeling series by shard identity.
+func (db *DB) followerLagsByShard() ([]int, [][]LagReading) {
+	db.smu.RLock()
+	defer db.smu.RUnlock()
+	return db.followerLagsLocked()
+}
+
+func (db *DB) followerLagsLocked() ([]int, [][]LagReading) {
+	ids := make([]int, len(db.shards))
+	for i := range db.shards {
+		ids[i] = db.metas[i].id
+	}
+	out := make([][]LagReading, len(db.shards))
+	now := db.now()
 	for i, pool := range db.replicas {
 		seq := db.shards[i].CommitSeq()
-		ls := make([]uint64, len(pool))
+		ls := make([]LagReading, len(pool))
 		for k, r := range pool {
-			if h := r.Horizon(); h < seq {
-				ls[k] = seq - h
+			lr := LagReading{Horizon: r.Horizon(), CommitSeq: seq, SampledAt: now}
+			if lr.Horizon < seq {
+				lr.Lag = seq - lr.Horizon
 			}
+			ls[k] = lr
+		}
+		out[i] = ls
+	}
+	return ids, out
+}
+
+// FollowerLags reports each follower's apply lag in WAL records. Shape
+// matches FollowerHorizons. It is the legacy scalar view of
+// FollowerLagReadings, kept for callers that only chart the lag.
+func (db *DB) FollowerLags() [][]uint64 {
+	_, readings := db.followerLagsByShard()
+	out := make([][]uint64, len(readings))
+	for i, pool := range readings {
+		ls := make([]uint64, len(pool))
+		for k, lr := range pool {
+			ls[k] = lr.Lag
 		}
 		out[i] = ls
 	}

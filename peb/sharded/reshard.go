@@ -284,6 +284,7 @@ func (db *DB) beginMerge(id int) error {
 func (db *DB) newShardEngine(id int, src *peb.DB) (*peb.DB, error) {
 	po := db.opts.DB
 	po.FS = db.fs
+	po.MetricsLabel = shardLabel(id)
 	if db.opts.Dir != "" {
 		dir := shardDir(db.opts.Dir, id)
 		if _, isOS := db.fs.(store.OSFS); isOS {
@@ -564,7 +565,10 @@ func (db *DB) reshardTick() {
 	}
 	if pol.SplitCommitRate > 0 && hot >= 0 &&
 		hotRate >= pol.SplitCommitRate && len(st.Shards) < pol.maxShards() {
-		_ = db.Split(hot)
+		err := db.Split(hot)
+		db.events.Record("reshard.split", "hot shard split by the AutoReshard maintainer",
+			"shard", hot, "commit_rate", hotRate, "threshold", pol.SplitCommitRate,
+			"shards", len(st.Shards), "err", err)
 		return
 	}
 	if pol.MergeCommitRate <= 0 || len(st.Shards) <= pol.minShards() {
@@ -584,7 +588,10 @@ func (db *DB) reshardTick() {
 		}
 	}
 	if bestID >= 0 {
-		_ = db.Merge(bestID)
+		err := db.Merge(bestID)
+		db.events.Record("reshard.merge", "cold adjacent shards merged by the AutoReshard maintainer",
+			"shard", bestID, "pair_rate", bestRate, "threshold", pol.MergeCommitRate,
+			"shards", len(st.Shards), "err", err)
 	}
 }
 

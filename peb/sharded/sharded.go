@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/zcurve"
 	"repro/peb"
@@ -196,9 +197,19 @@ type DB struct {
 	replicas [][]*peb.Replica
 	rr       []atomic.Uint64
 	written  []atomic.Uint64
+	// stalled tracks, per shard, whether the last follower read fell back
+	// to the primary — so stall and recovery are logged as transitions,
+	// one event each, not once per read.
+	stalled []atomic.Bool
 
 	followerReads    atomic.Uint64
 	primaryFallbacks atomic.Uint64
+
+	// Router observability (observe.go): topology-scoped metrics and the
+	// maintainer event log. Per-shard series live on each engine's own
+	// registry (const label shard="NNN").
+	obsReg *obs.Registry
+	events *obs.EventLog
 }
 
 func (o Options) validate() error {
@@ -306,6 +317,7 @@ func Open(opts Options) (*DB, error) {
 			po.Path = filepath.Join(shardDir(opts.Dir, ts.metas[i].id), "peb.idx")
 		}
 		po.TxnResolve = func(id uint64) bool { return committed[id] }
+		po.MetricsLabel = shardLabel(ts.metas[i].id)
 		wg.Add(1)
 		go func(i int, po peb.Options) {
 			defer wg.Done()
@@ -348,6 +360,7 @@ func Open(opts Options) (*DB, error) {
 		owner:   make(map[UserID]int),
 		txnLog:  txnLog,
 	}
+	db.initObs()
 	db.rebuildRoutes()
 	if err := db.reconcile(); err != nil {
 		db.Close()

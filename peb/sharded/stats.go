@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/zcurve"
 	"repro/peb"
 )
@@ -93,6 +94,9 @@ type ShardStats struct {
 	Checkpoints peb.CheckpointStats
 	// ViewSwaps counts the shard's query-view republishes.
 	ViewSwaps uint64
+	// Buffer is the shard's buffer-pool activity (Misses is the paper's
+	// page-I/O count); a cold shard shows up as a skewed hit ratio.
+	Buffer store.BufferStats
 }
 
 // Stats is the aggregated observability view over every shard: the summed
@@ -122,6 +126,13 @@ type Stats struct {
 	// Both are zero without Options.ReplicasPerShard.
 	FollowerReads    uint64
 	PrimaryFallbacks uint64
+	// Buffer sums the per-shard buffer-pool counters.
+	Buffer store.BufferStats
+	// TxnDecisions counts 2PC verdicts in the router's decision log since
+	// its last compaction; TxnLogBytes is that log's size on disk. Both are
+	// zero without durability.
+	TxnDecisions uint64
+	TxnLogBytes  int64
 }
 
 // Stats returns the aggregated counters since Open.
@@ -149,8 +160,14 @@ func (db *DB) Stats() Stats {
 			WAL:         s.WALStats(),
 			Checkpoints: s.CheckpointStats(),
 			ViewSwaps:   s.ViewSwaps(),
+			Buffer:      s.IOStats(),
 		}
 		out.Shards[i] = ss
+
+		out.Buffer.Hits += ss.Buffer.Hits
+		out.Buffer.Misses += ss.Buffer.Misses
+		out.Buffer.Evictions += ss.Buffer.Evictions
+		out.Buffer.WriteBack += ss.Buffer.WriteBack
 
 		out.WAL.Appends += ss.WAL.Appends
 		out.WAL.Syncs += ss.WAL.Syncs
@@ -186,5 +203,11 @@ func (db *DB) Stats() Stats {
 	out.Merges = db.merges.Load()
 	out.FollowerReads = db.followerReads.Load()
 	out.PrimaryFallbacks = db.primaryFallbacks.Load()
+	db.txnMu.Lock()
+	out.TxnDecisions = db.txnDecisions
+	if db.txnLog != nil {
+		out.TxnLogBytes = db.txnLog.Size()
+	}
+	db.txnMu.Unlock()
 	return out
 }
